@@ -1,0 +1,62 @@
+//! Criterion benches for the hash families (Figure 7): raw hash cost,
+//! membership cost per family, and affine inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bst_bloom::filter::BloomFilter;
+use bst_bloom::hash::{md5::md5_u64, murmur3::murmur3_u64, BloomHasher, HashKind};
+use std::sync::Arc;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raw-hash");
+    group.bench_function("murmur3_u64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            murmur3_u64(x, 7)
+        })
+    });
+    group.bench_function("md5_u64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            md5_u64(x, 7)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("membership");
+    for kind in HashKind::ALL {
+        let hasher = Arc::new(BloomHasher::new(kind, 3, 60_000, 1 << 20, 1));
+        let mut f = BloomFilter::new(Arc::clone(&hasher));
+        for x in 0..1000u64 {
+            f.insert(x * 7);
+        }
+        group.bench_with_input(BenchmarkId::new("contains", kind.name()), &f, |b, f| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(13);
+                f.contains(x % (1 << 20))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("inversion");
+    let hasher = BloomHasher::new(HashKind::Simple, 3, 60_000, 1 << 20, 1);
+    group.bench_function("affine-invert-one-bit", |b| {
+        let mut bit = 0usize;
+        b.iter(|| {
+            bit = (bit + 1) % 60_000;
+            hasher.invert(0, bit).expect("invertible").count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hashes
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the low-occupancy experiments (Figures 13–15):
+//! pruned-tree builds, dynamic insertion, and sampling across occupancy
+//! fractions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bst_bloom::hash::HashKind;
+use bst_bloom::params::{leaf_size, TreePlan};
+use bst_core::metrics::OpStats;
+use bst_core::pruned::PrunedBloomSampleTree;
+use bst_core::sampler::BstSampler;
+use bst_core::tree::SampleTree;
+use bst_workloads::occupancy::uniform_occupancy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn plan() -> TreePlan {
+    let namespace = 1u64 << 22;
+    TreePlan {
+        namespace,
+        m: 60_000,
+        k: 3,
+        kind: HashKind::Murmur3,
+        seed: 5,
+        depth: 8,
+        leaf_capacity: leaf_size(namespace, 8),
+        target_accuracy: 0.8,
+    }
+}
+
+fn bench_pruned(c: &mut Criterion) {
+    let plan = plan();
+    let mut rng = StdRng::seed_from_u64(9);
+
+    let mut group = c.benchmark_group("pruned-fraction");
+    group.sample_size(10);
+    for fraction in [0.1f64, 0.5, 0.9] {
+        let occ = uniform_occupancy(&mut rng, plan.namespace, 256, fraction);
+        let ids = occ.sample_ids(&mut rng, 20_000);
+        let tree = PrunedBloomSampleTree::build(&plan, &ids);
+        let members: Vec<u64> = ids.iter().copied().step_by(17).collect();
+        let q = tree.query_filter(members.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::new("sample", format!("{fraction}")),
+            &fraction,
+            |b, _| {
+                let sampler = BstSampler::new(&tree);
+                let mut stats = OpStats::new();
+                b.iter(|| sampler.sample(&q, &mut rng, &mut stats))
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pruned-dynamic");
+    group.bench_function("insert", |b| {
+        let mut tree = PrunedBloomSampleTree::empty(&plan);
+        b.iter(|| tree.insert(rng.gen_range(0..plan.namespace)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pruned
+}
+criterion_main!(benches);

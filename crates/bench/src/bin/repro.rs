@@ -1,0 +1,88 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale smoke|small|paper] [--results DIR] [all | <id>...]
+//! ```
+//!
+//! Ids: table2 table3 table4 table5 table6 fig3..fig13 ablate-*.
+//! Results print as aligned tables and are written as CSV to the results
+//! directory (default `results/`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bst_bench::scale::Scale;
+use bst_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale smoke|small|paper] [--results DIR] [all | <id>...]\n\
+         ids: {}",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::small();
+    let mut results_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--results" => {
+                results_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+
+    println!(
+        "# repro: scale = {}, results -> {}\n",
+        scale.name,
+        results_dir.display()
+    );
+    let overall = Instant::now();
+    let mut failures = 0;
+    for id in &ids {
+        let start = Instant::now();
+        match run_experiment(id, &scale) {
+            Ok(tables) => {
+                for (i, table) in tables.iter().enumerate() {
+                    table.print();
+                    let file_id = if tables.len() == 1 {
+                        id.clone()
+                    } else {
+                        format!("{id}-{i}")
+                    };
+                    if let Err(e) = table.write_csv(&results_dir, &file_id) {
+                        eprintln!("warning: could not write {file_id}.csv: {e}");
+                    }
+                }
+                println!("[{id} done in {:.1?}]\n", start.elapsed());
+            }
+            Err(e) => {
+                println!("[{id} skipped: {e}]\n");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "# finished {} experiment(s) ({failures} skipped) in {:.1?}",
+        ids.len(),
+        overall.elapsed()
+    );
+}

@@ -1,0 +1,159 @@
+//! Figures 13–15: the low-occupancy namespace experiments (§8) on the
+//! synthetic social stream — sampling time, memory and accuracy of the
+//! Pruned-BloomSampleTree across namespace fractions.
+
+use std::time::Instant;
+
+use bst_bloom::hash::HashKind;
+use bst_bloom::params::{leaf_size, TreePlan};
+use bst_core::metrics::OpStats;
+use bst_core::pruned::PrunedBloomSampleTree;
+use bst_core::sampler::BstSampler;
+use bst_core::tree::SampleTree;
+use bst_workloads::occupancy::{clustered_occupancy, uniform_occupancy, OccupiedRanges};
+use bst_workloads::social::{SocialConfig, SocialStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+
+/// The §8 configuration for a scale: social stream + pinned filter size.
+///
+/// The paper pins `m = 1.2·10⁶` bits over the 2.2·10⁹ namespace with 256
+/// hypothetical leaves (accuracy target 0.8); the small scale shrinks both
+/// by ~100× keeping the same shape.
+pub fn social_setup(scale: &Scale) -> (SocialConfig, TreePlan) {
+    let (cfg, m) = match scale.name {
+        "paper" => (SocialConfig::paper(), 1_200_000),
+        "small" => (SocialConfig::small(), 60_000),
+        _ => (SocialConfig::tiny(), 12_000),
+    };
+    let depth = 8; // 256 leaves, as in §8.1
+    let plan = TreePlan {
+        namespace: cfg.namespace,
+        m,
+        k: 3,
+        kind: HashKind::Murmur3,
+        seed: crate::common::SEED,
+        depth,
+        leaf_capacity: leaf_size(cfg.namespace, depth),
+        target_accuracy: 0.8,
+    };
+    (cfg, plan)
+}
+
+struct FractionResult {
+    sample_ms: f64,
+    memory_mb: f64,
+    accuracy: f64,
+}
+
+fn run_fraction(
+    cfg: &SocialConfig,
+    plan: &TreePlan,
+    occupancy: &OccupiedRanges,
+    queries: usize,
+) -> FractionResult {
+    let stream = SocialStream::generate(cfg.clone(), occupancy);
+    let tree = PrunedBloomSampleTree::build(plan, stream.users());
+    let sampler = BstSampler::new(&tree);
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Query filters: hashtag audiences restricted to the current occupancy
+    // (ids outside are "simply ignored", §8.1).
+    let tags: Vec<usize> = (0..queries.min(cfg.hashtags)).collect();
+    let mut total_time = 0.0f64;
+    let mut draws = 0u64;
+    let mut trues = 0u64;
+    let mut stats = OpStats::new();
+    for &tag in &tags {
+        let audience = stream.audience(tag);
+        if audience.is_empty() {
+            continue;
+        }
+        let q = tree.query_filter(audience.iter().copied());
+        let start = Instant::now();
+        let s = sampler.sample(&q, &mut rng, &mut stats);
+        total_time += start.elapsed().as_secs_f64();
+        if let Some(x) = s {
+            draws += 1;
+            if audience.binary_search(&x).is_ok() {
+                trues += 1;
+            }
+        }
+    }
+    FractionResult {
+        sample_ms: total_time * 1e3 / tags.len().max(1) as f64,
+        memory_mb: tree.memory_bytes() as f64 / 1e6,
+        accuracy: trues as f64 / draws.max(1) as f64,
+    }
+}
+
+/// Figures 13–15 in one sweep: per namespace fraction, sampling time (Fig
+/// 13), pruned-tree memory (Fig 14) and measured accuracy (Fig 15), for
+/// uniform and clustered occupancy.
+pub fn fig13_14_15(scale: &Scale) -> Table {
+    let (cfg, plan) = social_setup(scale);
+    let full_tree_mb = ((1u64 << (plan.depth + 1)) - 1) as f64 * (plan.m as f64 / 8.0) / 1e6;
+    let mut t = Table::new(
+        format!(
+            "Figures 13-15: pruned tree over synthetic social stream \
+             (M = {}, users = {}, m = {}, 256 leaves; complete tree {:.1} MB)",
+            cfg.namespace, cfg.users, plan.m, full_tree_mb
+        ),
+        &[
+            "fraction",
+            "occupancy",
+            "sample ms (Fig13)",
+            "memory MB (Fig14)",
+            "accuracy (Fig15)",
+        ],
+    );
+    for &fraction in &scale.fractions {
+        for clustered in [false, true] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let occ = if clustered {
+                clustered_occupancy(&mut rng, cfg.namespace, 256, fraction)
+            } else {
+                uniform_occupancy(&mut rng, cfg.namespace, 256, fraction)
+            };
+            if (occ.span() as usize) < cfg.users {
+                continue; // fraction too small to hold the population
+            }
+            let res = run_fraction(&cfg, &plan, &occ, scale.pruned_queries);
+            t.push_row(vec![
+                format!("{fraction}"),
+                if clustered { "clustered" } else { "uniform" }.to_string(),
+                fmt_f64(res.sample_ms),
+                fmt_f64(res.memory_mb),
+                fmt_f64(res.accuracy),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sweep_smoke() {
+        let mut scale = Scale::smoke();
+        scale.fractions = vec![0.3, 0.9];
+        scale.pruned_queries = 5;
+        let t = fig13_14_15(&scale);
+        assert!(t.rows.len() >= 2, "rows: {}", t.rows.len());
+        // Memory grows with fraction (Fig 14's shape).
+        let mem_of = |frac: &str, kind: &str| -> Option<f64> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == frac && r[1] == kind)
+                .map(|r| r[3].parse().unwrap())
+        };
+        if let (Some(lo), Some(hi)) = (mem_of("0.3", "uniform"), mem_of("0.9", "uniform")) {
+            assert!(lo < hi, "memory {lo} at 0.3 should be below {hi} at 0.9");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! # bst-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7–8) and
+//! the DESIGN.md ablations. The `repro` binary drives the experiments; the
+//! Criterion benches under `benches/` wrap the same kernels for
+//! micro-benchmark tracking.
+//!
+//! Experiment ids (one per published artifact): `table2`, `table3`,
+//! `table4`, `table5`, `table6`, `fig3`, `fig4`, `fig5`, `fig6`, `fig7`,
+//! `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13` (covers 13–15),
+//! plus `ablate-threshold`, `ablate-estimator`, `ablate-depth`,
+//! `ablate-multisample`, `ablate-correction`.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod exp_ablations;
+pub mod exp_pruned;
+pub mod exp_reconstruction;
+pub mod exp_sampling;
+pub mod exp_tables;
+pub mod scale;
+pub mod table;
+
+use common::SetKind;
+use scale::Scale;
+use table::Table;
+
+/// All experiment ids in run order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablate-threshold",
+    "ablate-estimator",
+    "ablate-depth",
+    "ablate-multisample",
+    "ablate-correction",
+];
+
+/// Runs one experiment by id, returning its result tables.
+///
+/// Experiments parameterised by namespace emit one table per namespace in
+/// the scale; figure pairs with uniform/clustered variants emit both.
+pub fn run_experiment(id: &str, scale: &Scale) -> Result<Vec<Table>, String> {
+    let in_scale = |m: u64| scale.namespaces.contains(&m);
+    let tables = match id {
+        "table2" => vec![exp_tables::table_params(1_000_000, scale)],
+        "table3" => vec![exp_tables::table_params(10_000_000, scale)],
+        "table4" => vec![exp_tables::table4(scale)],
+        "table5" => vec![exp_tables::table5(scale)],
+        "table6" => vec![exp_tables::table6(scale)],
+        "fig3" | "fig4" => {
+            let kind = if id == "fig3" {
+                SetKind::Uniform
+            } else {
+                SetKind::Clustered
+            };
+            scale
+                .namespaces
+                .iter()
+                .map(|&m| exp_sampling::fig_ops(m, kind, scale))
+                .collect()
+        }
+        "fig5" | "fig6" => {
+            let m = if id == "fig5" { 10_000_000 } else { 1_000_000 };
+            if !in_scale(m) {
+                return Err(format!("{id} needs M = {m}; not in scale '{}'", scale.name));
+            }
+            vec![
+                exp_sampling::fig_time(m, SetKind::Uniform, scale),
+                exp_sampling::fig_time(m, SetKind::Clustered, scale),
+            ]
+        }
+        "fig7" => vec![exp_sampling::fig7(scale)],
+        "fig8" | "fig9" | "fig10" => {
+            let m = match id {
+                "fig8" => 100_000,
+                "fig9" => 1_000_000,
+                _ => 10_000_000,
+            };
+            if !in_scale(m) {
+                return Err(format!("{id} needs M = {m}; not in scale '{}'", scale.name));
+            }
+            vec![
+                exp_reconstruction::fig_recon_ops(m, SetKind::Uniform, scale),
+                exp_reconstruction::fig_recon_ops(m, SetKind::Clustered, scale),
+            ]
+        }
+        "fig11" | "fig12" => {
+            let m = if id == "fig11" { 1_000_000 } else { 10_000_000 };
+            if !in_scale(m) {
+                return Err(format!("{id} needs M = {m}; not in scale '{}'", scale.name));
+            }
+            vec![
+                exp_reconstruction::fig_recon_time(m, SetKind::Uniform, scale),
+                exp_reconstruction::fig_recon_time(m, SetKind::Clustered, scale),
+            ]
+        }
+        "fig13" | "fig14" | "fig15" => vec![exp_pruned::fig13_14_15(scale)],
+        "ablate-threshold" => vec![exp_ablations::ablate_threshold(scale)],
+        "ablate-estimator" => vec![exp_ablations::ablate_estimator(scale)],
+        "ablate-depth" => vec![exp_ablations::ablate_depth(scale)],
+        "ablate-multisample" => vec![exp_ablations::ablate_multisample(scale)],
+        "ablate-correction" => vec![exp_ablations::ablate_correction(scale)],
+        other => return Err(format!("unknown experiment id: {other}")),
+    };
+    Ok(tables)
+}

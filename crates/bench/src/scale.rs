@@ -1,0 +1,121 @@
+//! Experiment scales.
+//!
+//! Every experiment accepts a [`Scale`]: `paper` uses the publication's
+//! exact parameters (namespaces up to 10⁷, 10 000 timing rounds, `T = 130n`
+//! chi-squared rounds), `small` shrinks rounds and drops the largest
+//! namespace so the full suite finishes in minutes, and `smoke` is a
+//! seconds-level CI setting. Result *shapes* (who wins, crossovers,
+//! trends) are preserved across scales.
+
+/// Parameter set controlling experiment sizes.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Scale name for reporting.
+    pub name: &'static str,
+    /// Namespace sizes `M` to sweep (the paper uses 10⁵, 10⁶, 10⁷).
+    pub namespaces: Vec<u64>,
+    /// Query-set sizes `n` (paper: 100, 1 000, 10 000, 50 000).
+    pub set_sizes: Vec<usize>,
+    /// Sampling accuracies (paper: 0.5–1.0).
+    pub accuracies: Vec<f64>,
+    /// Rounds for operation-count averaging (paper: 10 000).
+    pub op_rounds: usize,
+    /// Rounds for BST timing measurements.
+    pub time_rounds: usize,
+    /// Rounds for DictionaryAttack timing (it is `O(M)` per sample).
+    pub da_time_rounds: usize,
+    /// Cap on chi-squared sample counts (`T = 130n` capped here).
+    pub chi2_cap: usize,
+    /// Reconstruction repetitions per configuration.
+    pub reconstruct_rounds: usize,
+    /// Namespace fractions for the §8 experiments.
+    pub fractions: Vec<f64>,
+    /// Query filters per fraction in the §8 experiments.
+    pub pruned_queries: usize,
+}
+
+impl Scale {
+    /// Seconds-level CI setting.
+    pub fn smoke() -> Self {
+        Scale {
+            name: "smoke",
+            namespaces: vec![100_000],
+            set_sizes: vec![100, 1000],
+            accuracies: vec![0.7, 0.9],
+            op_rounds: 30,
+            time_rounds: 30,
+            da_time_rounds: 3,
+            chi2_cap: 13_000,
+            reconstruct_rounds: 2,
+            fractions: vec![0.2, 0.6],
+            pruned_queries: 20,
+        }
+    }
+
+    /// Minutes-level default.
+    pub fn small() -> Self {
+        Scale {
+            name: "small",
+            namespaces: vec![100_000, 1_000_000],
+            set_sizes: vec![100, 1000, 10_000],
+            accuracies: vec![0.5, 0.7, 0.9, 1.0],
+            op_rounds: 100,
+            time_rounds: 50,
+            da_time_rounds: 3,
+            chi2_cap: 13_000,
+            reconstruct_rounds: 1,
+            fractions: vec![0.1, 0.3, 0.6, 0.9],
+            pruned_queries: 30,
+        }
+    }
+
+    /// The publication's parameters.
+    pub fn paper() -> Self {
+        Scale {
+            name: "paper",
+            namespaces: vec![100_000, 1_000_000, 10_000_000],
+            set_sizes: vec![100, 1000, 10_000, 50_000],
+            accuracies: vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            op_rounds: 10_000,
+            time_rounds: 1_000,
+            da_time_rounds: 20,
+            chi2_cap: 6_500_000,
+            reconstruct_rounds: 5,
+            fractions: vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            pruned_queries: 1000,
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "smoke" => Ok(Self::smoke()),
+            "small" => Ok(Self::small()),
+            "paper" => Ok(Self::paper()),
+            other => Err(format!("unknown scale: {other} (smoke|small|paper)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all() {
+        assert_eq!(Scale::parse("smoke").unwrap().name, "smoke");
+        assert_eq!(Scale::parse("small").unwrap().name, "small");
+        assert_eq!(Scale::parse("paper").unwrap().name, "paper");
+        assert!(Scale::parse("huge").is_err());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let smoke = Scale::smoke();
+        let small = Scale::small();
+        let paper = Scale::paper();
+        assert!(smoke.op_rounds < small.op_rounds);
+        assert!(small.op_rounds < paper.op_rounds);
+        assert!(paper.namespaces.contains(&10_000_000));
+    }
+}

@@ -1,0 +1,186 @@
+//! Compact binary serialization for Bloom filters.
+//!
+//! The framework (§3.2) assumes a database `D̄` of *millions* of sets, each
+//! stored only as a Bloom filter, so a dense storage format matters. The
+//! hash family is reconstructed deterministically from
+//! `(kind, k, m, namespace, seed)` rather than serialised coefficient by
+//! coefficient.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "BSBF" | version u8 | kind u8 | k u16 | m u64 | namespace u64
+//! | seed u64 | word count u64 | words [u64]
+//! ```
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bitvec::BitVec;
+use crate::filter::BloomFilter;
+use crate::hash::{BloomHasher, HashKind};
+
+const MAGIC: &[u8; 4] = b"BSBF";
+const VERSION: u8 = 1;
+
+/// Errors arising when decoding a serialized filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown hash-kind tag.
+    BadKind(u8),
+    /// Word payload shorter than the declared count.
+    BadLength,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown hash kind tag {k}"),
+            CodecError::BadLength => write!(f, "word payload length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn kind_tag(kind: HashKind) -> u8 {
+    match kind {
+        HashKind::Simple => 0,
+        HashKind::Murmur3 => 1,
+        HashKind::Md5 => 2,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<HashKind, CodecError> {
+    match tag {
+        0 => Ok(HashKind::Simple),
+        1 => Ok(HashKind::Murmur3),
+        2 => Ok(HashKind::Md5),
+        other => Err(CodecError::BadKind(other)),
+    }
+}
+
+/// Serializes `filter` into a compact byte buffer.
+pub fn encode(filter: &BloomFilter) -> Bytes {
+    let h = filter.hasher();
+    let namespace = h.namespace().unwrap_or(1);
+    let seed = h.seed();
+    let words = filter.bits().words();
+    let mut buf = BytesMut::with_capacity(4 + 1 + 1 + 2 + 8 * 4 + words.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind_tag(h.kind()));
+    buf.put_u16_le(h.k() as u16);
+    buf.put_u64_le(h.m() as u64);
+    buf.put_u64_le(namespace);
+    buf.put_u64_le(seed);
+    buf.put_u64_le(words.len() as u64);
+    for &w in words {
+        buf.put_u64_le(w);
+    }
+    buf.freeze()
+}
+
+/// Decodes a filter previously produced by [`encode`], rebuilding the hash
+/// family deterministically from the header.
+pub fn decode(mut input: &[u8]) -> Result<BloomFilter, CodecError> {
+    if input.len() < 4 + 1 + 1 + 2 + 8 * 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    input.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = input.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let kind = kind_from_tag(input.get_u8())?;
+    let k = input.get_u16_le() as usize;
+    let m = input.get_u64_le() as usize;
+    let namespace = input.get_u64_le();
+    let seed = input.get_u64_le();
+    let n_words = input.get_u64_le() as usize;
+    if input.remaining() < n_words * 8 {
+        return Err(CodecError::BadLength);
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(input.get_u64_le());
+    }
+    if n_words != m.div_ceil(64) {
+        return Err(CodecError::BadLength);
+    }
+    let bits = BitVec::from_words(words, m);
+    let hasher = Arc::new(BloomHasher::new(kind, k, m, namespace.max(1), seed));
+    Ok(BloomFilter::from_parts(bits, hasher))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in HashKind::ALL {
+            let mut f = BloomFilter::with_params(kind, 3, 1234, 50_000, 77);
+            for x in (0..500u64).step_by(3) {
+                f.insert(x);
+            }
+            let bytes = encode(&f);
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back.bits(), f.bits(), "{kind}: bits differ");
+            assert!(back.compatible_with(&f), "{kind}: hasher differs");
+            for x in 0..500u64 {
+                assert_eq!(back.contains(x), f.contains(x), "{kind}: key {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(b"nope").unwrap_err(), CodecError::Truncated);
+        let mut junk = vec![0u8; 64];
+        junk[..4].copy_from_slice(b"XXXX");
+        assert_eq!(decode(&junk).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_kind() {
+        let f = BloomFilter::with_params(HashKind::Murmur3, 3, 128, 1000, 1);
+        let bytes = encode(&f);
+        let mut v = bytes.to_vec();
+        v[4] = 99;
+        assert_eq!(decode(&v).unwrap_err(), CodecError::BadVersion(99));
+        let mut v2 = bytes.to_vec();
+        v2[5] = 9;
+        assert_eq!(decode(&v2).unwrap_err(), CodecError::BadKind(9));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let f = BloomFilter::with_params(HashKind::Murmur3, 3, 4096, 1000, 1);
+        let bytes = encode(&f);
+        let v = &bytes[..bytes.len() - 8];
+        assert_eq!(decode(v).unwrap_err(), CodecError::BadLength);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let f = BloomFilter::with_params(HashKind::Simple, 3, 64_000, 1_000_000, 5);
+        let bytes = encode(&f);
+        // Header is 40 bytes; payload exactly ceil(m/64)*8.
+        assert_eq!(bytes.len(), 40 + 64_000usize.div_ceil(64) * 8);
+    }
+}

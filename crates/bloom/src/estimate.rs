@@ -1,0 +1,234 @@
+//! Probabilistic estimators for Bloom filters.
+//!
+//! Implements every formula the paper relies on:
+//!
+//! * false-positive probability `(1 − e^{−kn/m})^k` (§3.1);
+//! * cardinality from the zero-bit count, `n̂ = ln(ẑ/m)/(k·ln(1−1/m))`
+//!   (proof of Prop. 5.2);
+//! * the Papapetrou et al. intersection-size estimator `Ŝ⁻¹(t₁,t₂,t∧)`
+//!   (§5.3, citation \[20\]);
+//! * the false-set-overlap probability, Eq. (1);
+//! * the sampling accuracy model `acc = n/(n + (M−n)·FP)` (§5.4).
+
+/// False-positive probability of an `m`-bit, `k`-hash filter holding `n`
+/// elements: `(1 − e^{−kn/m})^k`.
+pub fn false_positive_rate(m: usize, k: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let exponent = -((k * n) as f64) / m as f64;
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// Estimated cardinality from the number of zero bits `ẑ`:
+/// `n̂ = ln(ẑ/m) / (k · ln(1 − 1/m))`.
+///
+/// A fully saturated filter (`ẑ = 0`) returns the theoretical ceiling
+/// `m·ln m / k`-ish via `ẑ = 0.5` regularisation rather than infinity.
+pub fn cardinality_from_zeros(m: usize, k: usize, zeros: usize) -> f64 {
+    debug_assert!(zeros <= m);
+    if zeros == m {
+        return 0.0;
+    }
+    let z = if zeros == 0 { 0.5 } else { zeros as f64 };
+    let m_f = m as f64;
+    (z / m_f).ln() / (k as f64 * (-1.0 / m_f).ln_1p())
+}
+
+/// Estimated cardinality from the number of set bits `t`.
+pub fn cardinality_from_ones(m: usize, k: usize, ones: usize) -> f64 {
+    cardinality_from_zeros(m, k, m - ones)
+}
+
+/// Intersection-size estimate `Ŝ⁻¹(t₁, t₂, t∧)` (Papapetrou et al. \[20\]):
+///
+/// ```text
+///            ln(m − (t∧·m − t₁·t₂)/(m − t₁ − t₂ + t∧)) − ln(m)
+/// Ŝ⁻¹ =   ─────────────────────────────────────────────────────
+///                         k · ln(1 − 1/m)
+/// ```
+///
+/// `t₁`, `t₂` are the set-bit counts of the two filters and `t∧` the
+/// popcount of their AND. Degenerate regimes fall back conservatively:
+/// an all-AND of zero estimates 0; a saturated denominator falls back to the
+/// cardinality estimate of the intersection bitmap itself.
+pub fn intersection_estimate(m: usize, k: usize, t1: usize, t2: usize, t_and: usize) -> f64 {
+    debug_assert!(t_and <= t1.min(t2));
+    if t_and == 0 {
+        return 0.0;
+    }
+    let m_f = m as f64;
+    let denom = m_f - t1 as f64 - t2 as f64 + t_and as f64;
+    if denom <= 0.0 {
+        // Both filters nearly saturated; the formula's independence model
+        // breaks down. Estimate from the AND bitmap alone (an upper bound).
+        return cardinality_from_ones(m, k, t_and);
+    }
+    let inner = (t_and as f64 * m_f - t1 as f64 * t2 as f64) / denom;
+    if inner <= 0.0 {
+        // Overlap indistinguishable from hash noise under independence.
+        return 0.0;
+    }
+    if inner >= m_f {
+        return cardinality_from_ones(m, k, t_and);
+    }
+    let numerator = ((m_f - inner) / m_f).ln();
+    let estimate = numerator / (k as f64 * (-1.0 / m_f).ln_1p());
+    estimate.max(0.0)
+}
+
+/// Probability of a *false set overlap* (Eq. 1): for disjoint `S₁`, `S₂` of
+/// the given sizes, the probability that `B(S₁) & B(S₂)` is nonetheless
+/// non-empty:
+/// `P[FSO∩] = 1 − (1 − 1/m)^(k²·|S₁|·|S₂|)`.
+pub fn fso_probability(m: usize, k: usize, n1: u64, n2: u64) -> f64 {
+    let exponent = (k as f64) * (k as f64) * n1 as f64 * n2 as f64;
+    1.0 - (exponent * (-1.0 / m as f64).ln_1p()).exp()
+}
+
+/// Sampling accuracy (§5.4): the probability that a positive drawn uniformly
+/// from `S ∪ S(B)` is a true element:
+/// `acc = n / (n + (M − n) · FP)`.
+pub fn accuracy(m: usize, k: usize, n: usize, namespace: u64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let fp = false_positive_rate(m, k, n);
+    let n_f = n as f64;
+    n_f / (n_f + (namespace as f64 - n_f) * fp)
+}
+
+/// Optimal hash count for an `m`-bit filter holding `n` keys:
+/// `k* = (m/n)·ln 2`, clamped to at least 1.
+pub fn optimal_k(m: usize, n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let k = (m as f64 / n as f64) * std::f64::consts::LN_2;
+    (k.round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpp_zero_elements() {
+        assert_eq!(false_positive_rate(1000, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn fpp_monotone_in_n() {
+        let mut last = 0.0;
+        for n in [1usize, 10, 100, 1000, 10_000] {
+            let fpp = false_positive_rate(10_000, 3, n);
+            assert!(fpp > last, "fpp should grow with n");
+            last = fpp;
+        }
+        assert!(last <= 1.0);
+    }
+
+    #[test]
+    fn fpp_known_value() {
+        // m = 4096, k = 3, n = 300: (1 - e^{-900/4096})^3.
+        let expected = (1.0 - (-900.0f64 / 4096.0).exp()).powi(3);
+        assert!((false_positive_rate(4096, 3, 300) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cardinality_inverts_expected_fill() {
+        // After inserting n elements the expected zero count is
+        // m(1-1/m)^{kn}; the estimator must invert that exactly.
+        let (m, k, n) = (10_000usize, 3usize, 700usize);
+        let p = (1.0 - 1.0 / m as f64).powi((k * n) as i32);
+        let zeros = (m as f64 * p).round() as usize;
+        let est = cardinality_from_zeros(m, k, zeros);
+        assert!((est - n as f64).abs() < 2.0, "estimate {est} vs n {n}");
+    }
+
+    #[test]
+    fn cardinality_edges() {
+        assert_eq!(cardinality_from_zeros(100, 3, 100), 0.0);
+        let saturated = cardinality_from_zeros(100, 3, 0);
+        assert!(saturated.is_finite());
+        assert!(saturated > cardinality_from_zeros(100, 3, 1));
+    }
+
+    #[test]
+    fn intersection_estimate_zero_when_no_overlap() {
+        assert_eq!(intersection_estimate(1000, 3, 100, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn intersection_estimate_independence_is_zero() {
+        // When t_and ≈ t1*t2/m (chance overlap), the estimate should be ~0.
+        let m = 10_000usize;
+        let (t1, t2) = (1000usize, 2000usize);
+        let chance = t1 * t2 / m; // 200
+        let est = intersection_estimate(m, 3, t1, t2, chance);
+        assert!(est < 1.0, "chance-level overlap estimated as {est}");
+    }
+
+    #[test]
+    fn intersection_estimate_full_overlap_recovers_cardinality() {
+        // A == B: t1 == t2 == t_and; estimate should be ~cardinality.
+        let (m, k) = (10_000usize, 3usize);
+        let n = 500usize;
+        let p = (1.0 - 1.0 / m as f64).powi((k * n) as i32);
+        let t = m - (m as f64 * p).round() as usize;
+        let est = intersection_estimate(m, k, t, t, t);
+        assert!((est - n as f64).abs() < 5.0, "estimate {est} vs {n}");
+    }
+
+    #[test]
+    fn intersection_estimate_saturated_fallback() {
+        // t1 + t2 - t_and >= m triggers the saturation path; result must be
+        // finite and non-negative.
+        let est = intersection_estimate(100, 3, 90, 90, 80);
+        assert!(est.is_finite());
+        assert!(est >= 0.0);
+    }
+
+    #[test]
+    fn fso_probability_bounds_and_monotonicity() {
+        let p_small = fso_probability(10_000, 3, 10, 10);
+        let p_large = fso_probability(10_000, 3, 100, 100);
+        assert!(p_small > 0.0 && p_small < p_large && p_large < 1.0);
+        // Bigger filters make FSO less likely.
+        assert!(fso_probability(100_000, 3, 100, 100) < p_large);
+        // Saturation: huge sets make an FSO essentially certain.
+        assert!((fso_probability(10_000, 3, 1000, 1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fso_probability_eq1_value() {
+        // Direct evaluation of Eq. (1).
+        let (m, k, n1, n2) = (1000usize, 2usize, 5u64, 7u64);
+        let direct = 1.0 - (1.0 - 1.0 / m as f64).powf((k * k) as f64 * (n1 * n2) as f64);
+        assert!((fso_probability(m, k, n1, n2) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_paper_sizing_roundtrip() {
+        // Table 2 row: M=10^6, n=10^3, acc 0.9 uses m=60870. Plugging that m
+        // back into the accuracy model must return ≈0.9.
+        let acc = accuracy(60_870, 3, 1000, 1_000_000);
+        assert!((acc - 0.9).abs() < 0.005, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_edge_cases() {
+        assert_eq!(accuracy(1000, 3, 0, 1_000_000), 1.0);
+        // Tiny filter: accuracy collapses toward n/M.
+        let acc = accuracy(8, 1, 100, 1_000_000);
+        assert!(acc < 0.01);
+    }
+
+    #[test]
+    fn optimal_k_values() {
+        assert_eq!(optimal_k(1000, 0), 1);
+        assert_eq!(optimal_k(1000, 10_000), 1); // m << n clamps to 1
+        let k = optimal_k(9585, 1000); // m/n ln2 ≈ 6.64
+        assert_eq!(k, 7);
+    }
+}

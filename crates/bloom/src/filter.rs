@@ -1,0 +1,375 @@
+//! The Bloom filter (§3.1): an `m`-bit array with `k` hash functions,
+//! supporting membership, union (bitwise OR) and intersection (bitwise AND).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BitVec;
+use crate::estimate;
+use crate::hash::{BloomHasher, HashKind};
+
+/// Maximum supported number of hash functions; lets position scratch live on
+/// the stack.
+pub const MAX_K: usize = 32;
+
+/// A Bloom filter storing a set of `u64` keys.
+///
+/// The hasher is shared via [`Arc`]: every filter in a BloomSampleTree — the
+/// thousands of node filters and all query filters — must use the same
+/// `(m, H)` so that intersections are meaningful (§5.1), and sharing makes
+/// that relationship explicit and cheap.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: BitVec,
+    hasher: Arc<BloomHasher>,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter using `hasher`'s parameters.
+    pub fn new(hasher: Arc<BloomHasher>) -> Self {
+        let m = hasher.m();
+        BloomFilter {
+            bits: BitVec::new(m),
+            hasher,
+        }
+    }
+
+    /// Convenience constructor building a fresh hasher.
+    pub fn with_params(kind: HashKind, k: usize, m: usize, namespace: u64, seed: u64) -> Self {
+        Self::new(Arc::new(BloomHasher::new(kind, k, m, namespace, seed)))
+    }
+
+    /// Builds a filter containing every key yielded by `keys`.
+    pub fn from_keys<I: IntoIterator<Item = u64>>(hasher: Arc<BloomHasher>, keys: I) -> Self {
+        let mut f = Self::new(hasher);
+        for x in keys {
+            f.insert(x);
+        }
+        f
+    }
+
+    /// Assembles a filter from a raw bit vector and a hash family.
+    ///
+    /// # Panics
+    /// Panics if the bit vector length differs from the hasher's `m`.
+    pub fn from_parts(bits: BitVec, hasher: Arc<BloomHasher>) -> Self {
+        assert_eq!(
+            bits.len(),
+            hasher.m(),
+            "bit vector length must equal the hash family's m"
+        );
+        BloomFilter { bits, hasher }
+    }
+
+    /// The shared hash family.
+    #[inline]
+    pub fn hasher(&self) -> &Arc<BloomHasher> {
+        &self.hasher
+    }
+
+    /// Filter size in bits.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of hash functions.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.hasher.k()
+    }
+
+    /// Raw bit storage.
+    #[inline]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Inserts key `x` (sets its `k` bit positions).
+    pub fn insert(&mut self, x: u64) {
+        let mut pos = [0usize; MAX_K];
+        let k = self.k();
+        self.hasher.positions(x, &mut pos[..k]);
+        for &p in &pos[..k] {
+            self.bits.set(p);
+        }
+    }
+
+    /// Membership query: true when all `k` positions of `x` are set.
+    /// May be a false positive; never a false negative.
+    pub fn contains(&self, x: u64) -> bool {
+        let mut pos = [0usize; MAX_K];
+        let k = self.k();
+        self.hasher.positions(x, &mut pos[..k]);
+        pos[..k].iter().all(|&p| self.bits.get(p))
+    }
+
+    /// True when no bit is set (the empty-set filter).
+    pub fn is_empty(&self) -> bool {
+        self.bits.all_zero()
+    }
+
+    /// Clears every bit, returning the filter to the empty-set state.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    /// Number of set bits `t`.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Number of zero bits `ẑ`.
+    pub fn count_zeros(&self) -> usize {
+        self.bits.count_zeros()
+    }
+
+    /// Fraction of bits set.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    /// Whether two filters share parameters (same `m` and hash family), the
+    /// precondition for union/intersection semantics.
+    pub fn compatible_with(&self, other: &BloomFilter) -> bool {
+        self.m() == other.m()
+            && (Arc::ptr_eq(&self.hasher, &other.hasher) || self.hasher == other.hasher)
+    }
+
+    fn assert_compatible(&self, other: &BloomFilter) {
+        assert!(
+            self.compatible_with(other),
+            "Bloom filters must share m and hash family for set operations"
+        );
+    }
+
+    /// `self ∪= other`: `B(A ∪ B) = B(A) | B(B)` (§3.1).
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        self.assert_compatible(other);
+        self.bits.union_with(&other.bits);
+    }
+
+    /// `self ∩= other`: `B(A) & B(B)`, a superset approximation of
+    /// `B(A ∩ B)` (§3.1).
+    pub fn intersect_with(&mut self, other: &BloomFilter) {
+        self.assert_compatible(other);
+        self.bits.intersect_with(&other.bits);
+    }
+
+    /// New filter holding `a & b`.
+    pub fn intersection(a: &BloomFilter, b: &BloomFilter) -> BloomFilter {
+        a.assert_compatible(b);
+        let mut out = a.clone();
+        out.bits.intersect_with(&b.bits);
+        out
+    }
+
+    /// New filter holding `a | b`.
+    pub fn union(a: &BloomFilter, b: &BloomFilter) -> BloomFilter {
+        a.assert_compatible(b);
+        let mut out = a.clone();
+        out.bits.union_with(&b.bits);
+        out
+    }
+
+    /// Popcount of `self & other` without materialising the intersection —
+    /// the `t∧` input of the intersection-size estimator, and the single
+    /// hottest operation of BST traversal.
+    pub fn and_count(&self, other: &BloomFilter) -> usize {
+        self.assert_compatible(other);
+        self.bits.and_count(&other.bits)
+    }
+
+    /// True when `self & other` has no set bit.
+    pub fn is_disjoint(&self, other: &BloomFilter) -> bool {
+        self.assert_compatible(other);
+        self.bits.is_disjoint(&other.bits)
+    }
+
+    /// Estimated number of stored elements, `n̂ = ln(ẑ/m) / (k·ln(1−1/m))`.
+    pub fn estimate_cardinality(&self) -> f64 {
+        estimate::cardinality_from_ones(self.m(), self.k(), self.count_ones())
+    }
+
+    /// Estimated `|A ∩ B|` from this filter and `other` via the
+    /// Papapetrou et al. estimator (§5.3).
+    pub fn estimate_intersection(&self, other: &BloomFilter) -> f64 {
+        self.assert_compatible(other);
+        let t1 = self.count_ones();
+        let t2 = other.count_ones();
+        let t_and = self.and_count(other);
+        estimate::intersection_estimate(self.m(), self.k(), t1, t2, t_and)
+    }
+
+    /// Expected false-positive probability if this filter holds `n` keys.
+    pub fn expected_fpp(&self, n: usize) -> f64 {
+        estimate::false_positive_rate(self.m(), self.k(), n)
+    }
+
+    /// Heap bytes used by the bit array (hasher excluded; it is shared).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hasher(kind: HashKind) -> Arc<BloomHasher> {
+        Arc::new(BloomHasher::new(kind, 3, 4096, 100_000, 42))
+    }
+
+    #[test]
+    fn no_false_negatives_all_kinds() {
+        for kind in HashKind::ALL {
+            let mut f = BloomFilter::new(hasher(kind));
+            let keys: Vec<u64> = (0..500).map(|i| i * 17 + 3).collect();
+            for &x in &keys {
+                f.insert(x);
+            }
+            for &x in &keys {
+                assert!(f.contains(x), "false negative for {x} under {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(hasher(HashKind::Murmur3));
+        assert!(f.is_empty());
+        for x in 0..1000 {
+            assert!(!f.contains(x));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        // m=4096, k=3, n=300 -> fpp = (1 - e^{-900/4096})^3 ≈ 0.0077
+        let mut f = BloomFilter::new(hasher(HashKind::Murmur3));
+        for x in 0..300u64 {
+            f.insert(x);
+        }
+        let theory = f.expected_fpp(300);
+        let mut fp = 0usize;
+        let trials = 50_000usize;
+        for x in 0..trials as u64 {
+            if f.contains(1_000_000 + x) {
+                fp += 1;
+            }
+        }
+        let measured = fp as f64 / trials as f64;
+        assert!(
+            (measured - theory).abs() < 0.01,
+            "measured {measured}, theory {theory}"
+        );
+    }
+
+    #[test]
+    fn union_equals_filter_of_union() {
+        let h = hasher(HashKind::Murmur3);
+        let a_keys: Vec<u64> = (0..100).collect();
+        let b_keys: Vec<u64> = (50..150).collect();
+        let a = BloomFilter::from_keys(h.clone(), a_keys.iter().copied());
+        let b = BloomFilter::from_keys(h.clone(), b_keys.iter().copied());
+        let u = BloomFilter::union(&a, &b);
+        let direct = BloomFilter::from_keys(h, a_keys.into_iter().chain(b_keys));
+        assert_eq!(u.bits(), direct.bits(), "B(A∪B) == B(A)|B(B)");
+    }
+
+    #[test]
+    fn intersection_superset_of_true_intersection() {
+        let h = hasher(HashKind::Simple);
+        let a = BloomFilter::from_keys(h.clone(), 0..100);
+        let b = BloomFilter::from_keys(h.clone(), 50..150);
+        let i = BloomFilter::intersection(&a, &b);
+        // Every true intersection element must pass membership on the
+        // intersected filter.
+        for x in 50..100u64 {
+            assert!(i.contains(x), "intersection lost {x}");
+        }
+    }
+
+    #[test]
+    fn and_count_matches_materialised_intersection() {
+        let h = hasher(HashKind::Murmur3);
+        let a = BloomFilter::from_keys(h.clone(), (0..200).map(|i| i * 3));
+        let b = BloomFilter::from_keys(h, (0..200).map(|i| i * 5));
+        let i = BloomFilter::intersection(&a, &b);
+        assert_eq!(a.and_count(&b), i.count_ones());
+    }
+
+    #[test]
+    fn cardinality_estimate_accurate() {
+        let mut f = BloomFilter::with_params(HashKind::Murmur3, 3, 60_000, 1_000_000, 7);
+        for x in 0..1000u64 {
+            f.insert(x * 7 + 1);
+        }
+        let est = f.estimate_cardinality();
+        assert!(
+            (est - 1000.0).abs() < 30.0,
+            "cardinality estimate {est} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn intersection_estimate_accurate() {
+        let h = Arc::new(BloomHasher::new(HashKind::Murmur3, 3, 60_000, 1 << 30, 7));
+        // |A| = 1000, |B| = 1000, |A ∩ B| = 300.
+        let a = BloomFilter::from_keys(h.clone(), 0..1000);
+        let b = BloomFilter::from_keys(h, 700..1700);
+        let est = a.estimate_intersection(&b);
+        assert!(
+            (est - 300.0).abs() < 40.0,
+            "intersection estimate {est} too far from 300"
+        );
+    }
+
+    #[test]
+    fn disjoint_filters_estimate_near_zero() {
+        let h = Arc::new(BloomHasher::new(HashKind::Murmur3, 3, 60_000, 1 << 30, 7));
+        let a = BloomFilter::from_keys(h.clone(), 0..500);
+        let b = BloomFilter::from_keys(h, 10_000..10_500);
+        let est = a.estimate_intersection(&b);
+        assert!(est < 20.0, "disjoint estimate {est} should be near zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "share m and hash family")]
+    fn incompatible_filters_panic() {
+        let a = BloomFilter::with_params(HashKind::Murmur3, 3, 1024, 1000, 1);
+        let mut b = BloomFilter::with_params(HashKind::Murmur3, 3, 2048, 1000, 1);
+        b.union_with(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "share m and hash family")]
+    fn different_seeds_are_incompatible() {
+        let a = BloomFilter::with_params(HashKind::Murmur3, 3, 1024, 1000, 1);
+        let mut b = BloomFilter::with_params(HashKind::Murmur3, 3, 1024, 1000, 2);
+        b.union_with(&a);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::with_params(HashKind::Simple, 3, 512, 10_000, 0);
+        f.insert(42);
+        assert!(!f.is_empty());
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(42));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut f = BloomFilter::with_params(HashKind::Md5, 2, 256, 5000, 9);
+        f.insert(17);
+        f.insert(4999);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: BloomFilter = serde_json::from_str(&json).unwrap();
+        assert!(back.contains(17));
+        assert!(back.contains(4999));
+        assert!(back.compatible_with(&f));
+    }
+}

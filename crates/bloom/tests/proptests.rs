@@ -1,0 +1,263 @@
+//! Property-based tests for the Bloom filter substrate.
+
+use std::sync::Arc;
+
+use bst_bloom::bitvec::BitVec;
+use bst_bloom::filter::BloomFilter;
+use bst_bloom::hash::{BloomHasher, HashKind};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = HashKind> {
+    prop_oneof![
+        Just(HashKind::Simple),
+        Just(HashKind::Murmur3),
+        Just(HashKind::Md5),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- BitVec ----------------
+
+    #[test]
+    fn bitvec_set_get_roundtrip(len in 1usize..500, bits in prop::collection::vec(0usize..500, 0..64)) {
+        let mut bv = BitVec::new(len);
+        let mut reference = std::collections::HashSet::new();
+        for &b in &bits {
+            let b = b % len;
+            bv.set(b);
+            reference.insert(b);
+        }
+        prop_assert_eq!(bv.count_ones(), reference.len());
+        for i in 0..len {
+            prop_assert_eq!(bv.get(i), reference.contains(&i));
+        }
+    }
+
+    #[test]
+    fn bitvec_iter_ones_matches_get(len in 1usize..300, seed in any::<u64>()) {
+        let mut bv = BitVec::new(len);
+        let mut state = seed;
+        for i in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state & 3 == 0 {
+                bv.set(i);
+            }
+        }
+        let from_iter: Vec<usize> = bv.iter_ones().collect();
+        let from_get: Vec<usize> = (0..len).filter(|&i| bv.get(i)).collect();
+        prop_assert_eq!(from_iter, from_get);
+    }
+
+    #[test]
+    fn bitvec_zeros_complement_ones(len in 1usize..300, seed in any::<u64>()) {
+        let mut bv = BitVec::new(len);
+        let mut state = seed;
+        for i in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 1 == 0 {
+                bv.set(i);
+            }
+        }
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        let zeros: Vec<usize> = bv.iter_zeros().collect();
+        prop_assert_eq!(ones.len() + zeros.len(), len);
+        let mut merged: Vec<usize> = ones.into_iter().chain(zeros).collect();
+        merged.sort_unstable();
+        prop_assert_eq!(merged, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitvec_select_is_inverse_of_rank(len in 1usize..300, seed in any::<u64>()) {
+        let mut bv = BitVec::new(len);
+        let mut state = seed | 1;
+        for i in 0..len {
+            state = state.wrapping_mul(0x9E3779B97F4A7C15);
+            if state >> 62 == 0 {
+                bv.set(i);
+            }
+        }
+        for (rank, pos) in bv.iter_ones().enumerate() {
+            prop_assert_eq!(bv.select_one(rank), Some(pos));
+        }
+        prop_assert_eq!(bv.select_one(bv.count_ones()), None);
+    }
+
+    #[test]
+    fn bitvec_demorgan(len in 1usize..256, a_seed in any::<u64>(), b_seed in any::<u64>()) {
+        let fill = |seed: u64| {
+            let mut bv = BitVec::new(len);
+            let mut s = seed | 1;
+            for i in 0..len {
+                s = s.wrapping_mul(0x2545F4914F6CDD1D);
+                if s & 1 == 1 {
+                    bv.set(i);
+                }
+            }
+            bv
+        };
+        let a = fill(a_seed);
+        let b = fill(b_seed);
+        // !(a | b) == !a & !b
+        let mut lhs = a.clone();
+        lhs.union_with(&b);
+        lhs.negate();
+        let mut na = a.clone();
+        na.negate();
+        let mut nb = b.clone();
+        nb.negate();
+        let mut rhs = na;
+        rhs.intersect_with(&nb);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    // ---------------- BloomFilter ----------------
+
+    #[test]
+    fn filter_never_false_negative(
+        kind in arb_kind(),
+        keys in prop::collection::hash_set(0u64..100_000, 1..200),
+        m in 512usize..8192,
+    ) {
+        let mut f = BloomFilter::with_params(kind, 3, m, 100_000, 42);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k), "false negative for {} under {:?}", k, kind);
+        }
+    }
+
+    #[test]
+    fn filter_union_is_bitwise_or(
+        kind in arb_kind(),
+        a_keys in prop::collection::vec(0u64..50_000, 0..100),
+        b_keys in prop::collection::vec(0u64..50_000, 0..100),
+    ) {
+        let hasher = Arc::new(BloomHasher::new(kind, 3, 4096, 50_000, 7));
+        let a = BloomFilter::from_keys(hasher.clone(), a_keys.iter().copied());
+        let b = BloomFilter::from_keys(hasher.clone(), b_keys.iter().copied());
+        let union = BloomFilter::union(&a, &b);
+        let direct = BloomFilter::from_keys(
+            hasher,
+            a_keys.iter().copied().chain(b_keys.iter().copied()),
+        );
+        prop_assert_eq!(union.bits(), direct.bits());
+    }
+
+    #[test]
+    fn filter_intersection_supersets_common_keys(
+        common in prop::collection::hash_set(0u64..50_000, 1..50),
+        only_a in prop::collection::vec(0u64..50_000, 0..50),
+        only_b in prop::collection::vec(0u64..50_000, 0..50),
+    ) {
+        let hasher = Arc::new(BloomHasher::new(HashKind::Murmur3, 3, 8192, 50_000, 9));
+        let a = BloomFilter::from_keys(hasher.clone(), common.iter().copied().chain(only_a.iter().copied()));
+        let b = BloomFilter::from_keys(hasher, common.iter().copied().chain(only_b.iter().copied()));
+        let i = BloomFilter::intersection(&a, &b);
+        for &k in &common {
+            prop_assert!(i.contains(k), "intersection lost common key {}", k);
+        }
+    }
+
+    #[test]
+    fn filter_and_count_symmetric(
+        a_keys in prop::collection::vec(0u64..10_000, 0..100),
+        b_keys in prop::collection::vec(0u64..10_000, 0..100),
+    ) {
+        let hasher = Arc::new(BloomHasher::new(HashKind::Murmur3, 3, 2048, 10_000, 3));
+        let a = BloomFilter::from_keys(hasher.clone(), a_keys.into_iter());
+        let b = BloomFilter::from_keys(hasher, b_keys.into_iter());
+        prop_assert_eq!(a.and_count(&b), b.and_count(&a));
+        prop_assert!(a.and_count(&b) <= a.count_ones().min(b.count_ones()));
+    }
+
+    #[test]
+    fn codec_roundtrip(
+        kind in arb_kind(),
+        keys in prop::collection::vec(0u64..20_000, 0..100),
+        m in 256usize..4096,
+    ) {
+        let mut f = BloomFilter::with_params(kind, 3, m, 20_000, 11);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let bytes = bst_bloom::codec::encode(&f);
+        let back = bst_bloom::codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back.bits(), f.bits());
+        prop_assert!(back.compatible_with(&f));
+    }
+
+    #[test]
+    fn affine_inversion_sound_and_complete(
+        bit in 0usize..997,
+        seed in any::<u64>(),
+    ) {
+        let hasher = BloomHasher::new(HashKind::Simple, 2, 997, 30_000, seed);
+        for i in 0..2 {
+            let preimages: Vec<u64> = hasher.invert(i, bit).unwrap().collect();
+            // Sound: every preimage hashes to the bit.
+            for &x in &preimages {
+                prop_assert_eq!(hasher.position(x, i), bit);
+                prop_assert!(x < 30_000);
+            }
+            // Complete (spot-check a stride of the namespace).
+            for x in (0..30_000u64).step_by(577) {
+                if hasher.position(x, i) == bit {
+                    prop_assert!(preimages.contains(&x), "missing preimage {}", x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_filter_tracks_multiset(
+        inserts in prop::collection::vec(0u64..500, 1..100),
+    ) {
+        let hasher = Arc::new(BloomHasher::new(HashKind::Murmur3, 3, 8192, 500, 5));
+        let mut cbf = bst_bloom::counting::CountingBloomFilter::new(hasher);
+        for &k in &inserts {
+            cbf.insert(k);
+        }
+        // Remove each key exactly as many times as inserted; the filter
+        // must end up empty of all of them (counters stay below the
+        // 15 saturation ceiling whp at these sizes, but duplicates in the
+        // input could saturate: skip keys inserted 15+ times).
+        let mut counts = std::collections::HashMap::new();
+        for &k in &inserts {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        for (&k, &c) in &counts {
+            prop_assert!(cbf.contains(k));
+            for _ in 0..c {
+                cbf.remove(k);
+            }
+        }
+        if counts.values().all(|&c| c < 15) {
+            for &k in counts.keys() {
+                prop_assert!(!cbf.contains(k), "key {} survived removal", k);
+            }
+        }
+    }
+
+    #[test]
+    fn estimators_stay_finite(
+        m in 64usize..100_000,
+        k in 1usize..8,
+        t1 in 0usize..100_000,
+        t2 in 0usize..100_000,
+    ) {
+        let t1 = t1 % (m + 1);
+        let t2 = t2 % (m + 1);
+        let t_and = t1.min(t2) / 2;
+        let est = bst_bloom::estimate::intersection_estimate(m, k, t1, t2, t_and);
+        prop_assert!(est.is_finite());
+        prop_assert!(est >= 0.0);
+        let card = bst_bloom::estimate::cardinality_from_ones(m, k, t1);
+        prop_assert!(card.is_finite());
+        prop_assert!(card >= 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The DictionaryAttack baseline (§4): fire a membership query for every
+//! element of the namespace.
+//!
+//! Sampling keeps a reservoir of size one over the positives so the result
+//! is exactly uniform over `S ∪ S(B)` [Vitter '85]; reconstruction collects
+//! every positive. Complexity `O(M)` memberships — the cost the
+//! BloomSampleTree exists to avoid.
+
+use bst_bloom::filter::BloomFilter;
+use rand::Rng;
+
+use crate::metrics::OpStats;
+
+/// Uniformly samples one element of `S ∪ S(B)` by scanning `[0, namespace)`
+/// with reservoir sampling. Returns `None` only if the filter matches no
+/// namespace element.
+pub fn da_sample<R: Rng + ?Sized>(
+    query: &BloomFilter,
+    namespace: u64,
+    rng: &mut R,
+    stats: &mut OpStats,
+) -> Option<u64> {
+    let mut picked = None;
+    let mut count = 0u64;
+    for x in 0..namespace {
+        stats.memberships += 1;
+        if query.contains(x) {
+            count += 1;
+            // The (n'+1)-th positive replaces the reservoir with
+            // probability 1/(n'+1).
+            if rng.gen_range(0..count) == 0 {
+                picked = Some(x);
+            }
+        }
+    }
+    picked
+}
+
+/// Reconstructs `S ∪ S(B)` by full scan; sorted ascending by construction.
+pub fn da_reconstruct(query: &BloomFilter, namespace: u64, stats: &mut OpStats) -> Vec<u64> {
+    let mut out = Vec::new();
+    for x in 0..namespace {
+        stats.memberships += 1;
+        if query.contains(x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bst_bloom::hash::HashKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn filter_with(keys: &[u64]) -> BloomFilter {
+        let mut f = BloomFilter::with_params(HashKind::Murmur3, 3, 1 << 18, 10_000, 2);
+        for &k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    #[test]
+    fn reconstruct_recovers_exactly_at_high_m() {
+        let keys: Vec<u64> = (0..200u64).map(|i| i * 31 + 7).collect();
+        let q = filter_with(&keys);
+        let mut stats = OpStats::new();
+        let rec = da_reconstruct(&q, 10_000, &mut stats);
+        assert_eq!(rec, keys);
+        assert_eq!(stats.memberships, 10_000, "always exactly M memberships");
+    }
+
+    #[test]
+    fn sample_is_always_a_positive() {
+        let keys: Vec<u64> = (0..50u64).map(|i| i * 101).collect();
+        let q = filter_with(&keys);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = OpStats::new();
+        for _ in 0..20 {
+            let s = da_sample(&q, 10_000, &mut rng, &mut stats).expect("sample");
+            assert!(q.contains(s));
+        }
+    }
+
+    #[test]
+    fn sample_distribution_uniform() {
+        let keys: Vec<u64> = (0..20u64).map(|i| i * 313 + 5).collect();
+        let q = filter_with(&keys);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stats = OpStats::new();
+        let mut counts = vec![0u64; keys.len()];
+        for _ in 0..2600 {
+            let s = da_sample(&q, 10_000, &mut rng, &mut stats).expect("sample");
+            counts[keys.binary_search(&s).expect("true key")] += 1;
+        }
+        let res = bst_stats::chi2_uniform_test(&counts);
+        assert!(
+            res.is_uniform_at(bst_stats::chi2::PAPER_SIGNIFICANCE),
+            "reservoir sampling must be uniform: p = {}",
+            res.p_value
+        );
+    }
+
+    #[test]
+    fn empty_filter_returns_none() {
+        let q = filter_with(&[]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stats = OpStats::new();
+        assert_eq!(da_sample(&q, 1000, &mut rng, &mut stats), None);
+        assert!(da_reconstruct(&q, 1000, &mut stats).is_empty());
+    }
+}

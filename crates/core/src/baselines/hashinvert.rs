@@ -1,0 +1,262 @@
+//! The HashInvert baseline (§4): exploit weakly invertible hash functions.
+//!
+//! **Sampling**: draw a uniformly random *set bit* `s`, invert it through
+//! each of the `k` hash functions into candidate sets `P₁(s)…P_k(s)`,
+//! prune each candidate with a membership query, and return a uniform draw
+//! from the union of survivors. `O(m + k·M/m)` per sample, but with *no*
+//! uniformity guarantee — elements colliding into popular bits are
+//! over-represented, which is exactly the deficiency the paper contrasts
+//! with BSTSample.
+//!
+//! **Reconstruction**: run the inversion over *all* set bits (already
+//! tested candidates are skipped). When the filter is dense, invert the
+//! *unset* bits instead: any element hashing into an unset bit is provably
+//! absent, so the reconstruction is the complement of the excluded set and
+//! needs no membership queries at all.
+
+use bst_bloom::bitvec::BitVec;
+use bst_bloom::filter::BloomFilter;
+use rand::Rng;
+
+use crate::metrics::OpStats;
+
+fn require_invertible(query: &BloomFilter) -> u64 {
+    assert!(
+        query.hasher().is_invertible(),
+        "HashInvert requires a weakly invertible (Simple/affine) hash family"
+    );
+    query
+        .hasher()
+        .namespace()
+        .expect("affine families are namespace-aware")
+}
+
+/// Samples one positive of `query` via set-bit inversion. Returns `None`
+/// for an empty filter or when (rarely) no candidate survives pruning.
+///
+/// # Panics
+/// Panics if the filter's hash family is not invertible.
+pub fn hi_sample<R: Rng + ?Sized>(
+    query: &BloomFilter,
+    rng: &mut R,
+    stats: &mut OpStats,
+) -> Option<u64> {
+    require_invertible(query);
+    let ones = query.count_ones();
+    if ones == 0 {
+        return None;
+    }
+    // Uniformly random set bit (the paper charges O(m) for this step).
+    let s = query
+        .bits()
+        .select_one(rng.gen_range(0..ones))
+        .expect("rank < popcount");
+    let k = query.k();
+    let mut survivors: Vec<u64> = Vec::new();
+    for i in 0..k {
+        let preimages = query
+            .hasher()
+            .invert(i, s)
+            .expect("invertible checked above");
+        for candidate in preimages {
+            stats.memberships += 1;
+            if query.contains(candidate) {
+                survivors.push(candidate);
+            }
+        }
+    }
+    if survivors.is_empty() {
+        return None;
+    }
+    // The k candidate sets overlap; sample from the de-duplicated union.
+    survivors.sort_unstable();
+    survivors.dedup();
+    Some(survivors[rng.gen_range(0..survivors.len())])
+}
+
+/// Reconstructs `S ∪ S(B)` by inverting every set bit, skipping candidates
+/// already tested ("some of these values may already have been checked").
+///
+/// # Panics
+/// Panics if the hash family is not invertible.
+pub fn hi_reconstruct_set_bits(query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+    let namespace = require_invertible(query);
+    let ns = usize::try_from(namespace).expect("namespace fits usize");
+    let mut tested = BitVec::new(ns.max(1));
+    let mut confirmed = BitVec::new(ns.max(1));
+    let k = query.k();
+    for s in query.bits().iter_ones() {
+        for i in 0..k {
+            let preimages = query.hasher().invert(i, s).expect("invertible");
+            for candidate in preimages {
+                let c = candidate as usize;
+                if tested.get(c) {
+                    continue;
+                }
+                tested.set(c);
+                stats.memberships += 1;
+                if query.contains(candidate) {
+                    confirmed.set(c);
+                }
+            }
+        }
+    }
+    confirmed.iter_ones().map(|x| x as u64).collect()
+}
+
+/// Reconstructs via the dense-filter trick: inverting every *unset* bit
+/// yields all provably absent elements; the answer is the complement.
+/// Zero membership queries.
+///
+/// # Panics
+/// Panics if the hash family is not invertible.
+pub fn hi_reconstruct_unset_bits(query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+    let namespace = require_invertible(query);
+    let ns = usize::try_from(namespace).expect("namespace fits usize");
+    let mut excluded = BitVec::new(ns.max(1));
+    let k = query.k();
+    for s in query.bits().iter_zeros() {
+        for i in 0..k {
+            let preimages = query.hasher().invert(i, s).expect("invertible");
+            for candidate in preimages {
+                excluded.set(candidate as usize);
+            }
+        }
+    }
+    let _ = stats; // no membership queries in this mode
+    excluded.negate();
+    excluded
+        .iter_ones()
+        .map(|x| x as u64)
+        .filter(|&x| x < namespace)
+        .collect()
+}
+
+/// Reconstruction with automatic mode selection: set-bit inversion for
+/// sparse filters, unset-bit complementing for dense ones (§4's "simple
+/// trick").
+pub fn hi_reconstruct(query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+    if query.count_ones() * 2 <= query.m() {
+        hi_reconstruct_set_bits(query, stats)
+    } else {
+        hi_reconstruct_unset_bits(query, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bst_bloom::hash::HashKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NAMESPACE: u64 = 20_000;
+
+    fn filter_with(keys: &[u64], m: usize) -> BloomFilter {
+        let mut f = BloomFilter::with_params(HashKind::Simple, 3, m, NAMESPACE, 4);
+        for &k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    #[test]
+    fn sample_is_always_a_positive() {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 151 + 3).collect();
+        let q = filter_with(&keys, 1 << 14);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = OpStats::new();
+        for _ in 0..50 {
+            let s = hi_sample(&q, &mut rng, &mut stats).expect("sample");
+            assert!(q.contains(s));
+        }
+        assert!(stats.memberships > 0);
+    }
+
+    #[test]
+    fn sample_covers_the_set() {
+        let keys: Vec<u64> = (0..20u64).map(|i| i * 707 + 9).collect();
+        let q = filter_with(&keys, 1 << 14);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stats = OpStats::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            if let Some(s) = hi_sample(&q, &mut rng, &mut stats) {
+                seen.insert(s);
+            }
+        }
+        for k in &keys {
+            assert!(seen.contains(k), "key {k} never sampled");
+        }
+    }
+
+    #[test]
+    fn empty_filter_samples_none() {
+        let q = filter_with(&[], 1 << 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stats = OpStats::new();
+        assert_eq!(hi_sample(&q, &mut rng, &mut stats), None);
+    }
+
+    #[test]
+    fn set_bit_reconstruction_matches_dictionary_attack() {
+        let keys: Vec<u64> = (0..150u64).map(|i| i * 111 + 17).collect();
+        let q = filter_with(&keys, 1 << 14);
+        let mut s1 = OpStats::new();
+        let rec = hi_reconstruct_set_bits(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let da = crate::baselines::dictionary::da_reconstruct(&q, NAMESPACE, &mut s2);
+        assert_eq!(rec, da, "HashInvert must recover exactly the positives");
+        // And with fewer membership queries than the full scan.
+        assert!(
+            s1.memberships < s2.memberships,
+            "HI {} vs DA {} memberships",
+            s1.memberships,
+            s2.memberships
+        );
+    }
+
+    #[test]
+    fn unset_bit_reconstruction_matches_dictionary_attack() {
+        // Small, dense filter.
+        let keys: Vec<u64> = (0..400u64).map(|i| i * 41 + 1).collect();
+        let q = filter_with(&keys, 1024);
+        assert!(q.fill_ratio() > 0.5, "test needs a dense filter");
+        let mut s1 = OpStats::new();
+        let rec = hi_reconstruct_unset_bits(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let da = crate::baselines::dictionary::da_reconstruct(&q, NAMESPACE, &mut s2);
+        assert_eq!(rec, da);
+        assert_eq!(s1.memberships, 0, "unset-bit mode needs no memberships");
+    }
+
+    #[test]
+    fn auto_mode_picks_correctly() {
+        let sparse_keys: Vec<u64> = (0..50u64).collect();
+        let sparse = filter_with(&sparse_keys, 1 << 14);
+        let mut stats = OpStats::new();
+        let rec = hi_reconstruct(&sparse, &mut stats);
+        assert!(stats.memberships > 0, "sparse path uses memberships");
+        for k in &sparse_keys {
+            assert!(rec.binary_search(k).is_ok());
+        }
+
+        let dense_keys: Vec<u64> = (0..500u64).map(|i| i * 37).collect();
+        let dense = filter_with(&dense_keys, 1024);
+        let mut stats2 = OpStats::new();
+        let rec2 = hi_reconstruct(&dense, &mut stats2);
+        assert_eq!(stats2.memberships, 0, "dense path avoids memberships");
+        for k in &dense_keys {
+            assert!(rec2.binary_search(k).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weakly invertible")]
+    fn non_invertible_family_panics() {
+        let q = BloomFilter::with_params(HashKind::Murmur3, 3, 1024, 1000, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stats = OpStats::new();
+        let _ = hi_sample(&q, &mut rng, &mut stats);
+    }
+}

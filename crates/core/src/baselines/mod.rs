@@ -1,0 +1,10 @@
+//! The two baseline methods the paper compares against (§4):
+//! [`dictionary`] (DictionaryAttack, `O(M)` but exactly uniform) and
+//! [`hashinvert`] (HashInvert, `O(m + kM/m)` per sample via weakly
+//! invertible hash functions, no uniformity guarantee).
+
+pub mod dictionary;
+pub mod hashinvert;
+
+pub use dictionary::{da_reconstruct, da_sample};
+pub use hashinvert::{hi_reconstruct, hi_sample};

@@ -1,0 +1,38 @@
+//! # bst-core — BloomSampleTree sampling and reconstruction
+//!
+//! The primary contribution of *Sampling and Reconstruction Using Bloom
+//! Filters* (Sengupta et al., ICDE 2017):
+//!
+//! * [`tree::BloomSampleTree`] — the complete tree of Definition 5.1, with
+//!   the [`tree::SampleTree`] navigation trait;
+//! * [`pruned::PrunedBloomSampleTree`] — the occupancy-aware variant
+//!   (§5.2) with dynamic insertion;
+//! * [`sampler::BstSampler`] — BSTSample (Algorithm 1) plus the one-pass
+//!   multi-sampler (§5.3);
+//! * [`reconstruct::BstReconstructor`] — set reconstruction (§6);
+//! * [`baselines`] — DictionaryAttack and HashInvert (§4);
+//! * [`metrics::OpStats`] — the intersection/membership accounting behind
+//!   Figures 3–4 and 8–12;
+//! * [`costmodel::CostModel`] — runtime `icost/mcost` calibration (§5.4);
+//! * [`multiquery`] — parallel batch sampling over many query filters;
+//! * [`system::BstSystem`] — the high-level facade.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod costmodel;
+pub mod metrics;
+pub mod multiquery;
+pub mod persistence;
+pub mod pruned;
+pub mod reconstruct;
+pub mod sampler;
+pub mod system;
+pub mod tree;
+
+pub use metrics::OpStats;
+pub use pruned::PrunedBloomSampleTree;
+pub use reconstruct::BstReconstructor;
+pub use sampler::{BstSampler, SamplerConfig};
+pub use system::BstSystem;
+pub use tree::{BloomSampleTree, SampleTree};

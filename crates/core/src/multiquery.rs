@@ -1,0 +1,134 @@
+//! Batched sampling across many query filters.
+//!
+//! The framework (§3.2) is a database `D̄` of millions of sets, each a
+//! Bloom filter, all sharing the tree's `(m, H)`. One BloomSampleTree
+//! serves them all ("this search tree needs to be constructed only once
+//! and will be repeatedly used for different query Bloom filters"), and
+//! queries are independent, so batch work parallelises trivially across
+//! worker threads (crossbeam scoped threads, aggregated stats behind a
+//! parking_lot mutex).
+
+use bst_bloom::filter::BloomFilter;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::OpStats;
+use crate::sampler::{BstSampler, SamplerConfig};
+use crate::tree::SampleTree;
+
+/// Draws one sample per query filter, in parallel over `threads` workers
+/// (0 = one per CPU). Returns per-query results (aligned with `queries`)
+/// plus aggregated operation counts. Deterministic for a fixed `seed` and
+/// query order.
+pub fn sample_each<T: SampleTree + Sync>(
+    tree: &T,
+    queries: &[BloomFilter],
+    cfg: SamplerConfig,
+    seed: u64,
+    threads: usize,
+) -> (Vec<Option<u64>>, OpStats) {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if queries.is_empty() {
+        return (Vec::new(), OpStats::new());
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let results: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None; queries.len()]);
+    let total: Mutex<OpStats> = Mutex::new(OpStats::new());
+    crossbeam::scope(|scope| {
+        for (w, qchunk) in queries.chunks(chunk).enumerate() {
+            let results = &results;
+            let total = &total;
+            scope.spawn(move |_| {
+                let sampler = BstSampler::with_config(tree, cfg);
+                // Worker-local rng: deterministic per (seed, worker).
+                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E3779B9));
+                let mut stats = OpStats::new();
+                let mut local = Vec::with_capacity(qchunk.len());
+                for q in qchunk {
+                    local.push(sampler.sample(q, &mut rng, &mut stats));
+                }
+                let base = w * chunk;
+                let mut res = results.lock();
+                res[base..base + local.len()].copy_from_slice(&local);
+                *total.lock() += stats;
+            });
+        }
+    })
+    .expect("worker panicked");
+    (results.into_inner(), total.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BloomSampleTree;
+    use bst_bloom::hash::HashKind;
+    use bst_bloom::params::TreePlan;
+
+    fn tree() -> BloomSampleTree {
+        BloomSampleTree::build(&TreePlan {
+            namespace: 4096,
+            m: 1 << 16,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 11,
+            depth: 5,
+            leaf_capacity: 128,
+            target_accuracy: 0.9,
+        })
+    }
+
+    fn queries(t: &BloomSampleTree, n: usize) -> Vec<BloomFilter> {
+        (0..n)
+            .map(|i| {
+                let base = (i as u64 * 37) % 2000;
+                t.query_filter((0..30).map(|j| base + j * 2))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_query_gets_a_sound_sample() {
+        let t = tree();
+        let qs = queries(&t, 64);
+        let (res, stats) = sample_each(&t, &qs, SamplerConfig::default(), 5, 4);
+        assert_eq!(res.len(), 64);
+        for (q, r) in qs.iter().zip(&res) {
+            let s = r.expect("sample for every non-empty query");
+            assert!(q.contains(s));
+        }
+        assert!(stats.memberships > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_threads() {
+        let t = tree();
+        let qs = queries(&t, 32);
+        let (a, _) = sample_each(&t, &qs, SamplerConfig::default(), 9, 4);
+        let (b, _) = sample_each(&t, &qs, SamplerConfig::default(), 9, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_matches_result_count() {
+        let t = tree();
+        let qs = queries(&t, 10);
+        let (res, _) = sample_each(&t, &qs, SamplerConfig::default(), 1, 1);
+        assert_eq!(res.iter().filter(|r| r.is_some()).count(), 10);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let t = tree();
+        let (res, stats) = sample_each(&t, &[], SamplerConfig::default(), 0, 0);
+        assert!(res.is_empty());
+        assert_eq!(stats, OpStats::new());
+    }
+}

@@ -1,0 +1,180 @@
+//! Tree persistence: compact binary save/load for [`BloomSampleTree`] and
+//! [`PrunedBloomSampleTree`].
+//!
+//! The framework builds the tree once and reuses it "repeatedly for
+//! different query Bloom filters" (§5); persisting it turns the multi-
+//! second construction at large `M` into a single mmap-friendly read.
+//! Hash families are *not* serialised bit by bit — they rebuild
+//! deterministically from the plan, exactly like the filter codec.
+//!
+//! Layouts (little-endian):
+//!
+//! ```text
+//! complete: "BSTC" v1 | plan | node words × node_count
+//! pruned:   "BSTP" v1 | plan | node_count u32 | root u32(MAX=none)
+//!           | per node: start u64, end u64, level u32, left u32, right u32,
+//!             occupied_len u32, occupied ids…, filter words
+//! plan:     namespace u64 | m u64 | k u16 | kind u8 | seed u64
+//!           | depth u32 | leaf_capacity u64 | target_accuracy f64
+//! ```
+
+use bst_bloom::hash::HashKind;
+use bst_bloom::params::TreePlan;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Errors from decoding a persisted tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Input ended before the declared structure.
+    Truncated,
+    /// Magic bytes did not match the expected tree type.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown hash-kind tag.
+    BadKind(u8),
+    /// Structure is internally inconsistent (counts, ranges, links).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "input truncated"),
+            PersistError::BadMagic => write!(f, "bad magic bytes"),
+            PersistError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::BadKind(k) => write!(f, "unknown hash kind {k}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+pub(crate) const VERSION: u8 = 1;
+
+pub(crate) fn put_plan(buf: &mut BytesMut, plan: &TreePlan) {
+    buf.put_u64_le(plan.namespace);
+    buf.put_u64_le(plan.m as u64);
+    buf.put_u16_le(plan.k as u16);
+    buf.put_u8(match plan.kind {
+        HashKind::Simple => 0,
+        HashKind::Murmur3 => 1,
+        HashKind::Md5 => 2,
+    });
+    buf.put_u64_le(plan.seed);
+    buf.put_u32_le(plan.depth);
+    buf.put_u64_le(plan.leaf_capacity);
+    buf.put_f64_le(plan.target_accuracy);
+}
+
+pub(crate) fn get_plan(input: &mut &[u8]) -> Result<TreePlan, PersistError> {
+    if input.remaining() < 8 + 8 + 2 + 1 + 8 + 4 + 8 + 8 {
+        return Err(PersistError::Truncated);
+    }
+    let namespace = input.get_u64_le();
+    let m = input.get_u64_le() as usize;
+    let k = input.get_u16_le() as usize;
+    let kind = match input.get_u8() {
+        0 => HashKind::Simple,
+        1 => HashKind::Murmur3,
+        2 => HashKind::Md5,
+        other => return Err(PersistError::BadKind(other)),
+    };
+    let seed = input.get_u64_le();
+    let depth = input.get_u32_le();
+    let leaf_capacity = input.get_u64_le();
+    let target_accuracy = input.get_f64_le();
+    Ok(TreePlan {
+        namespace,
+        m,
+        k,
+        kind,
+        seed,
+        depth,
+        leaf_capacity,
+        target_accuracy,
+    })
+}
+
+pub(crate) fn put_words(buf: &mut BytesMut, words: &[u64]) {
+    for &w in words {
+        buf.put_u64_le(w);
+    }
+}
+
+pub(crate) fn get_words(input: &mut &[u8], count: usize) -> Result<Vec<u64>, PersistError> {
+    if input.remaining() < count * 8 {
+        return Err(PersistError::Truncated);
+    }
+    let mut words = Vec::with_capacity(count);
+    for _ in 0..count {
+        words.push(input.get_u64_le());
+    }
+    Ok(words)
+}
+
+pub(crate) fn check_header(
+    input: &mut &[u8],
+    magic: &[u8; 4],
+) -> Result<(), PersistError> {
+    if input.remaining() < 5 {
+        return Err(PersistError::Truncated);
+    }
+    let mut got = [0u8; 4];
+    input.copy_to_slice(&mut got);
+    if &got != magic {
+        return Err(PersistError::BadMagic);
+    }
+    let version = input.get_u8();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_roundtrip() {
+        let plan = TreePlan {
+            namespace: 1 << 30,
+            m: 123_456,
+            k: 5,
+            kind: HashKind::Md5,
+            seed: 0xDEAD_BEEF,
+            depth: 12,
+            leaf_capacity: 262_144,
+            target_accuracy: 0.87,
+        };
+        let mut buf = BytesMut::new();
+        put_plan(&mut buf, &plan);
+        let mut slice: &[u8] = &buf;
+        let back = get_plan(&mut slice).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn truncated_plan_fails() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(7);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_plan(&mut slice).unwrap_err(), PersistError::Truncated);
+    }
+
+    #[test]
+    fn header_checks() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"BSTC");
+        buf.put_u8(VERSION);
+        let mut s: &[u8] = &buf;
+        assert!(check_header(&mut s, b"BSTC").is_ok());
+        let mut s2: &[u8] = &buf;
+        assert_eq!(
+            check_header(&mut s2, b"BSTP").unwrap_err(),
+            PersistError::BadMagic
+        );
+    }
+}

@@ -1,0 +1,775 @@
+//! The Pruned-BloomSampleTree (§5.2): a BloomSampleTree materialised only
+//! over the occupied portion of the namespace.
+//!
+//! Node geometry matches the hypothetical complete tree exactly (same
+//! ranges, same depth), but subtrees whose range holds no occupied id are
+//! simply never created, and node filters store only occupied elements.
+//! Leaves keep their occupied ids so the brute-force phase tests just
+//! those — which is why measured accuracy *improves* as occupancy falls
+//! (Figure 15): the effective namespace shrinks while `m` stays sized for
+//! the full one.
+//!
+//! The tree grows dynamically: inserting a new id extends filters along
+//! its root-to-leaf path and materialises missing nodes ("either we need
+//! to insert this new element into already existing nodes in the tree, or
+//! we need to create a new node (and potentially its subtree)").
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use bst_bloom::filter::BloomFilter;
+use bst_bloom::hash::BloomHasher;
+use bst_bloom::params::TreePlan;
+
+use crate::tree::{LeafCandidates, NodeId, SampleTree};
+
+struct PrunedNode {
+    range: Range<u64>,
+    filter: BloomFilter,
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    /// Sorted occupied ids — populated for leaves only.
+    occupied: Vec<u64>,
+    level: u32,
+}
+
+/// An occupancy-aware BloomSampleTree.
+pub struct PrunedBloomSampleTree {
+    plan: TreePlan,
+    hasher: Arc<BloomHasher>,
+    nodes: Vec<PrunedNode>,
+    root: Option<NodeId>,
+    occupied_count: u64,
+}
+
+impl std::fmt::Debug for PrunedBloomSampleTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PrunedBloomSampleTree(M={}, m={}, depth={}, nodes={}, occupied={})",
+            self.plan.namespace,
+            self.plan.m,
+            self.plan.depth,
+            self.node_count(),
+            self.occupied_count
+        )
+    }
+}
+
+fn split(r: &Range<u64>) -> (Range<u64>, Range<u64>) {
+    let mid = r.start + (r.end - r.start).div_ceil(2);
+    (r.start..mid, mid..r.end)
+}
+
+impl PrunedBloomSampleTree {
+    /// Builds the pruned tree over `occupied` (sorted, distinct ids within
+    /// `[0, plan.namespace)`).
+    ///
+    /// # Panics
+    /// Panics if `occupied` is unsorted, holds duplicates, or contains ids
+    /// outside the namespace.
+    pub fn build(plan: &TreePlan, occupied: &[u64]) -> Self {
+        for w in occupied.windows(2) {
+            assert!(w[0] < w[1], "occupied ids must be sorted and distinct");
+        }
+        if let Some(&last) = occupied.last() {
+            assert!(last < plan.namespace, "occupied id outside namespace");
+        }
+        let hasher = Arc::new(plan.build_hasher());
+        let mut tree = PrunedBloomSampleTree {
+            plan: plan.clone(),
+            hasher,
+            nodes: Vec::new(),
+            root: None,
+            occupied_count: occupied.len() as u64,
+        };
+        tree.root = tree.build_node(0..plan.namespace, occupied, 0);
+        tree
+    }
+
+    /// An empty tree ready for dynamic insertion.
+    pub fn empty(plan: &TreePlan) -> Self {
+        Self::build(plan, &[])
+    }
+
+    fn build_node(&mut self, range: Range<u64>, occ: &[u64], level: u32) -> Option<NodeId> {
+        if occ.is_empty() {
+            return None;
+        }
+        if level == self.plan.depth {
+            // Leaf: filter over exactly the occupied ids in range.
+            let filter = BloomFilter::from_keys(Arc::clone(&self.hasher), occ.iter().copied());
+            let id = self.nodes.len() as NodeId;
+            self.nodes.push(PrunedNode {
+                range,
+                filter,
+                left: None,
+                right: None,
+                occupied: occ.to_vec(),
+                level,
+            });
+            return Some(id);
+        }
+        let (lr, rr) = split(&range);
+        let cut = occ.partition_point(|&x| x < lr.end);
+        let left = self.build_node(lr, &occ[..cut], level + 1);
+        let right = self.build_node(rr, &occ[cut..], level + 1);
+        // Internal filter = union of children (≥ 1 child exists since occ
+        // is non-empty).
+        let mut filter: Option<BloomFilter> = None;
+        for child in [left, right].into_iter().flatten() {
+            match &mut filter {
+                None => filter = Some(self.nodes[child as usize].filter.clone()),
+                Some(f) => f.union_with(&self.nodes[child as usize].filter),
+            }
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(PrunedNode {
+            range,
+            filter: filter.expect("non-empty occ implies a child"),
+            left,
+            right,
+            occupied: Vec::new(),
+            level,
+        });
+        Some(id)
+    }
+
+    /// Inserts a newly occupied id, updating filters along the path and
+    /// materialising missing nodes. Returns `false` when the id was
+    /// already present at its leaf.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the namespace.
+    pub fn insert(&mut self, id: u64) -> bool {
+        assert!(id < self.plan.namespace, "id {id} outside namespace");
+        // Check presence first so failure leaves filters untouched.
+        if self.contains_occupied(id) {
+            return false;
+        }
+        let root = match self.root {
+            Some(r) => r,
+            None => {
+                let r = self.new_node(0..self.plan.namespace, 0);
+                self.root = Some(r);
+                r
+            }
+        };
+        let mut cur = root;
+        loop {
+            self.nodes[cur as usize].filter.insert(id);
+            let level = self.nodes[cur as usize].level;
+            if level == self.plan.depth {
+                let node = &mut self.nodes[cur as usize];
+                let pos = node.occupied.partition_point(|&x| x < id);
+                node.occupied.insert(pos, id);
+                self.occupied_count += 1;
+                return true;
+            }
+            let (lr, rr) = split(&self.nodes[cur as usize].range);
+            let go_left = id < lr.end;
+            let child_range = if go_left { lr } else { rr };
+            let existing = if go_left {
+                self.nodes[cur as usize].left
+            } else {
+                self.nodes[cur as usize].right
+            };
+            cur = match existing {
+                Some(c) => c,
+                None => {
+                    let c = self.new_node(child_range, level + 1);
+                    if go_left {
+                        self.nodes[cur as usize].left = Some(c);
+                    } else {
+                        self.nodes[cur as usize].right = Some(c);
+                    }
+                    c
+                }
+            };
+        }
+    }
+
+    /// Removes an occupied id, shrinking the tree: the id leaves its
+    /// leaf's list, every filter on the path is rebuilt exactly (leaf from
+    /// its remaining ids, ancestors as unions of their children), and
+    /// subtrees whose occupancy drops to zero are unlinked. Returns `false`
+    /// when the id was not present.
+    ///
+    /// Cost: `O(depth · m/64)` word operations plus the leaf rebuild —
+    /// the §5.2 evolution story run in reverse. Unlinked nodes remain in
+    /// the arena as unreachable tombstones until the tree is rebuilt.
+    pub fn remove(&mut self, id: u64) -> bool {
+        assert!(id < self.plan.namespace, "id {id} outside namespace");
+        let Some(root) = self.root else {
+            return false;
+        };
+        let (removed, now_empty) = self.remove_rec(root, id);
+        if removed {
+            self.occupied_count -= 1;
+            if now_empty {
+                self.root = None;
+            }
+        }
+        removed
+    }
+
+    /// Recursive removal; returns (removed, subtree now empty).
+    fn remove_rec(&mut self, node: NodeId, id: u64) -> (bool, bool) {
+        let level = self.nodes[node as usize].level;
+        if level == self.plan.depth {
+            let n = &mut self.nodes[node as usize];
+            let Ok(pos) = n.occupied.binary_search(&id) else {
+                return (false, false);
+            };
+            n.occupied.remove(pos);
+            // Rebuild the leaf filter exactly from the survivors.
+            let ids = n.occupied.clone();
+            let filter = BloomFilter::from_keys(Arc::clone(&self.hasher), ids);
+            self.nodes[node as usize].filter = filter;
+            let empty = self.nodes[node as usize].occupied.is_empty();
+            return (true, empty);
+        }
+        let (lr, _) = split(&self.nodes[node as usize].range);
+        let go_left = id < lr.end;
+        let child = if go_left {
+            self.nodes[node as usize].left
+        } else {
+            self.nodes[node as usize].right
+        };
+        let Some(child) = child else {
+            return (false, false);
+        };
+        let (removed, child_empty) = self.remove_rec(child, id);
+        if !removed {
+            return (false, false);
+        }
+        if child_empty {
+            let n = &mut self.nodes[node as usize];
+            if go_left {
+                n.left = None;
+            } else {
+                n.right = None;
+            }
+        }
+        // Rebuild this node's filter as the union of surviving children.
+        let (l, r) = {
+            let n = &self.nodes[node as usize];
+            (n.left, n.right)
+        };
+        let mut filter: Option<BloomFilter> = None;
+        for c in [l, r].into_iter().flatten() {
+            match &mut filter {
+                None => filter = Some(self.nodes[c as usize].filter.clone()),
+                Some(f) => f.union_with(&self.nodes[c as usize].filter),
+            }
+        }
+        match filter {
+            Some(f) => {
+                self.nodes[node as usize].filter = f;
+                (true, false)
+            }
+            None => {
+                self.nodes[node as usize].filter.clear();
+                (true, true)
+            }
+        }
+    }
+
+    fn new_node(&mut self, range: Range<u64>, level: u32) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(PrunedNode {
+            range,
+            filter: BloomFilter::new(Arc::clone(&self.hasher)),
+            left: None,
+            right: None,
+            occupied: Vec::new(),
+            level,
+        });
+        id
+    }
+
+    /// Whether `id` is an occupied namespace element (exact, via the leaf's
+    /// id list — not a Bloom query).
+    pub fn contains_occupied(&self, id: u64) -> bool {
+        let mut cur = match self.root {
+            Some(r) => r,
+            None => return false,
+        };
+        loop {
+            let node = &self.nodes[cur as usize];
+            if node.level == self.plan.depth {
+                return node.occupied.binary_search(&id).is_ok();
+            }
+            let (lr, _) = split(&node.range);
+            let next = if id < lr.end { node.left } else { node.right };
+            match next {
+                Some(c) => cur = c,
+                None => return false,
+            }
+        }
+    }
+
+    /// The plan the tree was built from.
+    pub fn plan(&self) -> &TreePlan {
+        &self.plan
+    }
+
+    /// Number of materialised nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of occupied ids.
+    pub fn occupied_count(&self) -> u64 {
+        self.occupied_count
+    }
+
+    /// Heap bytes of all node bit arrays (the Figure 14 metric).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.filter.heap_bytes()).sum()
+    }
+
+    /// Heap bytes including the leaves' occupied-id lists.
+    pub fn memory_bytes_with_ids(&self) -> usize {
+        self.memory_bytes()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.occupied.len() * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+
+    /// Serializes the pruned tree (plan, structure, occupied ids, node bit
+    /// arrays) into a compact binary buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"BSTP");
+        buf.put_u8(crate::persistence::VERSION);
+        crate::persistence::put_plan(&mut buf, &self.plan);
+        buf.put_u32_le(self.nodes.len() as u32);
+        buf.put_u32_le(self.root.unwrap_or(u32::MAX));
+        for node in &self.nodes {
+            buf.put_u64_le(node.range.start);
+            buf.put_u64_le(node.range.end);
+            buf.put_u32_le(node.level);
+            buf.put_u32_le(node.left.unwrap_or(u32::MAX));
+            buf.put_u32_le(node.right.unwrap_or(u32::MAX));
+            buf.put_u32_le(node.occupied.len() as u32);
+            for &id in &node.occupied {
+                buf.put_u64_le(id);
+            }
+            crate::persistence::put_words(&mut buf, node.filter.bits().words());
+        }
+        buf.to_vec()
+    }
+
+    /// Reconstructs a pruned tree serialized with [`Self::to_bytes`].
+    pub fn from_bytes(input: &[u8]) -> Result<Self, crate::persistence::PersistError> {
+        use crate::persistence::{check_header, get_plan, get_words, PersistError};
+        use bytes::Buf;
+        let mut input = input;
+        check_header(&mut input, b"BSTP")?;
+        let plan = get_plan(&mut input)?;
+        if input.remaining() < 8 {
+            return Err(PersistError::Truncated);
+        }
+        let node_count = input.get_u32_le() as usize;
+        let root_raw = input.get_u32_le();
+        let hasher = Arc::new(plan.build_hasher());
+        let words_per_node = plan.m.div_ceil(64);
+        let mut nodes = Vec::with_capacity(node_count);
+        let mut occupied_count = 0u64;
+        let link = |raw: u32| -> Result<Option<NodeId>, PersistError> {
+            if raw == u32::MAX {
+                Ok(None)
+            } else if (raw as usize) < node_count {
+                Ok(Some(raw))
+            } else {
+                Err(PersistError::Corrupt("child link out of range"))
+            }
+        };
+        for _ in 0..node_count {
+            if input.remaining() < 8 + 8 + 4 + 4 + 4 + 4 {
+                return Err(PersistError::Truncated);
+            }
+            let start = input.get_u64_le();
+            let end = input.get_u64_le();
+            if start >= end || end > plan.namespace {
+                return Err(PersistError::Corrupt("node range invalid"));
+            }
+            let level = input.get_u32_le();
+            let left = link(input.get_u32_le())?;
+            let right = link(input.get_u32_le())?;
+            let occ_len = input.get_u32_le() as usize;
+            if input.remaining() < occ_len * 8 {
+                return Err(PersistError::Truncated);
+            }
+            let mut occupied = Vec::with_capacity(occ_len);
+            for _ in 0..occ_len {
+                occupied.push(input.get_u64_le());
+            }
+            if level == plan.depth {
+                occupied_count += occ_len as u64;
+            }
+            let words = get_words(&mut input, words_per_node)?;
+            let bits = bst_bloom::bitvec::BitVec::from_words(words, plan.m);
+            nodes.push(PrunedNode {
+                range: start..end,
+                filter: BloomFilter::from_parts(bits, Arc::clone(&hasher)),
+                left,
+                right,
+                occupied,
+                level,
+            });
+        }
+        let root = if root_raw == u32::MAX {
+            None
+        } else if (root_raw as usize) < node_count {
+            Some(root_raw)
+        } else {
+            return Err(PersistError::Corrupt("root link out of range"));
+        };
+        Ok(PrunedBloomSampleTree {
+            plan,
+            hasher,
+            nodes,
+            root,
+            occupied_count,
+        })
+    }
+
+    /// All occupied ids, ascending (walks the leaves).
+    pub fn occupied_ids(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.occupied_count as usize);
+        if let Some(root) = self.root {
+            self.collect_ids(root, &mut out);
+        }
+        out
+    }
+
+    fn collect_ids(&self, node: NodeId, out: &mut Vec<u64>) {
+        let n = &self.nodes[node as usize];
+        if n.level == self.plan.depth {
+            out.extend_from_slice(&n.occupied);
+            return;
+        }
+        for child in [n.left, n.right].into_iter().flatten() {
+            self.collect_ids(child, out);
+        }
+    }
+}
+
+impl SampleTree for PrunedBloomSampleTree {
+    fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].level == self.plan.depth
+    }
+
+    fn children(&self, node: NodeId) -> (Option<NodeId>, Option<NodeId>) {
+        let n = &self.nodes[node as usize];
+        (n.left, n.right)
+    }
+
+    fn filter(&self, node: NodeId) -> &BloomFilter {
+        &self.nodes[node as usize].filter
+    }
+
+    fn range(&self, node: NodeId) -> Range<u64> {
+        self.nodes[node as usize].range.clone()
+    }
+
+    fn leaf_candidates(&self, node: NodeId) -> LeafCandidates<'_> {
+        debug_assert!(self.is_leaf(node));
+        LeafCandidates::Slice(self.nodes[node as usize].occupied.iter())
+    }
+
+    fn hasher(&self) -> &Arc<BloomHasher> {
+        &self.hasher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::OpStats;
+    use crate::reconstruct::BstReconstructor;
+    use crate::sampler::BstSampler;
+    use crate::tree::BloomSampleTree;
+    use bst_bloom::hash::HashKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan() -> TreePlan {
+        TreePlan {
+            namespace: 1 << 16,
+            m: 1 << 15,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 21,
+            depth: 6,
+            leaf_capacity: 1 << 10,
+            target_accuracy: 0.9,
+        }
+    }
+
+    fn occupied() -> Vec<u64> {
+        // Two clusters plus scattered ids: most subtrees stay unbuilt.
+        let mut v: Vec<u64> = (1000..1400u64).collect();
+        v.extend(40_000..40_200u64);
+        v.extend((0..50u64).map(|i| 60_000 + i * 97));
+        v
+    }
+
+    #[test]
+    fn build_materialises_only_needed_subtrees() {
+        let t = PrunedBloomSampleTree::build(&plan(), &occupied());
+        let full_nodes = (1usize << 7) - 1;
+        assert!(
+            t.node_count() < full_nodes / 2,
+            "pruned tree has {} nodes, full tree {}",
+            t.node_count(),
+            full_nodes
+        );
+        assert_eq!(t.occupied_count(), occupied().len() as u64);
+        assert_eq!(t.occupied_ids(), occupied());
+    }
+
+    #[test]
+    fn geometry_matches_complete_tree() {
+        let t = PrunedBloomSampleTree::build(&plan(), &occupied());
+        // Every leaf range must have complete-tree width.
+        let full = BloomSampleTree::build(&plan());
+        let full_first_leaf = (1u32 << 6) - 1;
+        let full_widths: std::collections::HashSet<(u64, u64)> = (full_first_leaf
+            ..full.node_count() as u32)
+            .map(|i| {
+                let r = full.range(i);
+                (r.start, r.end)
+            })
+            .collect();
+        for id in 0..t.node_count() as u32 {
+            if t.is_leaf(id) {
+                let r = t.range(id);
+                assert!(
+                    full_widths.contains(&(r.start, r.end)),
+                    "pruned leaf {:?} not a complete-tree leaf",
+                    r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_over_pruned_tree_is_sound() {
+        let occ = occupied();
+        let t = PrunedBloomSampleTree::build(&plan(), &occ);
+        let members: Vec<u64> = occ.iter().copied().step_by(7).collect();
+        let q = t.query_filter(members.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = OpStats::new();
+        for _ in 0..100 {
+            let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+            // Samples come from occupied ids only.
+            assert!(occ.binary_search(&s).is_ok(), "sampled unoccupied {s}");
+            assert!(q.contains(s));
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_full_tree_on_occupied_sets() {
+        let occ = occupied();
+        let p = plan();
+        let pruned = PrunedBloomSampleTree::build(&p, &occ);
+        let full = BloomSampleTree::build(&p);
+        let members: Vec<u64> = occ.iter().copied().step_by(3).collect();
+        let q = pruned.query_filter(members.iter().copied());
+        let mut s1 = OpStats::new();
+        let rec_pruned = BstReconstructor::new(&pruned).reconstruct(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let rec_full = BstReconstructor::new(&full).reconstruct(&q, &mut s2);
+        // The pruned tree answers only over occupied ids; the full tree may
+        // add false positives from unoccupied ids. Restricting the full
+        // answer to occupied ids must give the pruned answer.
+        let rec_full_occ: Vec<u64> = rec_full
+            .into_iter()
+            .filter(|x| occ.binary_search(x).is_ok())
+            .collect();
+        assert_eq!(rec_pruned, rec_full_occ);
+        // And the pruned tree does strictly less membership work.
+        assert!(s1.memberships <= s2.memberships);
+    }
+
+    #[test]
+    fn dynamic_insert_equals_batch_build() {
+        let occ = occupied();
+        let p = plan();
+        let batch = PrunedBloomSampleTree::build(&p, &occ);
+        let mut dynamic = PrunedBloomSampleTree::empty(&p);
+        // Insert in a scrambled order.
+        let mut shuffled = occ.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in (1..shuffled.len()).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            shuffled.swap(i, j);
+        }
+        for id in shuffled {
+            assert!(dynamic.insert(id));
+        }
+        assert_eq!(dynamic.occupied_count(), batch.occupied_count());
+        assert_eq!(dynamic.occupied_ids(), batch.occupied_ids());
+        // Same query behaviour even if node arena order differs.
+        let q = batch.query_filter(occ.iter().copied().take(100));
+        let mut s1 = OpStats::new();
+        let mut s2 = OpStats::new();
+        let r1 = BstReconstructor::new(&batch).reconstruct(&q, &mut s1);
+        let r2 = BstReconstructor::new(&dynamic).reconstruct(&q, &mut s2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let p = plan();
+        let mut t = PrunedBloomSampleTree::empty(&p);
+        assert!(t.insert(42));
+        assert!(!t.insert(42));
+        assert_eq!(t.occupied_count(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_no_root() {
+        let t = PrunedBloomSampleTree::empty(&plan());
+        assert_eq!(t.root(), None);
+        assert_eq!(t.occupied_count(), 0);
+        let q = t.query_filter([1u64]);
+        let mut stats = OpStats::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(BstSampler::new(&t).sample(&q, &mut rng, &mut stats), None);
+        assert!(BstReconstructor::new(&t).reconstruct(&q, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn memory_grows_with_occupancy() {
+        let p = plan();
+        let sparse = PrunedBloomSampleTree::build(&p, &[5, 10, 15]);
+        let dense = PrunedBloomSampleTree::build(&p, &occupied());
+        assert!(sparse.memory_bytes() < dense.memory_bytes());
+        assert!(dense.memory_bytes_with_ids() > dense.memory_bytes());
+        // Both are far below the complete tree.
+        let full = BloomSampleTree::build(&p);
+        assert!(dense.memory_bytes() < full.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside namespace")]
+    fn out_of_namespace_id_panics() {
+        let p = plan();
+        let _ = PrunedBloomSampleTree::build(&p, &[1 << 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and distinct")]
+    fn unsorted_occupied_panics() {
+        let p = plan();
+        let _ = PrunedBloomSampleTree::build(&p, &[5, 3]);
+    }
+}
+
+#[cfg(test)]
+mod removal_tests {
+    use super::*;
+    use crate::metrics::OpStats;
+    use crate::reconstruct::BstReconstructor;
+    use crate::tree::SampleTree;
+    use bst_bloom::hash::HashKind;
+
+    fn plan() -> TreePlan {
+        TreePlan {
+            namespace: 1 << 14,
+            m: 8192,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 77,
+            depth: 5,
+            leaf_capacity: 1 << 9,
+            target_accuracy: 0.9,
+        }
+    }
+
+    #[test]
+    fn remove_then_queries_forget_the_id() {
+        let occ: Vec<u64> = (0..400u64).map(|i| i * 37 % (1 << 14)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
+        let victim = occ[123];
+        assert!(t.contains_occupied(victim));
+        assert!(t.remove(victim));
+        assert!(!t.contains_occupied(victim));
+        assert!(!t.remove(victim), "double removal must fail");
+        assert_eq!(t.occupied_count(), occ.len() as u64 - 1);
+        // Reconstruction of a filter containing the victim no longer
+        // returns it (leaves only test occupied ids).
+        let q = t.query_filter([victim]);
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut stats);
+        assert!(!rec.contains(&victim));
+    }
+
+    #[test]
+    fn filters_stay_exact_after_removals() {
+        // After removals, the tree must behave identically to a fresh
+        // build over the surviving ids.
+        let occ: Vec<u64> = (0..300u64).map(|i| i * 53 % (1 << 14)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
+        let survivors: Vec<u64> = occ.iter().copied().filter(|x| x % 3 != 0).collect();
+        for id in occ.iter().filter(|x| *x % 3 == 0) {
+            assert!(t.remove(*id));
+        }
+        assert_eq!(t.occupied_ids(), survivors);
+        let fresh = PrunedBloomSampleTree::build(&plan(), &survivors);
+        let q = t.query_filter(survivors.iter().copied().take(60));
+        let mut s1 = OpStats::new();
+        let mut s2 = OpStats::new();
+        assert_eq!(
+            BstReconstructor::new(&t).reconstruct(&q, &mut s1),
+            BstReconstructor::new(&fresh).reconstruct(&q, &mut s2),
+        );
+        // Filters were rebuilt exactly, so pruning work matches too.
+        assert_eq!(s1.intersections, s2.intersections);
+        assert_eq!(s1.memberships, s2.memberships);
+    }
+
+    #[test]
+    fn removing_everything_empties_the_tree() {
+        let occ: Vec<u64> = (100..150u64).collect();
+        let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
+        for id in &occ {
+            assert!(t.remove(*id));
+        }
+        assert_eq!(t.occupied_count(), 0);
+        assert_eq!(t.root(), None);
+        // Insert works again after total removal.
+        assert!(t.insert(42));
+        assert!(t.contains_occupied(42));
+    }
+
+    #[test]
+    fn insert_remove_interleaving() {
+        let mut t = PrunedBloomSampleTree::empty(&plan());
+        for i in 0..200u64 {
+            assert!(t.insert(i * 13 % (1 << 14)) || true);
+        }
+        let ids = t.occupied_ids();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(t.remove(*id));
+            }
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.contains_occupied(*id), i % 2 != 0, "id {id}");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Set reconstruction with the BloomSampleTree (§6).
+//!
+//! A recursive traversal: subtrees whose filters have an empty intersection
+//! with the query filter are pruned; surviving leaves are brute-force
+//! scanned and their matches unioned. Left-to-right traversal yields the
+//! reconstruction already sorted.
+//!
+//! Two pruning disciplines are offered (see `sampler` module docs for the
+//! full rationale):
+//!
+//! * **Sound** (default): a branch is pruned only when the carried
+//!   intersection has fewer than `k` set bits — provably no element of
+//!   `S ∪ S(B)` can be lost, so the result is exactly the filter's positive
+//!   set (what a DictionaryAttack scan returns), at the cost of weaker
+//!   pruning when `m` is tight.
+//! * **Paper (§5.6)**: estimate-threshold pruning — the operation counts of
+//!   Figures 8–12, but with a small per-element probability of dropping
+//!   true elements when estimates are noisy.
+
+use bst_bloom::estimate::intersection_estimate;
+use bst_bloom::filter::BloomFilter;
+
+use crate::metrics::OpStats;
+use crate::sampler::{Liveness, DEFAULT_THRESHOLD};
+use crate::tree::{NodeId, SampleTree};
+
+/// Reconstruction configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconstructConfig {
+    /// Branch-emptiness rule.
+    pub liveness: Liveness,
+    /// Intersect the query with node filters on the way down.
+    pub carry_intersection: bool,
+}
+
+impl Default for ReconstructConfig {
+    fn default() -> Self {
+        ReconstructConfig {
+            liveness: Liveness::BitOverlap,
+            carry_intersection: true,
+        }
+    }
+}
+
+impl ReconstructConfig {
+    /// The paper's §5.6 pruning: estimate threshold, no carried filter.
+    pub fn paper() -> Self {
+        ReconstructConfig {
+            liveness: Liveness::EstimateThreshold(DEFAULT_THRESHOLD),
+            carry_intersection: false,
+        }
+    }
+}
+
+/// Reconstructor bound to a tree.
+pub struct BstReconstructor<'t, T: SampleTree> {
+    tree: &'t T,
+    cfg: ReconstructConfig,
+}
+
+impl<'t, T: SampleTree> BstReconstructor<'t, T> {
+    /// Creates a reconstructor with the sound default configuration.
+    pub fn new(tree: &'t T) -> Self {
+        BstReconstructor {
+            tree,
+            cfg: ReconstructConfig::default(),
+        }
+    }
+
+    /// Creates a reconstructor with explicit configuration.
+    pub fn with_config(tree: &'t T, cfg: ReconstructConfig) -> Self {
+        if let Liveness::EstimateThreshold(tau) = cfg.liveness {
+            assert!(tau >= 0.0, "threshold must be non-negative");
+        }
+        BstReconstructor { tree, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReconstructConfig {
+        &self.cfg
+    }
+
+    /// Reconstructs the set stored in `query` — every namespace element all
+    /// of whose bits are set, i.e. `S ∪ S(B)`. Sorted ascending.
+    pub fn reconstruct(&self, query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.reconstruct_with(query, stats, |x| out.push(x));
+        out
+    }
+
+    /// Visitor variant: calls `visit` for each reconstructed element in
+    /// ascending order without materialising the set. Returns the count.
+    pub fn reconstruct_with<F: FnMut(u64)>(
+        &self,
+        query: &BloomFilter,
+        stats: &mut OpStats,
+        visit: F,
+    ) -> usize {
+        let Some(root) = self.tree.root() else {
+            return 0;
+        };
+        let full = self.tree.range(root);
+        self.reconstruct_range_with(query, full, stats, visit)
+    }
+
+    /// Range-restricted reconstruction: only elements of `S ∪ S(B)` inside
+    /// `window` are returned, and subtrees disjoint from the window are
+    /// never visited — the tree's range structure makes this free, unlike
+    /// a flat namespace scan.
+    pub fn reconstruct_range(
+        &self,
+        query: &BloomFilter,
+        window: std::ops::Range<u64>,
+        stats: &mut OpStats,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.reconstruct_range_with(query, window, stats, |x| out.push(x));
+        out
+    }
+
+    /// Visitor variant of [`Self::reconstruct_range`]. Returns the count.
+    pub fn reconstruct_range_with<F: FnMut(u64)>(
+        &self,
+        query: &BloomFilter,
+        window: std::ops::Range<u64>,
+        stats: &mut OpStats,
+        mut visit: F,
+    ) -> usize {
+        let Some(root) = self.tree.root() else {
+            return 0;
+        };
+        if query.is_empty() || window.start >= window.end {
+            return 0;
+        }
+        let carried = if self.cfg.carry_intersection {
+            stats.intersections += 1;
+            BloomFilter::intersection(query, self.tree.filter(root))
+        } else {
+            query.clone()
+        };
+        self.walk(root, &carried, query, &window, stats, &mut visit)
+    }
+
+    fn child_live(&self, child: NodeId, carried: &BloomFilter, stats: &mut OpStats) -> bool {
+        stats.intersections += 1;
+        let f = self.tree.filter(child);
+        let t_and = f.and_count(carried);
+        match self.cfg.liveness {
+            Liveness::BitOverlap => t_and >= f.k(),
+            Liveness::EstimateThreshold(tau) => {
+                intersection_estimate(f.m(), f.k(), f.count_ones(), carried.count_ones(), t_and)
+                    > tau
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk<F: FnMut(u64)>(
+        &self,
+        node: NodeId,
+        carried: &BloomFilter,
+        query: &BloomFilter,
+        window: &std::ops::Range<u64>,
+        stats: &mut OpStats,
+        visit: &mut F,
+    ) -> usize {
+        stats.nodes_visited += 1;
+        if self.tree.is_leaf(node) {
+            let mut found = 0usize;
+            for x in self.tree.leaf_candidates(node) {
+                if !window.contains(&x) {
+                    continue;
+                }
+                stats.memberships += 1;
+                if query.contains(x) {
+                    visit(x);
+                    found += 1;
+                }
+            }
+            return found;
+        }
+        let (lc, rc) = self.tree.children(node);
+        let mut found = 0usize;
+        for child in [lc, rc].into_iter().flatten() {
+            let r = self.tree.range(child);
+            if r.end <= window.start || r.start >= window.end {
+                continue; // disjoint from the window: free pruning
+            }
+            if self.child_live(child, carried, stats) {
+                let next_carried = if self.cfg.carry_intersection {
+                    stats.intersections += 1;
+                    BloomFilter::intersection(carried, self.tree.filter(child))
+                } else {
+                    carried.clone()
+                };
+                found += self.walk(child, &next_carried, query, window, stats, visit);
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BloomSampleTree;
+    use bst_bloom::hash::HashKind;
+    use bst_bloom::params::TreePlan;
+
+    fn tree(m: usize, namespace: u64, depth: u32) -> BloomSampleTree {
+        BloomSampleTree::build(&TreePlan {
+            namespace,
+            m,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 5,
+            depth,
+            leaf_capacity: namespace.div_ceil(1 << depth),
+            target_accuracy: 0.9,
+        })
+    }
+
+    #[test]
+    fn sound_mode_equals_dictionary_attack_exactly() {
+        // The defining property of BitOverlap liveness: the reconstruction
+        // is exactly the filter's positive set.
+        let t = tree(1 << 15, 2048, 4);
+        let keys: Vec<u64> = (0..120u64).map(|i| i * 17).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut stats);
+        let scan: Vec<u64> = (0..2048u64).filter(|&x| q.contains(x)).collect();
+        assert_eq!(rec, scan);
+    }
+
+    #[test]
+    fn sound_mode_never_loses_elements_even_with_tiny_m() {
+        // Deliberately noisy filter: estimates are garbage, but bit-overlap
+        // liveness cannot prune a subtree containing a true element.
+        let t = tree(512, 2048, 4);
+        let keys: Vec<u64> = (0..60u64).map(|i| i * 31 + 4).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut stats);
+        for k in &keys {
+            assert!(rec.binary_search(k).is_ok(), "lost element {k}");
+        }
+    }
+
+    #[test]
+    fn high_accuracy_reconstruction_is_exact() {
+        let t = tree(1 << 18, 4096, 5);
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 40 + 1).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut stats);
+        assert_eq!(rec, keys);
+    }
+
+    #[test]
+    fn result_is_sorted_and_distinct() {
+        let t = tree(1 << 14, 4096, 5);
+        let keys: Vec<u64> = (0..300u64).map(|i| (i * 13) % 4096).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut stats);
+        assert!(rec.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn paper_mode_is_cheaper_than_sound_mode() {
+        let t = tree(1 << 14, 1 << 14, 7);
+        let keys: Vec<u64> = (1000..1100u64).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut sound_stats = OpStats::new();
+        let sound = BstReconstructor::new(&t).reconstruct(&q, &mut sound_stats);
+        let mut paper_stats = OpStats::new();
+        let paper = BstReconstructor::with_config(&t, ReconstructConfig::paper())
+            .reconstruct(&q, &mut paper_stats);
+        // Paper mode prunes at least as aggressively.
+        assert!(paper_stats.memberships <= sound_stats.memberships);
+        // Sound result contains everything paper mode found.
+        for x in &paper {
+            assert!(sound.binary_search(x).is_ok());
+        }
+        for k in &keys {
+            assert!(sound.binary_search(k).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_filter_reconstructs_empty() {
+        let t = tree(1 << 14, 2048, 4);
+        let q = t.query_filter(std::iter::empty());
+        let mut stats = OpStats::new();
+        assert!(BstReconstructor::new(&t)
+            .reconstruct(&q, &mut stats)
+            .is_empty());
+        assert_eq!(stats.nodes_visited, 0);
+    }
+
+    #[test]
+    fn pruning_reduces_memberships() {
+        // A tightly clustered set touches few leaves.
+        let t = tree(1 << 17, 1 << 14, 7);
+        let keys: Vec<u64> = (1000..1100u64).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut stats);
+        assert!(rec.len() >= 100);
+        assert!(
+            stats.memberships < (1 << 14) / 4,
+            "pruning ineffective: {} memberships",
+            stats.memberships
+        );
+    }
+
+    #[test]
+    fn visitor_matches_materialised() {
+        let t = tree(1 << 14, 2048, 4);
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 19).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut s1 = OpStats::new();
+        let rec = BstReconstructor::new(&t).reconstruct(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let mut visited = Vec::new();
+        let n = BstReconstructor::new(&t).reconstruct_with(&q, &mut s2, |x| visited.push(x));
+        assert_eq!(rec, visited);
+        assert_eq!(n, rec.len());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn extreme_threshold_prunes_all() {
+        let t = tree(1 << 14, 2048, 4);
+        let q = t.query_filter([7u64]);
+        let mut stats = OpStats::new();
+        let rec = BstReconstructor::with_config(
+            &t,
+            ReconstructConfig {
+                liveness: Liveness::EstimateThreshold(1e12),
+                carry_intersection: false,
+            },
+        )
+        .reconstruct(&q, &mut stats);
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,1035 @@
+//! BSTSample (Algorithm 1) and the one-pass multi-sampler (§5.3).
+//!
+//! Traversal: at each internal node, estimate the size of the query's
+//! intersection with each child's filter. Children deemed empty are pruned
+//! (§5.6); when both survive, descend into one with probability
+//! proportional to the estimates, backtracking into the sibling when the
+//! chosen subtree turns out to be a false-positive path. At a leaf,
+//! brute-force membership over the candidates and pick uniformly.
+//!
+//! ## Configuration space (and why it exists)
+//!
+//! The paper leaves two decisions under-specified, and both matter:
+//!
+//! * **Liveness** (when is a branch "empty"?). [`Liveness::EstimateThreshold`]
+//!   is the paper's §5.6 rule: prune when the estimated intersection size is
+//!   below a threshold τ. At the paper's own parameters the estimate's noise
+//!   is of the same order as a 1-element signal, so this rule *silently
+//!   discards* true elements with non-trivial probability (the §5.6 caveat).
+//!   [`Liveness::BitOverlap`] is the sound primitive implicit in the paper's
+//!   Claim 5.4 ("the intersection Bloom filter has at least k bits set"):
+//!   any true element contributes all `k` of its bits to both filters, so
+//!   `t∧ < k` proves emptiness and no element can ever be lost. It prunes
+//!   less aggressively; soundness is the price the default pays.
+//! * **Descent ratio estimator.** [`RatioEstimator::AndCardinality`]
+//!   (`n̂ = ln(ẑ∧/m)/(k ln(1−1/m))` on the AND — the estimator used in the
+//!   paper's Proposition 5.2 proof) degrades gracefully toward a 50/50 split
+//!   when chance bits swamp the signal. [`RatioEstimator::Papapetrou`]
+//!   (the §5.3 display formula) is mean-corrected but *amplifies* frozen
+//!   chance noise at exactly the levels where counts are small.
+//!
+//! Additionally, `carry_intersection` intersects the query filter with each
+//! node on the way down, so chance bits decay geometrically with depth —
+//! a large quality win for one extra AND per visited node.
+//!
+//! ## Exact uniformity: rejection correction
+//!
+//! Even with the best estimator, descent probabilities carry frozen noise,
+//! and at the published parameter points raw BSTSample output is measurably
+//! non-uniform (see EXPERIMENTS.md, Table 5 discussion). The
+//! [`Correction::Rejection`] extension tracks the proposal probability
+//! `P(path)` of the walk and accepts a leaf's sample with probability
+//! `c_leaf / (P(path) · n̂ · γ)`, which cancels the proposal distribution
+//! exactly (up to clipping, controlled by γ): accepted samples are uniform
+//! over all positives *regardless of estimate noise*. Expected cost: γ
+//! walks per sample.
+
+use bst_bloom::estimate::{cardinality_from_ones, intersection_estimate};
+use bst_bloom::filter::BloomFilter;
+use rand::Rng;
+
+use crate::metrics::OpStats;
+use crate::tree::{NodeId, SampleTree};
+
+/// Default emptiness threshold τ for the paper's §5.6 pruning rule.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// When is a child branch considered non-empty?
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Liveness {
+    /// Sound rule: live iff the AND has at least `k` set bits (no true
+    /// element can be pruned away).
+    BitOverlap,
+    /// The paper's §5.6 rule: live iff the estimated intersection size
+    /// exceeds the threshold. Faster, but can lose elements.
+    EstimateThreshold(f64),
+}
+
+/// Which estimator drives the descent probabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RatioEstimator {
+    /// Mean-corrected bit overlap: `max(t∧ − t₁t₂/m, noise floor)`. The
+    /// `t₁t₂/m` term is the expected chance overlap under independence, so
+    /// the weight tracks the *signal* bits; the floor (one standard
+    /// deviation of the chance overlap, at least `k`) keeps weights
+    /// positive so no live branch can starve, and when both children sit
+    /// at the noise floor the split degrades to 50/50. No regime mixing:
+    /// at saturated nodes both children cancel to the floor.
+    MeanCorrectedBits,
+    /// Cardinality of the AND bitmap (Swamidass–Baldi form used in the
+    /// Prop. 5.2 proof). Self-regularising but *flattens* ratios wherever
+    /// chance bits dominate, which under-proposes clustered sets badly.
+    AndCardinality,
+    /// The Papapetrou et al. cross-term estimator (§5.3 display formula).
+    /// Sharp when signal dominates, but mixes saturated-fallback and
+    /// cross-term regimes across levels and can freeze near-zero
+    /// probability onto a live branch.
+    Papapetrou,
+}
+
+/// Post-hoc correction toward exact uniformity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Correction {
+    /// Raw BSTSample (the paper's algorithm).
+    None,
+    /// Rejection correction with oversampling factor γ (≈ γ walks per
+    /// sample). Larger γ ⇒ less clipping ⇒ closer to exactly uniform.
+    Rejection {
+        /// Oversampling factor.
+        gamma: f64,
+    },
+    /// Rejection with γ chosen from the tree shape and the query's
+    /// estimated cardinality.
+    RejectionAuto,
+}
+
+/// Tunable sampling behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplerConfig {
+    /// Branch-emptiness rule.
+    pub liveness: Liveness,
+    /// Descent-ratio estimator.
+    pub ratio: RatioEstimator,
+    /// Intersect the query with each node's filter on the way down
+    /// (chance-noise decay; one extra intersection op per visited node).
+    pub carry_intersection: bool,
+    /// `false` splits 50/50 between live children (ablation lever).
+    pub proportional_descent: bool,
+    /// Uniformity correction.
+    pub correction: Correction,
+}
+
+impl Default for SamplerConfig {
+    /// Sound and fast: bit-overlap liveness, mean-corrected bit-overlap
+    /// descent ratios, no correction.
+    ///
+    /// `carry_intersection` defaults to off because tree node filters are
+    /// nested (a parent is the union of its children), so
+    /// `q ∧ n₁ ∧ … ∧ n_d = q ∧ n_d` bit-for-bit: carrying cannot change
+    /// any AND count and only costs an extra intersection per node. It
+    /// *does* change the `t₂` input of Papapetrou-based rules, which is
+    /// why it remains available as an option.
+    fn default() -> Self {
+        SamplerConfig {
+            liveness: Liveness::BitOverlap,
+            ratio: RatioEstimator::MeanCorrectedBits,
+            carry_intersection: false,
+            proportional_descent: true,
+            correction: Correction::None,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// The algorithm exactly as the paper describes it: §5.6 threshold
+    /// pruning, §5.3 Papapetrou estimates, no carried intersection, no
+    /// correction. Use for reproducing the paper's operation counts.
+    pub fn paper() -> Self {
+        SamplerConfig {
+            liveness: Liveness::EstimateThreshold(DEFAULT_THRESHOLD),
+            ratio: RatioEstimator::Papapetrou,
+            carry_intersection: false,
+            proportional_descent: true,
+            correction: Correction::None,
+        }
+    }
+
+    /// Provably near-uniform output (χ²-passing at the paper's Table 5
+    /// operating points): defaults plus auto-tuned rejection correction.
+    pub fn corrected() -> Self {
+        SamplerConfig {
+            correction: Correction::RejectionAuto,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of evaluating one child branch.
+struct ChildEval {
+    live: bool,
+    ratio_weight: f64,
+}
+
+/// Precomputed per-query state for repeated corrected sampling from the
+/// same filter: the query's cardinality estimate, the rejection factor γ,
+/// and the frontier weight cache for the tree's saturated upper region.
+/// Create with [`BstSampler::prepare`]; consume with
+/// [`BstSampler::sample_prepared`].
+pub struct PreparedQuery<'q> {
+    query: &'q BloomFilter,
+    n_hat: f64,
+    gamma: f64,
+    blind: std::collections::HashMap<NodeId, f64>,
+}
+
+impl PreparedQuery<'_> {
+    /// The estimated cardinality of the prepared filter.
+    pub fn estimated_cardinality(&self) -> f64 {
+        self.n_hat
+    }
+
+    /// The rejection oversampling factor in effect.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+/// Sampler bound to a tree.
+pub struct BstSampler<'t, T: SampleTree> {
+    tree: &'t T,
+    cfg: SamplerConfig,
+}
+
+impl<'t, T: SampleTree> BstSampler<'t, T> {
+    /// Creates a sampler with the default (sound) configuration.
+    pub fn new(tree: &'t T) -> Self {
+        BstSampler {
+            tree,
+            cfg: SamplerConfig::default(),
+        }
+    }
+
+    /// Creates a sampler with explicit configuration.
+    pub fn with_config(tree: &'t T, cfg: SamplerConfig) -> Self {
+        if let Liveness::EstimateThreshold(tau) = cfg.liveness {
+            assert!(tau >= 0.0, "threshold must be non-negative");
+        }
+        if let Correction::Rejection { gamma } = cfg.correction {
+            assert!(gamma >= 1.0, "gamma must be at least 1");
+        }
+        BstSampler { tree, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// Evaluates one child: liveness + descent weight. One intersection op.
+    fn eval_child(
+        &self,
+        child: Option<NodeId>,
+        carried: &BloomFilter,
+        stats: &mut OpStats,
+    ) -> ChildEval {
+        let Some(c) = child else {
+            return ChildEval {
+                live: false,
+                ratio_weight: 0.0,
+            };
+        };
+        stats.intersections += 1;
+        let f = self.tree.filter(c);
+        let k = f.k();
+        let m = f.m();
+        let t_and = f.and_count(carried);
+        let live = match self.cfg.liveness {
+            Liveness::BitOverlap => t_and >= k,
+            Liveness::EstimateThreshold(tau) => {
+                let est =
+                    intersection_estimate(m, k, f.count_ones(), carried.count_ones(), t_and);
+                est > tau
+            }
+        };
+        let ratio_weight = match self.cfg.ratio {
+            RatioEstimator::MeanCorrectedBits => {
+                let chance = f.count_ones() as f64 * carried.count_ones() as f64 / m as f64;
+                let floor = chance.sqrt().max(k as f64);
+                (t_and as f64 - chance).max(floor)
+            }
+            RatioEstimator::AndCardinality => cardinality_from_ones(m, k, t_and),
+            RatioEstimator::Papapetrou => {
+                intersection_estimate(m, k, f.count_ones(), carried.count_ones(), t_and)
+            }
+        }
+        .max(1e-12);
+        ChildEval { live, ratio_weight }
+    }
+
+    /// The filter to carry into `child`.
+    fn descend_filter(&self, child: NodeId, carried: &BloomFilter, stats: &mut OpStats) -> BloomFilter {
+        if self.cfg.carry_intersection {
+            stats.intersections += 1;
+            BloomFilter::intersection(carried, self.tree.filter(child))
+        } else {
+            carried.clone()
+        }
+    }
+
+    /// Draws one sample from the set stored in `query`, or `None` when the
+    /// filter is empty or every path dies in pruning.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        query: &BloomFilter,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<u64> {
+        let root = self.tree.root()?;
+        if query.is_empty() {
+            return None;
+        }
+        match self.cfg.correction {
+            Correction::None => self.sample_at(root, query, query, rng, stats),
+            Correction::Rejection { gamma } => self.sample_corrected(query, gamma, rng, stats),
+            Correction::RejectionAuto => {
+                let gamma = self.auto_gamma(query);
+                self.sample_corrected(query, gamma, rng, stats)
+            }
+        }
+    }
+
+    /// γ heuristic: proposal skew grows as sets get sparse relative to the
+    /// leaf count; clamp to a sane work budget.
+    fn auto_gamma(&self, query: &BloomFilter) -> f64 {
+        let n_hat = query.estimate_cardinality().max(1.0);
+        let leaves = match self.tree.root() {
+            Some(root) => {
+                let total = self.tree.range(root);
+                let width = (total.end - total.start).max(1);
+                // Leaves ≈ namespace / leaf width; derive from any leaf by
+                // walking left. Cheap: depth steps.
+                let mut node = root;
+                let mut depth = 0u32;
+                while !self.tree.is_leaf(node) {
+                    let (l, r) = self.tree.children(node);
+                    node = l.or(r).expect("internal node has a child");
+                    depth += 1;
+                }
+                let _ = width;
+                (1u64 << depth.min(40)) as f64
+            }
+            None => 1.0,
+        };
+        (12.0 * (2.0 * leaves / n_hat).sqrt()).clamp(6.0, 48.0)
+    }
+
+    /// Rejection-corrected sampling: repeat proposal walks, accepting a
+    /// leaf's uniform pick with probability `c_leaf / (P(path)·n̂·γ)`.
+    ///
+    /// Before walking, a *frontier weight cache* is built: node filters in
+    /// the upper tree are saturated (all-ones) at realistic parameters, so
+    /// their AND with the query carries no signal and a naive walk splits
+    /// 50/50 there — blind to where the set's mass actually lives, which
+    /// is catastrophic for clustered sets. The cache evaluates the
+    /// mean-corrected weight at the first *unsaturated* descendants and
+    /// aggregates the sums upward, giving the blind levels informed
+    /// routing probabilities.
+    fn sample_corrected<R: Rng + ?Sized>(
+        &self,
+        query: &BloomFilter,
+        gamma: f64,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<u64> {
+        if self.tree.root().is_none() {
+            return None;
+        }
+        let prepared = self.prepare_with_gamma(query, gamma, stats);
+        self.sample_prepared(&prepared, rng, stats)
+    }
+
+    /// Precomputes the per-query state of corrected sampling (cardinality
+    /// estimate, γ, frontier weight cache) so that many samples from the
+    /// *same* filter don't pay for it repeatedly.
+    ///
+    /// ```
+    /// # use bst_core::tree::{BloomSampleTree, SampleTree};
+    /// # use bst_core::sampler::{BstSampler, SamplerConfig};
+    /// # use bst_core::metrics::OpStats;
+    /// # use bst_bloom::params::TreePlan;
+    /// # use bst_bloom::hash::HashKind;
+    /// # let tree = BloomSampleTree::build(&TreePlan {
+    /// #     namespace: 1000, m: 8192, k: 3, kind: HashKind::Murmur3,
+    /// #     seed: 1, depth: 3, leaf_capacity: 125, target_accuracy: 0.9 });
+    /// let sampler = BstSampler::with_config(&tree, SamplerConfig::corrected());
+    /// let query = tree.query_filter((0..50u64).map(|i| i * 7));
+    /// let mut stats = OpStats::new();
+    /// let prepared = sampler.prepare(&query, &mut stats);
+    /// let mut rng = rand::thread_rng();
+    /// for _ in 0..100 {
+    ///     let s = sampler.sample_prepared(&prepared, &mut rng, &mut stats);
+    ///     assert!(query.contains(s.unwrap()));
+    /// }
+    /// ```
+    pub fn prepare<'q>(&self, query: &'q BloomFilter, stats: &mut OpStats) -> PreparedQuery<'q> {
+        let gamma = match self.cfg.correction {
+            Correction::Rejection { gamma } => gamma,
+            _ => self.auto_gamma(query),
+        };
+        self.prepare_with_gamma(query, gamma, stats)
+    }
+
+    fn prepare_with_gamma<'q>(
+        &self,
+        query: &'q BloomFilter,
+        gamma: f64,
+        stats: &mut OpStats,
+    ) -> PreparedQuery<'q> {
+        let blind = match self.tree.root() {
+            Some(root) => self.build_blind_cache(root, query, stats),
+            None => std::collections::HashMap::new(),
+        };
+        PreparedQuery {
+            query,
+            n_hat: query.estimate_cardinality().max(1.0),
+            gamma,
+            blind,
+        }
+    }
+
+    /// Draws one rejection-corrected sample using precomputed query state
+    /// (see [`Self::prepare`]).
+    pub fn sample_prepared<R: Rng + ?Sized>(
+        &self,
+        prepared: &PreparedQuery<'_>,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<u64> {
+        let root = self.tree.root()?;
+        let query = prepared.query;
+        if query.is_empty() {
+            return None;
+        }
+        let gamma = prepared.gamma;
+        let max_attempts = (64.0 * gamma) as usize;
+        let mut fallback = None;
+        for attempt in 0..max_attempts {
+            let Some((leaf, p_path)) = self.propose(root, query, &prepared.blind, rng, stats)
+            else {
+                continue;
+            };
+            let matches = self.leaf_matches(leaf, query, stats);
+            if matches.is_empty() {
+                continue;
+            }
+            let pick = matches[rng.gen_range(0..matches.len())];
+            let alpha = matches.len() as f64 / (p_path * prepared.n_hat * gamma);
+            if rng.gen::<f64>() < alpha {
+                return Some(pick);
+            }
+            if fallback.is_none() && attempt + 8 >= max_attempts {
+                fallback = Some(pick);
+            }
+        }
+        // Budget exhausted: return the last viable pick (slightly biased)
+        // rather than failing.
+        fallback
+    }
+
+    /// Fill ratio above which a node filter is considered informationless.
+    const SATURATION_FILL: f64 = 0.98;
+
+    /// Cap on cache size: stop deepening past this many frontier nodes.
+    const BLIND_CACHE_CAP: usize = 4096;
+
+    /// Computes subtree weights for the saturated upper region of the tree
+    /// (see [`Self::sample_corrected`]). Keys: every node in the saturated
+    /// region and its frontier. Values: aggregated mean-corrected weights.
+    fn build_blind_cache(
+        &self,
+        root: NodeId,
+        query: &BloomFilter,
+        stats: &mut OpStats,
+    ) -> std::collections::HashMap<NodeId, f64> {
+        let mut cache = std::collections::HashMap::new();
+        self.blind_weight(root, query, &mut cache, stats);
+        cache
+    }
+
+    fn blind_weight(
+        &self,
+        node: NodeId,
+        query: &BloomFilter,
+        cache: &mut std::collections::HashMap<NodeId, f64>,
+        stats: &mut OpStats,
+    ) -> f64 {
+        let f = self.tree.filter(node);
+        let saturated = f.count_ones() as f64 > Self::SATURATION_FILL * f.m() as f64;
+        let w = if saturated && !self.tree.is_leaf(node) && cache.len() < Self::BLIND_CACHE_CAP
+        {
+            let (lc, rc) = self.tree.children(node);
+            let mut sum = 0.0;
+            for child in [lc, rc].into_iter().flatten() {
+                sum += self.blind_weight(child, query, cache, stats);
+            }
+            sum
+        } else {
+            stats.intersections += 1;
+            let m = f.m();
+            let t_and = f.and_count(query);
+            let chance = f.count_ones() as f64 * query.count_ones() as f64 / m as f64;
+            let floor = chance.sqrt().max(f.k() as f64);
+            (t_and as f64 - chance).max(floor)
+        };
+        cache.insert(node, w);
+        w
+    }
+
+    /// One proposal walk (no backtracking): returns the reached leaf and
+    /// the path probability. Nodes present in the blind cache route by the
+    /// cached aggregated weights; below the frontier the per-node
+    /// estimators take over.
+    fn propose<R: Rng + ?Sized>(
+        &self,
+        root: NodeId,
+        query: &BloomFilter,
+        blind: &std::collections::HashMap<NodeId, f64>,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<(NodeId, f64)> {
+        let mut node = root;
+        let mut carried = if self.cfg.carry_intersection {
+            stats.intersections += 1;
+            BloomFilter::intersection(query, self.tree.filter(root))
+        } else {
+            query.clone()
+        };
+        let mut p_path = 1.0f64;
+        loop {
+            stats.nodes_visited += 1;
+            if self.tree.is_leaf(node) {
+                return Some((node, p_path));
+            }
+            let (lc, rc) = self.tree.children(node);
+            // Cached (blind-region) weights take priority; otherwise
+            // evaluate the child estimators.
+            let weight_of = |child: Option<NodeId>,
+                             sampler: &Self,
+                             carried: &BloomFilter,
+                             stats: &mut OpStats| match child {
+                None => (false, 0.0),
+                Some(c) => match blind.get(&c) {
+                    Some(&w) => (w > 0.0, w),
+                    None => {
+                        let e = sampler.eval_child(Some(c), carried, stats);
+                        (e.live, e.ratio_weight)
+                    }
+                },
+            };
+            let (l_live, lw) = weight_of(lc, self, &carried, stats);
+            let (r_live, rw) = weight_of(rc, self, &carried, stats);
+            let (next, prob) = match (l_live, r_live) {
+                (false, false) => return None,
+                (true, false) => (lc.expect("live"), 1.0),
+                (false, true) => (rc.expect("live"), 1.0),
+                (true, true) => {
+                    let p_left = if self.cfg.proportional_descent {
+                        lw / (lw + rw)
+                    } else {
+                        0.5
+                    };
+                    if rng.gen::<f64>() < p_left {
+                        (lc.expect("live"), p_left)
+                    } else {
+                        (rc.expect("live"), 1.0 - p_left)
+                    }
+                }
+            };
+            p_path *= prob;
+            if self.cfg.carry_intersection {
+                stats.intersections += 1;
+                carried.intersect_with(self.tree.filter(next));
+            }
+            node = next;
+        }
+    }
+
+    fn sample_at<R: Rng + ?Sized>(
+        &self,
+        node: NodeId,
+        carried: &BloomFilter,
+        query: &BloomFilter,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<u64> {
+        stats.nodes_visited += 1;
+        if self.tree.is_leaf(node) {
+            return self.sample_leaf(node, query, rng, stats);
+        }
+        let (lc, rc) = self.tree.children(node);
+        let le = self.eval_child(lc, carried, stats);
+        let re = self.eval_child(rc, carried, stats);
+        match (le.live, re.live) {
+            (false, false) => None,
+            (true, false) => {
+                let c = lc.expect("live child");
+                let carried = self.descend_filter(c, carried, stats);
+                self.sample_at(c, &carried, query, rng, stats)
+            }
+            (false, true) => {
+                let c = rc.expect("live child");
+                let carried = self.descend_filter(c, carried, stats);
+                self.sample_at(c, &carried, query, rng, stats)
+            }
+            (true, true) => {
+                let p_left = if self.cfg.proportional_descent {
+                    le.ratio_weight / (le.ratio_weight + re.ratio_weight)
+                } else {
+                    0.5
+                };
+                let (first, second) = if rng.gen::<f64>() < p_left {
+                    (lc, rc)
+                } else {
+                    (rc, lc)
+                };
+                let c1 = first.expect("live child");
+                let carried1 = self.descend_filter(c1, carried, stats);
+                let picked = self.sample_at(c1, &carried1, query, rng, stats);
+                if picked.is_some() {
+                    picked
+                } else {
+                    // False-positive path: backtrack into the sibling.
+                    stats.backtracks += 1;
+                    let c2 = second.expect("live child");
+                    let carried2 = self.descend_filter(c2, carried, stats);
+                    self.sample_at(c2, &carried2, query, rng, stats)
+                }
+            }
+        }
+    }
+
+    /// Reservoir-samples uniformly among leaf candidates passing the
+    /// membership test against the *original* query filter.
+    fn sample_leaf<R: Rng + ?Sized>(
+        &self,
+        node: NodeId,
+        query: &BloomFilter,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<u64> {
+        let mut picked = None;
+        let mut count = 0u64;
+        for x in self.tree.leaf_candidates(node) {
+            stats.memberships += 1;
+            if query.contains(x) {
+                count += 1;
+                if rng.gen_range(0..count) == 0 {
+                    picked = Some(x);
+                }
+            }
+        }
+        picked
+    }
+
+    /// Collects all leaf candidates passing the membership test.
+    fn leaf_matches(&self, node: NodeId, query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+        let mut out = Vec::new();
+        for x in self.tree.leaf_candidates(node) {
+            stats.memberships += 1;
+            if query.contains(x) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// One-pass multi-sampling (§5.3): sends `r` independent search paths
+    /// down the tree together, splitting them at each node with a binomial
+    /// draw biased by the children's weights. Paths reaching the same leaf
+    /// share one brute-force scan; leaf draws are with replacement.
+    ///
+    /// Fewer than `r` samples are returned only when paths die on
+    /// false-positive routes with no live sibling. Correction is not
+    /// applied here (the split *is* the proposal distribution).
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        query: &BloomFilter,
+        r: usize,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Vec<u64> {
+        let mut out = Vec::with_capacity(r);
+        let Some(root) = self.tree.root() else {
+            return out;
+        };
+        if r == 0 || query.is_empty() {
+            return out;
+        }
+        self.many_at(root, query, query, r, rng, stats, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn many_at<R: Rng + ?Sized>(
+        &self,
+        node: NodeId,
+        carried: &BloomFilter,
+        query: &BloomFilter,
+        r: usize,
+        rng: &mut R,
+        stats: &mut OpStats,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        if r == 0 {
+            return 0;
+        }
+        stats.nodes_visited += 1;
+        if self.tree.is_leaf(node) {
+            let matches = self.leaf_matches(node, query, stats);
+            if matches.is_empty() {
+                return 0;
+            }
+            for _ in 0..r {
+                out.push(matches[rng.gen_range(0..matches.len())]);
+            }
+            return r;
+        }
+        let (lc, rc) = self.tree.children(node);
+        let le = self.eval_child(lc, carried, stats);
+        let re = self.eval_child(rc, carried, stats);
+        match (le.live, re.live) {
+            (false, false) => 0,
+            (true, false) => {
+                let c = lc.expect("live");
+                let carried = self.descend_filter(c, carried, stats);
+                self.many_at(c, &carried, query, r, rng, stats, out)
+            }
+            (false, true) => {
+                let c = rc.expect("live");
+                let carried = self.descend_filter(c, carried, stats);
+                self.many_at(c, &carried, query, r, rng, stats, out)
+            }
+            (true, true) => {
+                let p_left = if self.cfg.proportional_descent {
+                    le.ratio_weight / (le.ratio_weight + re.ratio_weight)
+                } else {
+                    0.5
+                };
+                let r_left =
+                    bst_stats::binomial::sample_binomial(rng, r as u64, p_left) as usize;
+                let cl = lc.expect("live");
+                let cr = rc.expect("live");
+                let carried_l = self.descend_filter(cl, carried, stats);
+                let carried_r = self.descend_filter(cr, carried, stats);
+                let mut got = self.many_at(cl, &carried_l, query, r_left, rng, stats, out);
+                got += self.many_at(cr, &carried_r, query, r - r_left, rng, stats, out);
+                // Deficit rounds: paths that died on false-positive routes
+                // are re-split until resolved or no further progress (the
+                // multi-path analogue of single-sample backtracking).
+                let mut rounds = 0;
+                while got < r && rounds < 16 {
+                    stats.backtracks += 1;
+                    rounds += 1;
+                    let deficit = r - got;
+                    let r_left =
+                        bst_stats::binomial::sample_binomial(rng, deficit as u64, p_left)
+                            as usize;
+                    let mut extra =
+                        self.many_at(cl, &carried_l, query, r_left, rng, stats, out);
+                    extra +=
+                        self.many_at(cr, &carried_r, query, deficit - r_left, rng, stats, out);
+                    if extra == 0 && deficit == r {
+                        break; // neither side can deliver anything
+                    }
+                    got += extra;
+                }
+                got.min(r)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BloomSampleTree;
+    use bst_bloom::hash::HashKind;
+    use bst_bloom::params::TreePlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree(m: usize) -> BloomSampleTree {
+        BloomSampleTree::build(&TreePlan {
+            namespace: 4096,
+            m,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 3,
+            depth: 5,
+            leaf_capacity: 128,
+            target_accuracy: 0.9,
+        })
+    }
+
+    #[test]
+    fn sample_returns_positive_of_query() {
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (0..200u64).map(|i| i * 19 + 5).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = OpStats::new();
+        for _ in 0..50 {
+            let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+            assert!(q.contains(s));
+        }
+        assert!(stats.memberships > 0);
+        assert!(stats.intersections > 0);
+    }
+
+    #[test]
+    fn large_filter_samples_only_true_elements() {
+        let t = tree(1 << 18);
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 37 + 11).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stats = OpStats::new();
+        for _ in 0..100 {
+            let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+            assert!(keys.binary_search(&s).is_ok(), "sampled non-element {s}");
+        }
+    }
+
+    #[test]
+    fn empty_filter_yields_none() {
+        let t = tree(1 << 16);
+        let q = t.query_filter(std::iter::empty());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stats = OpStats::new();
+        assert_eq!(sampler.sample(&q, &mut rng, &mut stats), None);
+        assert_eq!(stats.nodes_visited, 0);
+    }
+
+    #[test]
+    fn singleton_set_always_found() {
+        let t = tree(1 << 16);
+        let q = t.query_filter([2025u64]);
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stats = OpStats::new();
+        for _ in 0..20 {
+            assert_eq!(sampler.sample(&q, &mut rng, &mut stats), Some(2025));
+        }
+    }
+
+    #[test]
+    fn bit_overlap_liveness_never_loses_elements() {
+        // Every key must be reachable: draw many samples and check that
+        // every key is eventually produced (sound liveness guarantees a
+        // nonzero probability for each).
+        let t = tree(1 << 17);
+        let keys: Vec<u64> = (0..50u64).map(|i| i * 80 + 3).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stats = OpStats::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3000 {
+            if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+                seen.insert(s);
+            }
+        }
+        for k in &keys {
+            assert!(seen.contains(k), "key {k} never sampled");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow: run under --release")]
+    fn corrected_sampling_is_uniform_chi2() {
+        let t = tree(1 << 17);
+        let n = 40usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 101 + 7).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::with_config(&t, SamplerConfig::corrected());
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut stats = OpStats::new();
+        let rounds = bst_stats::chi2::PAPER_ROUNDS_PER_ELEMENT * n;
+        let mut counts = vec![0u64; n];
+        for _ in 0..rounds {
+            let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+            let idx = keys.binary_search(&s).expect("true element");
+            counts[idx] += 1;
+        }
+        let res = bst_stats::chi2_uniform_test(&counts);
+        // Assert at 1%: p-values of a correct sampler are Uniform(0,1), so
+        // the paper's 0.08 level would flake by construction; genuine
+        // non-uniformity lands at p < 1e-10.
+        assert!(
+            res.is_uniform_at(0.01),
+            "chi2 rejected uniformity: p = {}",
+            res.p_value
+        );
+    }
+
+    #[test]
+    fn paper_config_matches_paper_op_shape() {
+        // Paper-literal mode: 2 intersections per internal node on the
+        // descent path, leaf memberships = leaf width.
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (100..120u64).collect(); // one tight cluster
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::with_config(&t, SamplerConfig::paper());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut stats = OpStats::new();
+        let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+        assert!(q.contains(s));
+        // Depth 5, no backtracks for a clean cluster: exactly 10
+        // intersections and 128 memberships.
+        assert_eq!(stats.intersections, 10, "{stats}");
+        assert_eq!(stats.memberships, 128, "{stats}");
+    }
+
+    #[test]
+    fn tiny_m_forces_backtracking_but_stays_sound() {
+        let t = tree(256);
+        let keys: Vec<u64> = (0..30u64).map(|i| i * 131 + 1).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut stats = OpStats::new();
+        let mut got = 0;
+        for _ in 0..100 {
+            if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+                assert!(q.contains(s));
+                got += 1;
+            }
+        }
+        assert!(got > 0, "should find samples despite noise");
+    }
+
+    #[test]
+    fn sample_many_returns_requested_count() {
+        let t = tree(1 << 17);
+        let keys: Vec<u64> = (0..25u64).map(|i| i * 163 + 13).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut stats = OpStats::new();
+        let samples = sampler.sample_many(&q, 500, &mut rng, &mut stats);
+        assert_eq!(samples.len(), 500);
+        for s in &samples {
+            assert!(keys.binary_search(s).is_ok());
+        }
+        // All keys appear across 500 draws of 25 keys (whp).
+        let distinct: std::collections::HashSet<_> = samples.iter().collect();
+        assert!(distinct.len() >= 20, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn sample_many_is_cheaper_than_repeated_singles() {
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 41).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = 200;
+        let mut stats_many = OpStats::new();
+        let got = sampler.sample_many(&q, r, &mut rng, &mut stats_many);
+        assert!(!got.is_empty());
+        let mut stats_single = OpStats::new();
+        for _ in 0..r {
+            let _ = sampler.sample(&q, &mut rng, &mut stats_single);
+        }
+        assert!(
+            stats_many.total_ops() < stats_single.total_ops(),
+            "one-pass {} ops vs repeated {} ops",
+            stats_many.total_ops(),
+            stats_single.total_ops()
+        );
+    }
+
+    #[test]
+    fn sample_many_zero_requests() {
+        let t = tree(1 << 16);
+        let q = t.query_filter([1u64]);
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut stats = OpStats::new();
+        assert!(sampler.sample_many(&q, 0, &mut rng, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn uniform_descent_ablation_still_sound() {
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (0..60u64).map(|i| i * 67).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::with_config(
+            &t,
+            SamplerConfig {
+                proportional_descent: false,
+                ..SamplerConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut stats = OpStats::new();
+        for _ in 0..50 {
+            if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+                assert!(q.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn huge_threshold_prunes_everything() {
+        let t = tree(1 << 16);
+        let q = t.query_filter([5u64, 6, 7]);
+        let sampler = BstSampler::with_config(
+            &t,
+            SamplerConfig {
+                liveness: Liveness::EstimateThreshold(1e9),
+                ..SamplerConfig::paper()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut stats = OpStats::new();
+        assert_eq!(sampler.sample(&q, &mut rng, &mut stats), None);
+    }
+
+    #[test]
+    fn all_config_combinations_sample_soundly() {
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (0..80u64).map(|i| i * 51).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let mut rng = StdRng::seed_from_u64(13);
+        for liveness in [
+            Liveness::BitOverlap,
+            Liveness::EstimateThreshold(DEFAULT_THRESHOLD),
+        ] {
+            for ratio in [RatioEstimator::AndCardinality, RatioEstimator::Papapetrou] {
+                for carry in [false, true] {
+                    for correction in [
+                        Correction::None,
+                        Correction::Rejection { gamma: 4.0 },
+                        Correction::RejectionAuto,
+                    ] {
+                        let cfg = SamplerConfig {
+                            liveness,
+                            ratio,
+                            carry_intersection: carry,
+                            proportional_descent: true,
+                            correction,
+                        };
+                        let sampler = BstSampler::with_config(&t, cfg);
+                        let mut stats = OpStats::new();
+                        if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+                            assert!(q.contains(s), "cfg {cfg:?} returned non-positive");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

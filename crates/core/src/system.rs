@@ -1,0 +1,265 @@
+//! High-level facade: one object owning the tree, its sampler settings and
+//! the shared hash family — the API a downstream user starts from.
+//!
+//! ```
+//! use bst_core::system::BstSystem;
+//!
+//! // Namespace of 100k ids, 90% target sampling accuracy.
+//! let system = BstSystem::builder(100_000).accuracy(0.9).build();
+//! let filter = system.store((0..500u64).map(|i| i * 7));
+//! let mut rng = rand::thread_rng();
+//! let sample = system.sample(&filter, &mut rng).unwrap();
+//! assert!(filter.contains(sample));
+//! ```
+
+use bst_bloom::filter::BloomFilter;
+use bst_bloom::hash::HashKind;
+use bst_bloom::params::{self, TreePlan};
+use rand::Rng;
+
+use crate::costmodel::CostModel;
+use crate::metrics::OpStats;
+use crate::reconstruct::{BstReconstructor, ReconstructConfig};
+use crate::sampler::{BstSampler, SamplerConfig};
+use crate::tree::{BloomSampleTree, SampleTree};
+
+/// Builder for a [`BstSystem`].
+pub struct BstSystemBuilder {
+    namespace: u64,
+    accuracy: f64,
+    expected_set_size: u64,
+    k: usize,
+    kind: HashKind,
+    seed: u64,
+    sampler_cfg: SamplerConfig,
+    reconstruct_cfg: ReconstructConfig,
+    depth_override: Option<u32>,
+    measure_costs: bool,
+    threads: usize,
+}
+
+impl BstSystemBuilder {
+    fn new(namespace: u64) -> Self {
+        BstSystemBuilder {
+            namespace,
+            accuracy: 0.9,
+            expected_set_size: 1000,
+            k: params::DEFAULT_K,
+            kind: HashKind::Murmur3,
+            seed: 0,
+            sampler_cfg: SamplerConfig::default(),
+            reconstruct_cfg: ReconstructConfig::default(),
+            depth_override: None,
+            measure_costs: false,
+            threads: 0,
+        }
+    }
+
+    /// Target sampling accuracy in `(0, 1]` (drives the filter size `m`).
+    pub fn accuracy(mut self, accuracy: f64) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Typical stored-set size the accuracy target refers to.
+    pub fn expected_set_size(mut self, n: u64) -> Self {
+        self.expected_set_size = n;
+        self
+    }
+
+    /// Number of hash functions (paper default: 3).
+    pub fn hash_count(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Hash family (paper default configurations use Simple/Murmur3/MD5).
+    pub fn hash_kind(mut self, kind: HashKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Seed for the shared hash family.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sampling behaviour (liveness rule, ratio estimator, correction).
+    pub fn sampler(mut self, cfg: SamplerConfig) -> Self {
+        self.sampler_cfg = cfg;
+        self
+    }
+
+    /// Reconstruction behaviour (pruning discipline).
+    pub fn reconstructor(mut self, cfg: ReconstructConfig) -> Self {
+        self.reconstruct_cfg = cfg;
+        self
+    }
+
+    /// Pins the tree depth instead of deriving it from the cost model.
+    pub fn depth(mut self, depth: u32) -> Self {
+        self.depth_override = Some(depth);
+        self
+    }
+
+    /// Measures `icost/mcost` on this machine to choose `M⊥` (otherwise a
+    /// representative default ratio is used).
+    pub fn measure_costs(mut self, yes: bool) -> Self {
+        self.measure_costs = yes;
+        self
+    }
+
+    /// Threads for tree construction (0 = all CPUs).
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves the plan and constructs the tree.
+    pub fn build(self) -> BstSystem {
+        let mut plan = TreePlan::for_accuracy(
+            self.namespace,
+            self.expected_set_size,
+            self.accuracy,
+            self.k,
+            self.kind,
+            self.seed,
+            128.0,
+        );
+        if self.measure_costs {
+            let hasher = std::sync::Arc::new(plan.build_hasher());
+            plan = CostModel::measure(&hasher).retune_plan(&plan);
+        }
+        if let Some(d) = self.depth_override {
+            plan.depth = d;
+            plan.leaf_capacity = params::leaf_size(self.namespace, d);
+        }
+        let tree = BloomSampleTree::build_with_threads(&plan, self.threads);
+        BstSystem {
+            tree,
+            cfg: self.sampler_cfg,
+            rcfg: self.reconstruct_cfg,
+        }
+    }
+}
+
+/// A ready-to-use sampling/reconstruction system over one namespace.
+pub struct BstSystem {
+    tree: BloomSampleTree,
+    cfg: SamplerConfig,
+    rcfg: ReconstructConfig,
+}
+
+impl BstSystem {
+    /// Starts building a system over `[0, namespace)`.
+    pub fn builder(namespace: u64) -> BstSystemBuilder {
+        BstSystemBuilder::new(namespace)
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &BloomSampleTree {
+        &self.tree
+    }
+
+    /// The sampler configuration.
+    pub fn sampler_config(&self) -> SamplerConfig {
+        self.cfg
+    }
+
+    /// Stores a key set as a query Bloom filter compatible with the tree.
+    pub fn store<I: IntoIterator<Item = u64>>(&self, keys: I) -> BloomFilter {
+        self.tree.query_filter(keys)
+    }
+
+    /// Draws one near-uniform sample from the set stored in `filter`.
+    pub fn sample<R: Rng + ?Sized>(&self, filter: &BloomFilter, rng: &mut R) -> Option<u64> {
+        let mut stats = OpStats::new();
+        self.sample_counted(filter, rng, &mut stats)
+    }
+
+    /// [`Self::sample`] with operation accounting.
+    pub fn sample_counted<R: Rng + ?Sized>(
+        &self,
+        filter: &BloomFilter,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Option<u64> {
+        BstSampler::with_config(&self.tree, self.cfg).sample(filter, rng, stats)
+    }
+
+    /// Draws `r` samples in one tree pass (§5.3).
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        filter: &BloomFilter,
+        r: usize,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let mut stats = OpStats::new();
+        BstSampler::with_config(&self.tree, self.cfg).sample_many(filter, r, rng, &mut stats)
+    }
+
+    /// Reconstructs the set stored in `filter` (`S ∪ S(B)`), sorted.
+    pub fn reconstruct(&self, filter: &BloomFilter) -> Vec<u64> {
+        let mut stats = OpStats::new();
+        self.reconstruct_counted(filter, &mut stats)
+    }
+
+    /// [`Self::reconstruct`] with operation accounting.
+    pub fn reconstruct_counted(&self, filter: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+        BstReconstructor::with_config(&self.tree, self.rcfg).reconstruct(filter, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_defaults_produce_working_system() {
+        let sys = BstSystem::builder(50_000).build();
+        let keys: Vec<u64> = (0..200u64).map(|i| i * 11).collect();
+        let f = sys.store(keys.iter().copied());
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sys.sample(&f, &mut rng).expect("sample");
+        assert!(f.contains(s));
+        let rec = sys.reconstruct(&f);
+        for k in &keys {
+            assert!(rec.binary_search(k).is_ok());
+        }
+    }
+
+    #[test]
+    fn accuracy_touches_filter_size() {
+        let lo = BstSystem::builder(100_000).accuracy(0.5).build();
+        let hi = BstSystem::builder(100_000).accuracy(0.99).build();
+        assert!(hi.tree().plan().m > lo.tree().plan().m);
+    }
+
+    #[test]
+    fn depth_override_respected() {
+        let sys = BstSystem::builder(10_000).depth(3).build();
+        assert_eq!(sys.tree().depth(), 3);
+        assert_eq!(sys.tree().node_count(), 15);
+    }
+
+    #[test]
+    fn hash_kind_flows_through() {
+        let sys = BstSystem::builder(10_000).hash_kind(HashKind::Simple).build();
+        assert!(sys.tree().hasher().is_invertible());
+    }
+
+    #[test]
+    fn sample_many_works_via_facade() {
+        let sys = BstSystem::builder(10_000).build();
+        let f = sys.store((0..100u64).map(|i| i * 3));
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sys.sample_many(&f, 50, &mut rng);
+        assert_eq!(samples.len(), 50);
+        for s in samples {
+            assert!(f.contains(s));
+        }
+    }
+}

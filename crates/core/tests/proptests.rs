@@ -1,0 +1,158 @@
+//! Property-based tests for the BloomSampleTree core: soundness of
+//! sampling and reconstruction under arbitrary sets, agreement between
+//! methods, and pruned-tree/full-tree equivalence.
+
+use bst_bloom::hash::HashKind;
+use bst_bloom::params::{leaf_size, TreePlan};
+use bst_core::baselines::{dictionary, hashinvert};
+use bst_core::metrics::OpStats;
+use bst_core::pruned::PrunedBloomSampleTree;
+use bst_core::reconstruct::BstReconstructor;
+use bst_core::sampler::BstSampler;
+use bst_core::tree::{BloomSampleTree, SampleTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn plan(namespace: u64, m: usize, depth: u32, kind: HashKind) -> TreePlan {
+    TreePlan {
+        namespace,
+        m,
+        k: 3,
+        kind,
+        seed: 99,
+        depth,
+        leaf_capacity: leaf_size(namespace, depth),
+        target_accuracy: 0.9,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every sample is a positive of the query filter, across tree shapes.
+    #[test]
+    fn samples_are_positives(
+        keys in prop::collection::hash_set(0u64..4096, 1..200),
+        depth in 1u32..7,
+        seed in any::<u64>(),
+    ) {
+        let tree = BloomSampleTree::build(&plan(4096, 1 << 15, depth, HashKind::Murmur3));
+        let mut sorted: Vec<u64> = keys.iter().copied().collect();
+        sorted.sort_unstable();
+        let q = tree.query_filter(sorted.iter().copied());
+        let sampler = BstSampler::new(&tree);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = OpStats::new();
+        for _ in 0..20 {
+            if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+                prop_assert!(q.contains(s), "sample {} is not a positive", s);
+                prop_assert!(s < 4096, "sample outside namespace");
+            }
+        }
+    }
+
+    /// Sound reconstruction returns exactly the positive set (equal to the
+    /// Dictionary Attack scan), for every hash family.
+    #[test]
+    fn reconstruction_equals_full_scan(
+        keys in prop::collection::hash_set(0u64..2048, 1..150),
+        kind in prop_oneof![Just(HashKind::Simple), Just(HashKind::Murmur3)],
+    ) {
+        let tree = BloomSampleTree::build(&plan(2048, 1 << 14, 4, kind));
+        let mut sorted: Vec<u64> = keys.iter().copied().collect();
+        sorted.sort_unstable();
+        let q = tree.query_filter(sorted.iter().copied());
+        let mut s1 = OpStats::new();
+        let rec = BstReconstructor::new(&tree).reconstruct(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let scan = dictionary::da_reconstruct(&q, 2048, &mut s2);
+        prop_assert_eq!(rec, scan);
+    }
+
+    /// HashInvert reconstruction agrees with the Dictionary Attack in both
+    /// density modes.
+    #[test]
+    fn hashinvert_equals_full_scan(
+        keys in prop::collection::hash_set(0u64..8192, 1..300),
+        m in 512usize..8192,
+    ) {
+        let hasher = std::sync::Arc::new(bst_bloom::hash::BloomHasher::new(
+            HashKind::Simple, 3, m, 8192, 3,
+        ));
+        let q = bst_bloom::filter::BloomFilter::from_keys(hasher, keys.iter().copied());
+        let mut s1 = OpStats::new();
+        let hi = hashinvert::hi_reconstruct(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let da = dictionary::da_reconstruct(&q, 8192, &mut s2);
+        prop_assert_eq!(hi, da);
+    }
+
+    /// The pruned tree over the full namespace's occupied set answers
+    /// queries identically to the complete tree restricted to occupied ids.
+    #[test]
+    fn pruned_matches_full_on_occupied(
+        occupied in prop::collection::btree_set(0u64..4096, 10..300),
+        member_stride in 1usize..5,
+    ) {
+        let p = plan(4096, 1 << 15, 5, HashKind::Murmur3);
+        let occ: Vec<u64> = occupied.iter().copied().collect();
+        let pruned = PrunedBloomSampleTree::build(&p, &occ);
+        let full = BloomSampleTree::build(&p);
+        let members: Vec<u64> = occ.iter().copied().step_by(member_stride).collect();
+        let q = pruned.query_filter(members.iter().copied());
+        let mut s1 = OpStats::new();
+        let rec_pruned = BstReconstructor::new(&pruned).reconstruct(&q, &mut s1);
+        let mut s2 = OpStats::new();
+        let rec_full: Vec<u64> = BstReconstructor::new(&full)
+            .reconstruct(&q, &mut s2)
+            .into_iter()
+            .filter(|x| occ.binary_search(x).is_ok())
+            .collect();
+        prop_assert_eq!(rec_pruned, rec_full);
+    }
+
+    /// Dynamic insertion in any order produces the same tree behaviour as a
+    /// batch build.
+    #[test]
+    fn dynamic_equals_batch(
+        ids in prop::collection::hash_set(0u64..65_536, 1..150),
+    ) {
+        let p = plan(65_536, 4096, 6, HashKind::Murmur3);
+        let mut sorted: Vec<u64> = ids.iter().copied().collect();
+        sorted.sort_unstable();
+        let batch = PrunedBloomSampleTree::build(&p, &sorted);
+        let mut dynamic = PrunedBloomSampleTree::empty(&p);
+        for &id in &ids {
+            prop_assert!(dynamic.insert(id));
+        }
+        prop_assert_eq!(dynamic.occupied_ids(), batch.occupied_ids());
+        prop_assert_eq!(dynamic.occupied_count(), batch.occupied_count());
+        let q = batch.query_filter(sorted.iter().copied().take(40));
+        let mut s1 = OpStats::new();
+        let mut s2 = OpStats::new();
+        prop_assert_eq!(
+            BstReconstructor::new(&batch).reconstruct(&q, &mut s1),
+            BstReconstructor::new(&dynamic).reconstruct(&q, &mut s2)
+        );
+    }
+
+    /// The one-pass multi-sampler returns only positives and at most r.
+    #[test]
+    fn sample_many_sound(
+        keys in prop::collection::hash_set(0u64..4096, 1..100),
+        r in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let tree = BloomSampleTree::build(&plan(4096, 1 << 15, 5, HashKind::Murmur3));
+        let q = tree.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&tree);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = OpStats::new();
+        let out = sampler.sample_many(&q, r, &mut rng, &mut stats);
+        prop_assert!(out.len() <= r);
+        for s in out {
+            prop_assert!(q.contains(s));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Binomial sampling.
+//!
+//! The one-pass multi-sampler (§5.3, "Sampling multiple items") splits `r`
+//! search paths between the two children of each BloomSampleTree node by
+//! flipping `r` independent biased coins — i.e. drawing `Binomial(r, p)`.
+//! For small `r` direct simulation is fine; for large `r` we use the
+//! BINV inversion method, switching to a normal approximation when
+//! `n·min(p,1−p)` is large enough that inversion would walk too far.
+
+use rand::Rng;
+
+/// Draws from `Binomial(n, p)`.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with q = min(p, 1-p) and mirror at the end.
+    let flip = p > 0.5;
+    let q = if flip { 1.0 - p } else { p };
+    let mean = n as f64 * q;
+
+    let draw = if n <= 64 {
+        // Direct simulation: cheap and exact.
+        let mut count = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < q {
+                count += 1;
+            }
+        }
+        count
+    } else if mean <= 30.0 {
+        binv(rng, n, q)
+    } else {
+        normal_approx(rng, n, q)
+    };
+    if flip {
+        n - draw
+    } else {
+        draw
+    }
+}
+
+/// BINV: inversion by sequential search from 0, O(mean) expected steps.
+fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    // P(X = 0) = q^n; guard against underflow for the parameter ranges
+    // this branch handles (mean <= 30 keeps q^n >= e^{-30}-ish).
+    let mut f = q.powf(n as f64);
+    let mut u: f64 = rng.gen();
+    let mut x = 0u64;
+    loop {
+        if u < f {
+            return x;
+        }
+        u -= f;
+        x += 1;
+        if x > n {
+            // Numerical residue; clamp.
+            return n;
+        }
+        f *= s * (n - x + 1) as f64 / x as f64;
+    }
+}
+
+/// Normal approximation with continuity correction, clamped to `[0, n]`.
+fn normal_approx<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    // Box-Muller.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let draw = (mean + sd * z + 0.5).floor();
+    draw.clamp(0.0, n as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_var(rng: &mut StdRng, n: u64, p: f64, trials: usize) -> (f64, f64) {
+        let mut acc = crate::summary::Welford::new();
+        for _ in 0..trials {
+            acc.push(sample_binomial(rng, n, p) as f64);
+        }
+        (acc.mean(), acc.variance())
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn small_n_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mean, var) = mean_var(&mut rng, 20, 0.3, 20_000);
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.2).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn binv_regime_matches_moments() {
+        // n = 1000, p = 0.01 -> mean 10, var 9.9 (inversion branch).
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mean, var) = mean_var(&mut rng, 1000, 0.01, 20_000);
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        assert!((var - 9.9).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn normal_regime_matches_moments() {
+        // n = 10000, p = 0.4 -> mean 4000, var 2400 (normal branch).
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mean, var) = mean_var(&mut rng, 10_000, 0.4, 10_000);
+        assert!((mean - 4000.0).abs() < 2.0, "mean {mean}");
+        assert!((var - 2400.0).abs() < 120.0, "var {var}");
+    }
+
+    #[test]
+    fn high_p_mirrors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mean, _) = mean_var(&mut rng, 1000, 0.99, 5_000);
+        assert!((mean - 990.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn always_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &(n, p) in &[(1u64, 0.5f64), (100, 0.001), (100_000, 0.7), (64, 0.5)] {
+            for _ in 0..500 {
+                let x = sample_binomial(&mut rng, n, p);
+                assert!(x <= n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn invalid_p_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = sample_binomial(&mut rng, 10, 1.5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Pearson's chi-squared goodness-of-fit test against the uniform
+//! distribution, as used to validate sample quality in §7.2 / Table 5.
+//!
+//! The paper's protocol: draw `T = 130·n` samples from a Bloom filter
+//! storing `n` elements, count occurrences `o_i` of each element, and test
+//! `H₀: e_i = T/n` at significance level 0.08. The p-value is
+//! `P(Q ≥ q | H₀)` where `Q ~ χ²_{n−1}`.
+
+use crate::gamma::gamma_q;
+
+/// Result of a chi-squared uniformity test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic `q = Σ (o_i − e_i)² / e_i`.
+    pub statistic: f64,
+    /// Degrees of freedom (`categories − 1`).
+    pub dof: usize,
+    /// `P(Q ≥ q)` under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Whether the null hypothesis (uniformity) survives at significance
+    /// level `alpha` (the paper uses 0.08).
+    pub fn is_uniform_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// The significance level the paper sets for Table 5.
+pub const PAPER_SIGNIFICANCE: f64 = 0.08;
+
+/// Samples-per-element multiplier the paper uses (`T = 130·n`).
+pub const PAPER_ROUNDS_PER_ELEMENT: usize = 130;
+
+/// Chi-squared test of observed counts against explicit expected counts.
+///
+/// # Panics
+/// Panics if lengths differ, fewer than two categories exist, or any
+/// expected count is non-positive.
+pub fn chi2_test(observed: &[u64], expected: &[f64]) -> Chi2Result {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    assert!(observed.len() >= 2, "need at least two categories");
+    let mut statistic = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e > 0.0, "expected counts must be positive");
+        let d = o as f64 - e;
+        statistic += d * d / e;
+    }
+    let dof = observed.len() - 1;
+    Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_survival(statistic, dof),
+    }
+}
+
+/// Chi-squared test of observed counts against the uniform distribution
+/// (every category equally likely). The total is inferred from the counts.
+pub fn chi2_uniform_test(observed: &[u64]) -> Chi2Result {
+    assert!(observed.len() >= 2, "need at least two categories");
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "no observations");
+    let e = total as f64 / observed.len() as f64;
+    let expected = vec![e; observed.len()];
+    chi2_test(observed, &expected)
+}
+
+/// Survival function of the χ² distribution: `P(X ≥ q)` for `X ~ χ²_dof`.
+pub fn chi2_survival(q: f64, dof: usize) -> f64 {
+    assert!(dof >= 1, "dof must be at least 1");
+    assert!(q >= 0.0, "statistic must be non-negative");
+    gamma_q(dof as f64 / 2.0, q / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_uniform_counts_give_p_one() {
+        let observed = vec![100u64; 10];
+        let r = chi2_uniform_test(&observed);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.dof, 9);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert!(r.is_uniform_at(PAPER_SIGNIFICANCE));
+    }
+
+    #[test]
+    fn grossly_skewed_counts_reject() {
+        let mut observed = vec![10u64; 10];
+        observed[0] = 910;
+        let r = chi2_uniform_test(&observed);
+        assert!(r.p_value < 1e-10);
+        assert!(!r.is_uniform_at(PAPER_SIGNIFICANCE));
+    }
+
+    #[test]
+    fn known_textbook_example() {
+        // Classic die example: 60 rolls, observed [5,8,9,8,10,20].
+        // q = sum((o-10)^2/10) = (25+4+1+4+0+100)/10 = 13.4, dof 5,
+        // p ≈ 0.0199.
+        let r = chi2_uniform_test(&[5, 8, 9, 8, 10, 20]);
+        assert!((r.statistic - 13.4).abs() < 1e-12);
+        assert!((r.p_value - 0.0199).abs() < 5e-4, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn survival_matches_tables() {
+        // P(χ²_1 ≥ 3.841) ≈ 0.05; P(χ²_5 ≥ 11.07) ≈ 0.05.
+        assert!((chi2_survival(3.841, 1) - 0.05).abs() < 1e-3);
+        assert!((chi2_survival(11.07, 5) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_sampler_passes_on_average() {
+        // A deterministic round-robin "sampler" is perfectly uniform.
+        let n = 50usize;
+        let t = PAPER_ROUNDS_PER_ELEMENT * n;
+        let mut counts = vec![0u64; n];
+        for i in 0..t {
+            counts[i % n] += 1;
+        }
+        let r = chi2_uniform_test(&counts);
+        assert!(r.is_uniform_at(PAPER_SIGNIFICANCE));
+    }
+
+    #[test]
+    fn explicit_expected_counts() {
+        // Non-uniform null: expect 2:1 ratio.
+        let r = chi2_test(&[200, 100], &[200.0, 100.0]);
+        assert_eq!(r.statistic, 0.0);
+        let r2 = chi2_test(&[100, 200], &[200.0, 100.0]);
+        assert!(r2.p_value < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = chi2_test(&[1, 2], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_category_panics() {
+        let _ = chi2_uniform_test(&[5]);
+    }
+}

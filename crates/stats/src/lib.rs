@@ -1,0 +1,22 @@
+//! # bst-stats — numerical substrate
+//!
+//! Statistics the reproduction needs and the paper's evaluation uses:
+//!
+//! * [`gamma`] — `ln Γ`, regularized incomplete gamma (`P`, `Q`);
+//! * [`chi2`] — Pearson's chi-squared uniformity test with p-values
+//!   (Table 5's methodology, §7.2);
+//! * [`summary`] — Welford mean/variance and percentiles for timing rows;
+//! * [`binomial`] — binomial sampling for the one-pass multi-sampler's
+//!   path splitting (§5.3);
+//! * [`histogram`] — ASCII histograms for the examples.
+
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod chi2;
+pub mod gamma;
+pub mod histogram;
+pub mod summary;
+
+pub use chi2::{chi2_test, chi2_uniform_test, Chi2Result};
+pub use summary::Welford;

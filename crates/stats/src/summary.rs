@@ -1,0 +1,195 @@
+//! Streaming summary statistics (Welford's algorithm) and percentile
+//! extraction, used by the benchmark harness to report timing rows.
+
+/// Accumulates count / mean / variance in one pass without storing samples.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n_total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Percentile (nearest-rank, inclusive interpolation) of a sample.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 100]`.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let rank = p / 100.0 * (samples.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        samples[lo]
+    } else {
+        let frac = rank - lo as f64;
+        samples[lo] * (1.0 - frac) + samples[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4; sample variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(3.0);
+        assert_eq!(w1.mean(), 3.0);
+        assert_eq!(w1.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = Welford::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a.count(), before.count());
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&mut xs, 0.0), 1.0);
+        assert_eq!(percentile(&mut xs, 50.0), 3.0);
+        assert_eq!(percentile(&mut xs, 100.0), 5.0);
+        assert_eq!(percentile(&mut xs, 25.0), 2.0);
+        // Interpolated: p=10 over 5 elements -> rank 0.4.
+        assert!((percentile(&mut xs, 10.0) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&mut [], 50.0);
+    }
+}

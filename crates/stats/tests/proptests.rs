@@ -1,0 +1,120 @@
+//! Property-based tests for the numerical substrate.
+
+use bst_stats::binomial::sample_binomial;
+use bst_stats::chi2::{chi2_survival, chi2_uniform_test};
+use bst_stats::gamma::{gamma_p, gamma_q, ln_gamma};
+use bst_stats::summary::{percentile, Welford};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gamma_recurrence_holds(x in 0.5f64..50.0) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn gamma_p_plus_q_is_one(a in 0.1f64..60.0, x in 0.0f64..200.0) {
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "P+Q = {}", s);
+    }
+
+    #[test]
+    fn gamma_p_bounded_and_monotone(a in 0.1f64..30.0, x in 0.0f64..100.0, dx in 0.01f64..10.0) {
+        let p1 = gamma_p(a, x);
+        let p2 = gamma_p(a, x + dx);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+        prop_assert!(p2 >= p1 - 1e-12, "P not monotone: {} -> {}", p1, p2);
+    }
+
+    #[test]
+    fn chi2_survival_monotone_in_q(dof in 1usize..100, q in 0.0f64..200.0, dq in 0.1f64..50.0) {
+        prop_assert!(chi2_survival(q, dof) >= chi2_survival(q + dq, dof) - 1e-12);
+    }
+
+    #[test]
+    fn chi2_uniform_detects_gross_skew(cats in 3usize..40, total in 1000u64..5000) {
+        // All mass in one category must be rejected.
+        let mut counts = vec![0u64; cats];
+        counts[0] = total;
+        let res = chi2_uniform_test(&counts);
+        prop_assert!(res.p_value < 1e-6);
+        // Perfectly level counts must not be rejected.
+        let level = vec![total; cats];
+        prop_assert!(chi2_uniform_test(&level).p_value > 0.99);
+    }
+
+    #[test]
+    fn binomial_within_range_and_mean(n in 1u64..5000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0u64;
+        let reps = 200;
+        for _ in 0..reps {
+            let x = sample_binomial(&mut rng, n, p);
+            prop_assert!(x <= n);
+            sum += x;
+        }
+        let mean = sum as f64 / reps as f64;
+        let expect = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // 6-sigma band on the mean of 200 draws.
+        prop_assert!(
+            (mean - expect).abs() <= 6.0 * sd / (reps as f64).sqrt() + 1e-9,
+            "mean {} vs expected {}", mean, expect
+        );
+    }
+
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e4f64..1e4, 2..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn welford_merge_any_split(
+        xs in prop::collection::vec(-100.0f64..100.0, 2..100),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cut = ((xs.len() as f64 * cut_frac) as usize).min(xs.len());
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..cut] {
+            a.push(x);
+        }
+        for &x in &xs[cut..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * whole.variance().max(1.0));
+    }
+
+    #[test]
+    fn percentile_within_bounds(
+        mut xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        p in 0.0f64..100.0,
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = percentile(&mut xs, p);
+        prop_assert!(v >= lo && v <= hi);
+    }
+}

@@ -1,0 +1,217 @@
+//! Fenwick (binary indexed) tree over `f64` weights with prefix-sum
+//! inversion, the engine behind the paper's clustered query-set generator
+//! (§7.1): the generator maintains an evolving pdf over the namespace and
+//! must (a) draw an index proportionally to its weight and (b) move
+//! probability mass between indices — both `O(log M)` here.
+
+/// A 1-based Fenwick tree of non-negative `f64` weights.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<f64>,
+    len: usize,
+}
+
+impl Fenwick {
+    /// All-zero tree over `len` positions (indices `0..len`).
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "Fenwick tree must be non-empty");
+        Fenwick {
+            tree: vec![0.0; len + 1],
+            len,
+        }
+    }
+
+    /// Builds from explicit weights in `O(n)`.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let len = weights.len();
+        assert!(len > 0, "Fenwick tree must be non-empty");
+        let mut tree = vec![0.0; len + 1];
+        tree[1..].copy_from_slice(weights);
+        // In-place O(n) construction: push partial sums to parents.
+        for i in 1..=len {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= len {
+                tree[parent] += tree[i];
+            }
+        }
+        Fenwick { tree, len }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has zero positions (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to position `i` (0-based).
+    pub fn add(&mut self, i: usize, delta: f64) {
+        debug_assert!(i < self.len);
+        let mut idx = i + 1;
+        while idx <= self.len {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Sum of weights at positions `0..=i`.
+    pub fn prefix_sum(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        let mut idx = i + 1;
+        let mut acc = 0.0;
+        while idx > 0 {
+            acc += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.len - 1)
+    }
+
+    /// Weight at position `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.prefix_sum(i - 1) };
+        self.prefix_sum(i) - lo
+    }
+
+    /// Smallest index `i` with `prefix_sum(i) > target` — i.e. the position
+    /// selected by inverse-transform sampling when `target` is drawn
+    /// uniformly from `[0, total)`. Returns `None` when `target >=` total
+    /// weight (possible through floating-point drift).
+    pub fn find_by_prefix(&self, target: f64) -> Option<usize> {
+        if target < 0.0 {
+            return Some(0);
+        }
+        let mut remaining = target;
+        let mut pos = 0usize; // 1-based cursor: largest power-of-two descend
+        let mut step = self.len.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // pos is the count of positions whose cumulative weight is <= target.
+        if pos >= self.len {
+            None
+        } else {
+            Some(pos)
+        }
+    }
+
+    /// Extracts all point weights in `O(n)` (used for renormalisation).
+    pub fn to_weights(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.get(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_weights_matches_adds() {
+        let w = [1.0, 2.0, 0.0, 4.0, 0.5];
+        let built = Fenwick::from_weights(&w);
+        let mut added = Fenwick::new(w.len());
+        for (i, &x) in w.iter().enumerate() {
+            added.add(i, x);
+        }
+        for i in 0..w.len() {
+            assert!((built.prefix_sum(i) - added.prefix_sum(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_sums_naive_equivalence() {
+        let w: Vec<f64> = (0..100).map(|i| ((i * 7 + 3) % 13) as f64).collect();
+        let f = Fenwick::from_weights(&w);
+        let mut acc = 0.0;
+        for (i, &wi) in w.iter().enumerate() {
+            acc += wi;
+            assert!((f.prefix_sum(i) - acc).abs() < 1e-9, "prefix {i}");
+            assert!((f.get(i) - wi).abs() < 1e-9, "get {i}");
+        }
+        assert!((f.total() - acc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_updates() {
+        let mut f = Fenwick::new(10);
+        f.add(3, 5.0);
+        f.add(7, 2.0);
+        assert_eq!(f.prefix_sum(2), 0.0);
+        assert_eq!(f.prefix_sum(3), 5.0);
+        assert_eq!(f.prefix_sum(9), 7.0);
+        f.add(3, -5.0);
+        assert_eq!(f.prefix_sum(9), 2.0);
+    }
+
+    #[test]
+    fn find_by_prefix_selects_correct_bins() {
+        let f = Fenwick::from_weights(&[1.0, 0.0, 2.0, 1.0]);
+        // Cumulative: [1, 1, 3, 4].
+        assert_eq!(f.find_by_prefix(0.0), Some(0));
+        assert_eq!(f.find_by_prefix(0.999), Some(0));
+        assert_eq!(f.find_by_prefix(1.0), Some(2)); // zero-weight bin skipped
+        assert_eq!(f.find_by_prefix(2.5), Some(2));
+        assert_eq!(f.find_by_prefix(3.0), Some(3));
+        assert_eq!(f.find_by_prefix(3.999), Some(3));
+        assert_eq!(f.find_by_prefix(4.0), None);
+    }
+
+    #[test]
+    fn find_by_prefix_non_power_of_two_len() {
+        let w = [0.5f64; 7];
+        let f = Fenwick::from_weights(&w);
+        for i in 0..7 {
+            let target = 0.5 * i as f64 + 0.25;
+            assert_eq!(f.find_by_prefix(target), Some(i));
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_is_proportional() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let f = Fenwick::from_weights(&[1.0, 3.0, 6.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 3];
+        let trials = 30_000;
+        for _ in 0..trials {
+            let t = rng.gen::<f64>() * f.total();
+            counts[f.find_by_prefix(t).unwrap()] += 1;
+        }
+        let fr: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        assert!((fr[0] - 0.1).abs() < 0.01);
+        assert!((fr[1] - 0.3).abs() < 0.015);
+        assert!((fr[2] - 0.6).abs() < 0.015);
+    }
+
+    #[test]
+    fn to_weights_roundtrip() {
+        let w: Vec<f64> = (0..33).map(|i| (i % 5) as f64 * 0.5).collect();
+        let f = Fenwick::from_weights(&w);
+        let back = f.to_weights();
+        for (a, b) in w.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_tree_panics() {
+        let _ = Fenwick::new(0);
+    }
+}

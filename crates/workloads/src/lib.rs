@@ -1,0 +1,29 @@
+//! # bst-workloads — dataset and query-set generators
+//!
+//! Workload substrate for the evaluation (§7–8):
+//!
+//! * [`querysets`] — uniform and clustered query sets (the §7.1
+//!   pdf-splitting process, default aggressiveness p = 10);
+//! * [`occupancy`] — uniform / clustered namespace-fraction occupancy
+//!   (§8.1, 256 hypothetical leaves);
+//! * [`social`] — the synthetic Twitter-like stream substituting the
+//!   paper's proprietary crawl;
+//! * [`zipf`] — rejection-inversion Zipf sampling;
+//! * [`fenwick`], [`skipset`], [`sampling`] — the data-structure substrate
+//!   (prefix-sum trees, nearest-free-neighbour skips, distinct sampling,
+//!   alias tables).
+
+#![warn(missing_docs)]
+
+pub mod fenwick;
+pub mod occupancy;
+pub mod querysets;
+pub mod sampling;
+pub mod skipset;
+pub mod social;
+pub mod zipf;
+
+pub use occupancy::OccupiedRanges;
+pub use querysets::{clustered_set, uniform_set};
+pub use social::{SocialConfig, SocialStream};
+pub use zipf::Zipf;

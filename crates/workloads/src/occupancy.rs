@@ -1,0 +1,256 @@
+//! Namespace-occupancy generators (§8.1).
+//!
+//! The paper's low-occupancy experiments divide a 2.2-billion-wide
+//! namespace into the leaf ranges of a hypothetical 256-leaf
+//! BloomSampleTree and occupy a *fraction* of those leaves, either
+//! uniformly or clustered. Occupied leaves merge into disjoint ranges; all
+//! ids used by the workload are then drawn from inside these ranges.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::querysets::{clustered_set, uniform_set};
+
+/// The paper's hypothetical tree fan-out for building occupancy fractions.
+pub const PAPER_LEAVES: u64 = 256;
+
+/// A set of disjoint, sorted, half-open id ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OccupiedRanges {
+    ranges: Vec<Range<u64>>,
+    namespace: u64,
+}
+
+impl OccupiedRanges {
+    /// Builds from raw ranges (must be sorted, disjoint, non-empty).
+    pub fn from_ranges(ranges: Vec<Range<u64>>, namespace: u64) -> Self {
+        for w in ranges.windows(2) {
+            assert!(w[0].end <= w[1].start, "ranges must be sorted & disjoint");
+        }
+        for r in &ranges {
+            assert!(r.start < r.end, "empty range");
+            assert!(r.end <= namespace, "range outside namespace");
+        }
+        OccupiedRanges { ranges, namespace }
+    }
+
+    /// The disjoint ranges, ascending.
+    pub fn ranges(&self) -> &[Range<u64>] {
+        &self.ranges
+    }
+
+    /// Namespace size the ranges live in.
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
+
+    /// Total number of ids covered.
+    pub fn span(&self) -> u64 {
+        self.ranges.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Fraction of the namespace covered.
+    pub fn fraction(&self) -> f64 {
+        self.span() as f64 / self.namespace as f64
+    }
+
+    /// Whether `id` falls inside an occupied range (binary search).
+    pub fn contains(&self, id: u64) -> bool {
+        let idx = self.ranges.partition_point(|r| r.end <= id);
+        idx < self.ranges.len() && self.ranges[idx].contains(&id)
+    }
+
+    /// Draws `count` distinct ids from the occupied ranges, allocated to
+    /// ranges proportionally to their width, sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if `count` exceeds the total span.
+    pub fn sample_ids<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        let span = self.span();
+        assert!(
+            count as u64 <= span,
+            "cannot place {count} ids in a span of {span}"
+        );
+        let mut out = Vec::with_capacity(count);
+        let mut remaining = count as u64;
+        let mut span_left = span;
+        for r in &self.ranges {
+            if remaining == 0 {
+                break;
+            }
+            let width = r.end - r.start;
+            // Proportional allocation with exact tail accounting.
+            let here = if span_left == width {
+                remaining
+            } else {
+                let ideal = (remaining as f64 * width as f64 / span_left as f64).round() as u64;
+                ideal.min(width).min(remaining)
+            };
+            if here > 0 {
+                out.extend(crate::sampling::sample_distinct(
+                    rng,
+                    r.start,
+                    r.end,
+                    here as usize,
+                ));
+            }
+            remaining -= here;
+            span_left -= width;
+        }
+        // Rounding may leave a small deficit; fill from ranges with room.
+        if remaining > 0 {
+            'outer: for r in &self.ranges {
+                while remaining > 0 {
+                    let x = rng.gen_range(r.start..r.end);
+                    if out.binary_search(&x).is_err() {
+                        let pos = out.partition_point(|&v| v < x);
+                        out.insert(pos, x);
+                        remaining -= 1;
+                    } else if (r.end - r.start) as usize
+                        <= out.iter().filter(|v| r.contains(v)).count()
+                    {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn leaves_to_ranges(leaf_ids: &[u64], namespace: u64, leaves: u64) -> Vec<Range<u64>> {
+    let width = namespace.div_ceil(leaves);
+    let mut ranges: Vec<Range<u64>> = Vec::new();
+    for &leaf in leaf_ids {
+        let start = leaf * width;
+        let end = ((leaf + 1) * width).min(namespace);
+        if start >= end {
+            continue;
+        }
+        match ranges.last_mut() {
+            Some(last) if last.end == start => last.end = end,
+            _ => ranges.push(start..end),
+        }
+    }
+    ranges
+}
+
+/// Occupies `fraction` of the namespace by choosing leaves uniformly at
+/// random (§8.1 "Uniform Namespace").
+pub fn uniform_occupancy<R: Rng + ?Sized>(
+    rng: &mut R,
+    namespace: u64,
+    leaves: u64,
+    fraction: f64,
+) -> OccupiedRanges {
+    let chosen = leaf_count(leaves, fraction);
+    let leaf_ids = uniform_set(rng, leaves, chosen);
+    OccupiedRanges::from_ranges(leaves_to_ranges(&leaf_ids, namespace, leaves), namespace)
+}
+
+/// Occupies `fraction` of the namespace by choosing leaves with the
+/// clustered pdf-splitting process (§8.1 "Clustered Namespace").
+pub fn clustered_occupancy<R: Rng + ?Sized>(
+    rng: &mut R,
+    namespace: u64,
+    leaves: u64,
+    fraction: f64,
+) -> OccupiedRanges {
+    let chosen = leaf_count(leaves, fraction);
+    let leaf_ids = clustered_set(rng, leaves, chosen, crate::querysets::PAPER_CLUSTERING_PCT);
+    OccupiedRanges::from_ranges(leaves_to_ranges(&leaf_ids, namespace, leaves), namespace)
+}
+
+fn leaf_count(leaves: u64, fraction: f64) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&fraction) && fraction > 0.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    ((leaves as f64 * fraction).ceil() as usize).clamp(1, leaves as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_occupancy_fraction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let occ = uniform_occupancy(&mut rng, 1 << 20, 256, 0.2);
+        let frac = occ.fraction();
+        assert!((frac - 0.2).abs() < 0.01, "fraction {frac}");
+        // Ranges sorted & disjoint by construction (from_ranges asserts).
+        assert!(!occ.ranges().is_empty());
+    }
+
+    #[test]
+    fn clustered_occupancy_merges_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let uni = uniform_occupancy(&mut rng, 1 << 20, 256, 0.5);
+        let clu = clustered_occupancy(&mut rng, 1 << 20, 256, 0.5);
+        // Clustered leaf choice yields fewer, wider ranges.
+        assert!(
+            clu.ranges().len() < uni.ranges().len(),
+            "clustered {} ranges vs uniform {}",
+            clu.ranges().len(),
+            uni.ranges().len()
+        );
+        assert_eq!(clu.span(), uni.span());
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let occ = OccupiedRanges::from_ranges(vec![10..20, 40..50], 100);
+        assert!(!occ.contains(9));
+        assert!(occ.contains(10));
+        assert!(occ.contains(19));
+        assert!(!occ.contains(20));
+        assert!(occ.contains(45));
+        assert!(!occ.contains(99));
+        assert_eq!(occ.span(), 20);
+    }
+
+    #[test]
+    fn sample_ids_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let occ = OccupiedRanges::from_ranges(vec![100..200, 300..1000], 10_000);
+        let ids = occ.sample_ids(&mut rng, 400);
+        assert_eq!(ids.len(), 400);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.iter().all(|&x| occ.contains(x)));
+    }
+
+    #[test]
+    fn sample_ids_full_span() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let occ = OccupiedRanges::from_ranges(vec![0..5, 10..15], 20);
+        let ids = occ.sample_ids(&mut rng, 10);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn full_fraction_covers_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let occ = uniform_occupancy(&mut rng, 1000, 16, 1.0);
+        assert_eq!(occ.span(), 1000);
+        assert_eq!(occ.ranges().len(), 1, "all leaves merge into one range");
+    }
+
+    #[test]
+    fn namespace_not_divisible_by_leaves() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let occ = uniform_occupancy(&mut rng, 1000, 7, 1.0);
+        assert_eq!(occ.span(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted & disjoint")]
+    fn overlapping_ranges_panic() {
+        let _ = OccupiedRanges::from_ranges(vec![0..10, 5..15], 100);
+    }
+}

@@ -1,0 +1,239 @@
+//! Query-set generators (§7.1).
+//!
+//! * **Uniform** sets: `n` elements drawn uniformly without replacement.
+//! * **Clustered** sets: the paper's evolving-pdf process, modelling Web
+//!   graphs where "neighbour sets of vertices typically have their ids
+//!   clustered around a few nodes" \[23\]. Starting from a uniform pdf, each
+//!   drawn element `s` has its probability zeroed and split equally between
+//!   its nearest still-available neighbours `x < s < y`; the aggressive
+//!   variant additionally shaves `p%` off *every* element's probability and
+//!   adds it to `x` and `y`. The paper runs `p = 10`.
+//!
+//! The evolving pdf lives in a Fenwick tree; neighbour lookups use
+//! path-compressed skip pointers; the per-round global `p%` shave is a
+//! multiplicative rescale folded into the *new* mass (raw weights grow by
+//! `1/(1−p)` per round and are renormalised before overflow).
+
+use rand::Rng;
+
+use crate::fenwick::Fenwick;
+use crate::sampling::sample_distinct;
+use crate::skipset::SkipSet;
+
+/// The paper's default clustering aggressiveness (`p = 10`%).
+pub const PAPER_CLUSTERING_PCT: f64 = 10.0;
+
+/// Generates a uniform query set: `n` distinct elements from `[0, m)`,
+/// sorted.
+pub fn uniform_set<R: Rng + ?Sized>(rng: &mut R, namespace: u64, n: usize) -> Vec<u64> {
+    sample_distinct(rng, 0, namespace, n)
+}
+
+/// Generates a clustered query set of `n` distinct elements from
+/// `[0, namespace)` via the §7.1 pdf-splitting process with aggressiveness
+/// `p_pct` (percent). Returns a sorted vector.
+///
+/// # Panics
+/// Panics if `n` exceeds the namespace, the namespace exceeds `u32` range
+/// (the process materialises per-element weights), or `p_pct ∉ [0, 100)`.
+pub fn clustered_set<R: Rng + ?Sized>(
+    rng: &mut R,
+    namespace: u64,
+    n: usize,
+    p_pct: f64,
+) -> Vec<u64> {
+    assert!(namespace > 0, "namespace must be non-empty");
+    assert!(
+        namespace <= u32::MAX as u64,
+        "clustered generator materialises the namespace; {namespace} too large"
+    );
+    let m = namespace as usize;
+    assert!(n <= m, "cannot draw {n} from a namespace of {m}");
+    assert!(
+        (0.0..100.0).contains(&p_pct),
+        "aggressiveness must be in [0, 100), got {p_pct}"
+    );
+    let q = p_pct / 100.0;
+    // Raw-unit bookkeeping: effective weights are g * raw for an implicit
+    // global g that shrinks by (1-q) per round. New mass is injected in
+    // raw units scaled by 1/(1-q), so g itself never needs to be tracked.
+    let mut raw = vec![1.0f64; m];
+    let mut fen = Fenwick::from_weights(&raw);
+    let mut skip = SkipSet::new(m);
+    let mut out = Vec::with_capacity(n);
+
+    while out.len() < n {
+        let total = fen.total();
+        if !(total.is_finite()) || total > 1e250 {
+            // Renormalise raw weights to mean 1 before they overflow.
+            let scale = m as f64 / total;
+            for w in raw.iter_mut() {
+                *w *= scale;
+            }
+            // Zeroed (drawn) positions stay zero under scaling.
+            fen = Fenwick::from_weights(&raw);
+            continue;
+        }
+        if total <= 0.0 {
+            // All mass numerically vanished (possible when the last free
+            // elements sit at the boundary with no neighbours): fall back
+            // to uniform over the remaining free slots.
+            for w in raw.iter_mut() {
+                *w = 0.0;
+            }
+            let mut idx = 0usize;
+            let mut restored = false;
+            while let Some(free) = skip.next_free(idx) {
+                raw[free] = 1.0;
+                restored = true;
+                if free + 1 >= m {
+                    break;
+                }
+                idx = free + 1;
+            }
+            if !restored {
+                break; // namespace exhausted
+            }
+            fen = Fenwick::from_weights(&raw);
+            continue;
+        }
+        let target = rng.gen::<f64>() * total;
+        let Some(mut s) = fen.find_by_prefix(target) else {
+            continue; // float drift; redraw
+        };
+        if skip.is_occupied(s) {
+            // Numerical residue on an occupied slot; take the nearest free.
+            match skip.next_free_after(s).or_else(|| skip.prev_free_before(s)) {
+                Some(free) => s = free,
+                None => break,
+            }
+        }
+        out.push(s as u64);
+        skip.occupy(s);
+        let mass_s = raw[s];
+        fen.add(s, -mass_s);
+        raw[s] = 0.0;
+        let rest = (total - mass_s).max(0.0);
+        // Mass to redistribute per neighbour, in post-shave raw units.
+        let per_side = (mass_s + q * rest) / (2.0 * (1.0 - q));
+        let x = skip.prev_free_before(s);
+        let y = skip.next_free_after(s);
+        match (x, y) {
+            (Some(x), Some(y)) => {
+                fen.add(x, per_side);
+                raw[x] += per_side;
+                fen.add(y, per_side);
+                raw[y] += per_side;
+            }
+            (Some(x), None) => {
+                fen.add(x, 2.0 * per_side);
+                raw[x] += 2.0 * per_side;
+            }
+            (None, Some(y)) => {
+                fen.add(y, 2.0 * per_side);
+                raw[y] += 2.0 * per_side;
+            }
+            (None, None) => break, // namespace exhausted
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Clustering diagnostic: fraction of adjacent (sorted) elements at gap 1.
+/// Uniform sets of `n ≪ M` score near `n/M`; clustered sets score high.
+pub fn adjacency_fraction(sorted: &[u64]) -> f64 {
+    if sorted.len() < 2 {
+        return 0.0;
+    }
+    let adjacent = sorted.windows(2).filter(|w| w[1] - w[0] == 1).count();
+    adjacent as f64 / (sorted.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_set_properties() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = uniform_set(&mut rng, 100_000, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&x| x < 100_000));
+    }
+
+    #[test]
+    fn clustered_set_properties() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = clustered_set(&mut rng, 100_000, 1000, PAPER_CLUSTERING_PCT);
+        assert_eq!(s.len(), 1000);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "distinct and sorted");
+        assert!(s.iter().all(|&x| x < 100_000));
+    }
+
+    #[test]
+    fn clustered_is_more_clustered_than_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let uni = uniform_set(&mut rng, 100_000, 1000);
+        let clu = clustered_set(&mut rng, 100_000, 1000, PAPER_CLUSTERING_PCT);
+        let f_uni = adjacency_fraction(&uni);
+        let f_clu = adjacency_fraction(&clu);
+        assert!(
+            f_clu > 10.0 * f_uni.max(0.005),
+            "clustered adjacency {f_clu} vs uniform {f_uni}"
+        );
+    }
+
+    #[test]
+    fn gentle_clustering_without_shave() {
+        // p = 0: only the drawn element's own mass moves; still clusters,
+        // just less aggressively.
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = clustered_set(&mut rng, 50_000, 500, 0.0);
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn exhausting_the_namespace() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = clustered_set(&mut rng, 64, 64, 10.0);
+        assert_eq!(s, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_namespace_edge() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = clustered_set(&mut rng, 1, 1, 10.0);
+        assert_eq!(s, vec![0]);
+        let s2 = clustered_set(&mut rng, 2, 2, 10.0);
+        assert_eq!(s2, vec![0, 1]);
+    }
+
+    #[test]
+    fn deep_runs_renormalise_not_overflow() {
+        // Enough draws at p=10 that raw weights would overflow without
+        // renormalisation (growth (1/0.9)^k > 1e250 needs k ≈ 5460).
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = clustered_set(&mut rng, 8_000, 6_000, 10.0);
+        assert_eq!(s.len(), 6_000);
+    }
+
+    #[test]
+    fn adjacency_fraction_edges() {
+        assert_eq!(adjacency_fraction(&[]), 0.0);
+        assert_eq!(adjacency_fraction(&[5]), 0.0);
+        assert_eq!(adjacency_fraction(&[5, 6]), 1.0);
+        assert_eq!(adjacency_fraction(&[5, 7]), 0.0);
+        assert_eq!(adjacency_fraction(&[1, 2, 3, 10]), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggressiveness")]
+    fn full_shave_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = clustered_set(&mut rng, 100, 10, 100.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Basic sampling utilities: distinct-value sampling over huge integer
+//! ranges and Vose alias tables for O(1) weighted draws.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+/// Draws `n` distinct values uniformly from `[lo, hi)`, returned sorted.
+///
+/// Rejection sampling when `n` is small relative to the range; partial
+/// Fisher–Yates over a materialised range otherwise.
+///
+/// # Panics
+/// Panics if the range is empty or holds fewer than `n` values.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64, n: usize) -> Vec<u64> {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    let range = hi - lo;
+    assert!(
+        (n as u64) <= range,
+        "cannot draw {n} distinct values from a range of {range}"
+    );
+    let mut out: Vec<u64>;
+    if (n as u64).saturating_mul(3) >= range {
+        // Dense: materialise and partially shuffle.
+        let mut all: Vec<u64> = (lo..hi).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(n);
+        out = all;
+    } else {
+        let mut seen = HashSet::with_capacity(n * 2);
+        out = Vec::with_capacity(n);
+        while out.len() < n {
+            let x = rng.gen_range(lo..hi);
+            if seen.insert(x) {
+                out.push(x);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Vose alias table: O(n) build, O(1) weighted sampling with replacement.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds from non-negative weights (not necessarily normalised).
+    ///
+    /// # Panics
+    /// Panics on empty input, negative weights, a zero total, or more than
+    /// `u32::MAX` entries.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(weights.len() <= u32::MAX as usize, "too many entries");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value"
+        );
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0, "negative weight");
+                w * scale
+            })
+            .collect();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draws an index proportionally to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distinct_small_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_distinct(&mut rng, 100, 1_000_000, 500);
+        assert_eq!(s.len(), 500);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(s.iter().all(|&x| (100..1_000_000).contains(&x)));
+    }
+
+    #[test]
+    fn distinct_dense_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_distinct(&mut rng, 0, 100, 90);
+        assert_eq!(s.len(), 90);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn distinct_whole_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_distinct(&mut rng, 5, 15, 10);
+        assert_eq!(s, (5..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn distinct_overdraw_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_distinct(&mut rng, 0, 5, 6);
+    }
+
+    #[test]
+    fn distinct_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut low_half = 0usize;
+        for _ in 0..200 {
+            let s = sample_distinct(&mut rng, 0, 10_000, 50);
+            low_half += s.iter().filter(|&&x| x < 5_000).count();
+        }
+        let frac = low_half as f64 / (200.0 * 50.0);
+        assert!((frac - 0.5).abs() < 0.03, "low-half fraction {frac}");
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let table = AliasTable::new(&[1.0, 0.0, 3.0, 6.0]);
+        let mut counts = [0u64; 4];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight must never be drawn");
+        let f0 = counts[0] as f64 / trials as f64;
+        let f2 = counts[2] as f64 / trials as f64;
+        let f3 = counts[3] as f64 / trials as f64;
+        assert!((f0 - 0.1).abs() < 0.01);
+        assert!((f2 - 0.3).abs() < 0.01);
+        assert!((f3 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn alias_single_entry() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = AliasTable::new(&[42.0]);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn alias_zero_total_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Union-find "nearest free neighbour" structure.
+//!
+//! The clustered query-set generator (§7.1) repeatedly needs
+//! `x = max{i < s : pdf(i) > 0}` and `y = min{i > s : pdf(i) > 0}` where
+//! exactly the already-drawn indices have zero pdf. Because clusters of
+//! drawn indices are contiguous by construction, naive scanning is
+//! quadratic; path-compressed skip pointers make each query near-amortised
+//! constant.
+
+/// Tracks a set of "occupied" indices in `[0, len)` and answers
+/// nearest-free-neighbour queries on either side.
+#[derive(Clone, Debug)]
+pub struct SkipSet {
+    /// `next[i]`: candidate for the first free index `>= i` (self if free).
+    next: Vec<u32>,
+    /// `prev[i]`: candidate for the last free index `<= i` (self if free).
+    prev: Vec<u32>,
+    occupied: Vec<bool>,
+    len: usize,
+}
+
+/// Sentinel meaning "no free index on this side".
+const NONE: u32 = u32::MAX;
+
+impl SkipSet {
+    /// All-free structure over `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or does not fit `u32 - 1`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "SkipSet must be non-empty");
+        assert!(len < NONE as usize, "SkipSet index range exceeds u32");
+        SkipSet {
+            next: (0..len as u32).collect(),
+            prev: (0..len as u32).collect(),
+            occupied: vec![false; len],
+            len,
+        }
+    }
+
+    /// Number of indices tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `i` has been marked occupied.
+    pub fn is_occupied(&self, i: usize) -> bool {
+        self.occupied[i]
+    }
+
+    /// Marks `i` occupied.
+    pub fn occupy(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        if self.occupied[i] {
+            return;
+        }
+        self.occupied[i] = true;
+        // Route around i in both directions.
+        self.next[i] = if i + 1 < self.len {
+            (i + 1) as u32
+        } else {
+            NONE
+        };
+        self.prev[i] = if i > 0 { (i - 1) as u32 } else { NONE };
+    }
+
+    fn resolve_next(&mut self, start: u32) -> u32 {
+        // Find the first free index >= start with path compression.
+        let mut cur = start;
+        // Walk.
+        loop {
+            if cur == NONE {
+                break;
+            }
+            let c = cur as usize;
+            if !self.occupied[c] {
+                break;
+            }
+            cur = self.next[c];
+        }
+        // Compress.
+        let mut walk = start;
+        while walk != NONE && walk != cur {
+            let w = walk as usize;
+            let nxt = self.next[w];
+            self.next[w] = cur;
+            walk = nxt;
+        }
+        cur
+    }
+
+    fn resolve_prev(&mut self, start: u32) -> u32 {
+        let mut cur = start;
+        loop {
+            if cur == NONE {
+                break;
+            }
+            let c = cur as usize;
+            if !self.occupied[c] {
+                break;
+            }
+            cur = self.prev[c];
+        }
+        let mut walk = start;
+        while walk != NONE && walk != cur {
+            let w = walk as usize;
+            let nxt = self.prev[w];
+            self.prev[w] = cur;
+            walk = nxt;
+        }
+        cur
+    }
+
+    /// First free index `>= i`, or `None`.
+    pub fn next_free(&mut self, i: usize) -> Option<usize> {
+        debug_assert!(i < self.len);
+        let r = self.resolve_next(i as u32);
+        (r != NONE).then_some(r as usize)
+    }
+
+    /// Last free index `<= i`, or `None`.
+    pub fn prev_free(&mut self, i: usize) -> Option<usize> {
+        debug_assert!(i < self.len);
+        let r = self.resolve_prev(i as u32);
+        (r != NONE).then_some(r as usize)
+    }
+
+    /// First free index strictly greater than `i`.
+    pub fn next_free_after(&mut self, i: usize) -> Option<usize> {
+        if i + 1 >= self.len {
+            return None;
+        }
+        self.next_free(i + 1)
+    }
+
+    /// Last free index strictly less than `i`.
+    pub fn prev_free_before(&mut self, i: usize) -> Option<usize> {
+        if i == 0 {
+            return None;
+        }
+        self.prev_free(i - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_free_initially() {
+        let mut s = SkipSet::new(10);
+        for i in 0..10 {
+            assert_eq!(s.next_free(i), Some(i));
+            assert_eq!(s.prev_free(i), Some(i));
+            assert!(!s.is_occupied(i));
+        }
+    }
+
+    #[test]
+    fn occupy_routes_around() {
+        let mut s = SkipSet::new(10);
+        s.occupy(5);
+        assert_eq!(s.next_free(5), Some(6));
+        assert_eq!(s.prev_free(5), Some(4));
+        assert_eq!(s.next_free_after(4), Some(6));
+        assert_eq!(s.prev_free_before(6), Some(4));
+    }
+
+    #[test]
+    fn contiguous_runs_skip_efficiently() {
+        let mut s = SkipSet::new(100);
+        for i in 10..90 {
+            s.occupy(i);
+        }
+        assert_eq!(s.next_free(10), Some(90));
+        assert_eq!(s.prev_free(89), Some(9));
+        assert_eq!(s.next_free_after(50), Some(90));
+        assert_eq!(s.prev_free_before(50), Some(9));
+    }
+
+    #[test]
+    fn boundaries_return_none() {
+        let mut s = SkipSet::new(5);
+        for i in 0..5 {
+            s.occupy(i);
+        }
+        assert_eq!(s.next_free(0), None);
+        assert_eq!(s.prev_free(4), None);
+        assert_eq!(s.next_free_after(4), None);
+        assert_eq!(s.prev_free_before(0), None);
+    }
+
+    #[test]
+    fn double_occupy_is_idempotent() {
+        let mut s = SkipSet::new(5);
+        s.occupy(2);
+        s.occupy(2);
+        assert_eq!(s.next_free(2), Some(3));
+        assert_eq!(s.prev_free(2), Some(1));
+    }
+
+    #[test]
+    fn matches_naive_on_random_pattern() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let len = 200usize;
+        let mut s = SkipSet::new(len);
+        let mut occ = vec![false; len];
+        for _ in 0..150 {
+            let i = rng.gen_range(0..len);
+            s.occupy(i);
+            occ[i] = true;
+            let q = rng.gen_range(0..len);
+            let naive_next = (q..len).find(|&j| !occ[j]);
+            let naive_prev = (0..=q).rev().find(|&j| !occ[j]);
+            assert_eq!(s.next_free(q), naive_next, "next at {q}");
+            assert_eq!(s.prev_free(q), naive_prev, "prev at {q}");
+        }
+    }
+}

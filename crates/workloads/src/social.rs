@@ -1,0 +1,273 @@
+//! Synthetic social-stream workload — the substitute for the paper's
+//! proprietary 34-day Twitter crawl (§8: 144M tweets, 7.2M user ids spread
+//! over a ~2.2·10⁹ namespace, 24 000 hashtags with ≥1000 occurrences).
+//!
+//! What §8's experiments actually consume from the crawl is:
+//!
+//! 1. a set of *user ids* occupying a small fraction of a huge namespace
+//!    (uniformly or clustered), and
+//! 2. per-hashtag *audience sets* (users who tweeted the tag), whose sizes
+//!    are heavy-tailed.
+//!
+//! Both are reproduced here with seeded generators: user activity and
+//! hashtag popularity follow Zipf laws (the stylised fact for microblog
+//! streams), and audiences are drawn by activity-weighted selection
+//! (preferential attachment), giving heavy-tailed audience sizes with
+//! overlapping heavy users — the same shape the tree and filters see with
+//! the real crawl. See DESIGN.md ("Substitutions").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::occupancy::OccupiedRanges;
+use crate::sampling::AliasTable;
+
+/// Configuration of the synthetic stream.
+#[derive(Clone, Debug)]
+pub struct SocialConfig {
+    /// Namespace the user ids live in (paper: ~2.2e9).
+    pub namespace: u64,
+    /// Number of distinct users (paper: 7.2e6).
+    pub users: usize,
+    /// Number of hashtags / query sets (paper: 24 000).
+    pub hashtags: usize,
+    /// Zipf exponent of user activity (tweet volume per user).
+    pub activity_exponent: f64,
+    /// Zipf exponent of hashtag popularity (audience size across tags).
+    pub popularity_exponent: f64,
+    /// Audience size of the most popular hashtag.
+    pub max_audience: usize,
+    /// Minimum audience size (paper keeps tags with ≥1000 occurrences;
+    /// audiences smaller than that are discarded upstream).
+    pub min_audience: usize,
+    /// Seed for all derived randomness.
+    pub seed: u64,
+}
+
+impl SocialConfig {
+    /// Paper-scale configuration (§8.1).
+    pub fn paper() -> Self {
+        SocialConfig {
+            namespace: 2_200_000_000,
+            users: 7_200_000,
+            hashtags: 24_000,
+            activity_exponent: 1.1,
+            popularity_exponent: 1.0,
+            max_audience: 50_000,
+            min_audience: 1_000,
+            seed: 0x50C1A1,
+        }
+    }
+
+    /// Downscaled configuration (1/100 on every axis) for tests and the
+    /// default benchmark scale.
+    pub fn small() -> Self {
+        SocialConfig {
+            namespace: 22_000_000,
+            users: 72_000,
+            hashtags: 240,
+            activity_exponent: 1.1,
+            popularity_exponent: 1.0,
+            max_audience: 5_000,
+            min_audience: 100,
+            seed: 0x50C1A1,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        SocialConfig {
+            namespace: 100_000,
+            users: 2_000,
+            hashtags: 20,
+            activity_exponent: 1.1,
+            popularity_exponent: 1.0,
+            max_audience: 500,
+            min_audience: 20,
+            seed: 0x50C1A1,
+        }
+    }
+}
+
+/// A materialised synthetic stream: the occupied user-id set plus a
+/// deterministic per-hashtag audience generator.
+pub struct SocialStream {
+    cfg: SocialConfig,
+    /// Sorted distinct user ids within the occupied ranges.
+    users: Vec<u64>,
+    /// Activity-weighted sampler over user *indices*.
+    activity: AliasTable,
+}
+
+impl SocialStream {
+    /// Generates the user population inside `occupancy`'s ranges.
+    ///
+    /// # Panics
+    /// Panics if the occupied span cannot hold `cfg.users` ids.
+    pub fn generate(cfg: SocialConfig, occupancy: &OccupiedRanges) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let users = occupancy.sample_ids(&mut rng, cfg.users);
+        // User activity ~ Zipf over a random rank permutation (so heavy
+        // users are spread across the id space, not concentrated at low
+        // ids). Weight of the user at sorted position i is
+        // rank_i^{-activity_exponent}.
+        let mut ranks: Vec<u32> = (1..=cfg.users as u32).collect();
+        for i in (1..ranks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ranks.swap(i, j);
+        }
+        let weights: Vec<f64> = ranks
+            .iter()
+            .map(|&r| (r as f64).powf(-cfg.activity_exponent))
+            .collect();
+        let activity = AliasTable::new(&weights);
+        SocialStream {
+            cfg,
+            users,
+            activity,
+        }
+    }
+
+    /// The configuration this stream was generated from.
+    pub fn config(&self) -> &SocialConfig {
+        &self.cfg
+    }
+
+    /// All distinct user ids, sorted — the occupied namespace `M'`.
+    pub fn users(&self) -> &[u64] {
+        &self.users
+    }
+
+    /// Target audience size for hashtag `tag` (popularity-ranked: tag 0 is
+    /// the most popular).
+    pub fn audience_size(&self, tag: usize) -> usize {
+        assert!(tag < self.cfg.hashtags, "hashtag {tag} out of range");
+        let z = (tag + 1) as f64;
+        let size = self.cfg.max_audience as f64 * z.powf(-self.cfg.popularity_exponent);
+        (size as usize).clamp(self.cfg.min_audience, self.cfg.max_audience)
+    }
+
+    /// The audience (sorted distinct user ids) of hashtag `tag`,
+    /// deterministic given the stream seed.
+    ///
+    /// Members are drawn by activity-weighted selection with replacement
+    /// and deduplicated, so very heavy users appear in many audiences —
+    /// the preferential-attachment shape of real hashtag adoption.
+    pub fn audience(&self, tag: usize) -> Vec<u64> {
+        let target = self.audience_size(tag);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ (0x9E3779B9 + tag as u64));
+        let mut members: Vec<u64> = Vec::with_capacity(target);
+        // Cap redraws: dedup loss is bounded, 4x oversampling suffices.
+        let mut draws = 0usize;
+        let max_draws = target * 4 + 64;
+        while members.len() < target && draws < max_draws {
+            let idx = self.activity.sample(&mut rng);
+            members.push(self.users[idx]);
+            draws += 1;
+            if members.len() == target {
+                members.sort_unstable();
+                members.dedup();
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        members
+    }
+
+    /// Restricts an audience to ids inside `occupancy` — the §8.1 rule
+    /// ("we simply ignore ids which do not belong in the namespace
+    /// currently under consideration").
+    pub fn restrict(audience: &[u64], occupancy: &OccupiedRanges) -> Vec<u64> {
+        audience
+            .iter()
+            .copied()
+            .filter(|&id| occupancy.contains(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::uniform_occupancy;
+
+    fn tiny_stream() -> SocialStream {
+        let cfg = SocialConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(9);
+        let occ = uniform_occupancy(&mut rng, cfg.namespace, 64, 0.5);
+        SocialStream::generate(cfg, &occ)
+    }
+
+    #[test]
+    fn users_are_distinct_sorted_and_inside() {
+        let cfg = SocialConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(9);
+        let occ = uniform_occupancy(&mut rng, cfg.namespace, 64, 0.5);
+        let stream = SocialStream::generate(cfg.clone(), &occ);
+        assert_eq!(stream.users().len(), cfg.users);
+        assert!(stream.users().windows(2).all(|w| w[0] < w[1]));
+        assert!(stream.users().iter().all(|&u| occ.contains(u)));
+    }
+
+    #[test]
+    fn audience_sizes_follow_popularity() {
+        let stream = tiny_stream();
+        assert_eq!(stream.audience_size(0), stream.config().max_audience);
+        let mut last = usize::MAX;
+        for tag in 0..stream.config().hashtags {
+            let s = stream.audience_size(tag);
+            assert!(s <= last, "sizes must be non-increasing");
+            assert!(s >= stream.config().min_audience);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn audiences_are_valid_user_subsets() {
+        let stream = tiny_stream();
+        for tag in [0usize, 5, 19] {
+            let a = stream.audience(tag);
+            assert!(!a.is_empty());
+            assert!(a.windows(2).all(|w| w[0] < w[1]));
+            for id in &a {
+                assert!(
+                    stream.users().binary_search(id).is_ok(),
+                    "audience member {id} is not a user"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn audiences_are_deterministic() {
+        let a = tiny_stream().audience(3);
+        let b = tiny_stream().audience(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_users_overlap_audiences() {
+        let stream = tiny_stream();
+        let a0 = stream.audience(0);
+        let a1 = stream.audience(1);
+        let overlap = a0.iter().filter(|x| a1.binary_search(x).is_ok()).count();
+        // Preferential attachment: popular tags share heavy users far more
+        // than uniform audiences of these sizes would (~|a0||a1|/U).
+        let uniform_expect = a0.len() as f64 * a1.len() as f64 / stream.users().len() as f64;
+        assert!(
+            overlap as f64 > 2.0 * uniform_expect,
+            "overlap {overlap} vs uniform expectation {uniform_expect}"
+        );
+    }
+
+    #[test]
+    fn restrict_filters_to_occupancy() {
+        let stream = tiny_stream();
+        let audience = stream.audience(0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let narrow = uniform_occupancy(&mut rng, stream.config().namespace, 64, 0.1);
+        let restricted = SocialStream::restrict(&audience, &narrow);
+        assert!(restricted.len() < audience.len());
+        assert!(restricted.iter().all(|&id| narrow.contains(id)));
+    }
+}

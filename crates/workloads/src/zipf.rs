@@ -1,0 +1,189 @@
+//! Zipf-distributed sampling over ranks `1..=n` via rejection-inversion
+//! (Hörmann & Derflinger), O(1) per draw independent of `n`.
+//!
+//! Backs the synthetic social workload: hashtag popularity and user
+//! activity in real microblog streams are famously heavy-tailed, and the
+//! paper's §8 dataset (per-hashtag audience sets from a Twitter crawl)
+//! inherits both. `P(rank = k) ∝ k^{−s}`.
+
+use rand::Rng;
+
+/// A Zipf sampler over `1..=n` with exponent `s > 0`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler for ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive");
+        let h_integral_x1 = h_integral(1.5, s) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_integral_x1,
+            h_integral_n,
+            threshold,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_integral_n
+                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if (k - x).abs() <= self.threshold
+                || u >= h_integral(k + 0.5, self.s) - h(k, self.s)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(x) = (x^{1−s} − 1)/(1−s)`, or `ln x` at `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^{−s}`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of `h_integral`.
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Numerical guard from the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `ln(1+x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(e^x − 1)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(n: u64, s: f64, trials: usize, seed: u64) -> Vec<f64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / trials as f64)
+            .collect()
+    }
+
+    #[test]
+    fn matches_exact_pmf_small_n() {
+        let n = 5u64;
+        let s = 1.0;
+        let z: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let freq = frequencies(n, s, 200_000, 1);
+        for k in 1..=n {
+            let expected = (k as f64).powf(-s) / z;
+            let got = freq[(k - 1) as usize];
+            assert!(
+                (got - expected).abs() < 0.005,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_unit_exponent() {
+        let n = 10u64;
+        let s = 2.0;
+        let z: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let freq = frequencies(n, s, 200_000, 2);
+        for k in [1u64, 2, 3, 10] {
+            let expected = (k as f64).powf(-s) / z;
+            let got = freq[(k - 1) as usize];
+            assert!(
+                (got - expected).abs() < 0.01,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_exponent_large_n() {
+        // Only sanity: samples in range, rank 1 most common.
+        let zipf = Zipf::new(1_000_000, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first = 0usize;
+        for _ in 0..50_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=1_000_000).contains(&k));
+            if k == 1 {
+                first += 1;
+            }
+        }
+        assert!(first > 100, "rank 1 drawn only {first} times");
+    }
+
+    #[test]
+    fn single_rank_always_one() {
+        let zipf = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

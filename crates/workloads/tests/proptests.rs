@@ -1,0 +1,158 @@
+//! Property-based tests for the workload generators.
+
+use bst_workloads::fenwick::Fenwick;
+use bst_workloads::occupancy::OccupiedRanges;
+use bst_workloads::querysets::{adjacency_fraction, clustered_set, uniform_set};
+use bst_workloads::sampling::{sample_distinct, AliasTable};
+use bst_workloads::skipset::SkipSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fenwick_prefix_sums_match_naive(
+        weights in prop::collection::vec(0.0f64..10.0, 1..200),
+    ) {
+        let f = Fenwick::from_weights(&weights);
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w;
+            prop_assert!((f.prefix_sum(i) - acc).abs() < 1e-9 * acc.max(1.0));
+        }
+    }
+
+    #[test]
+    fn fenwick_find_by_prefix_consistent(
+        weights in prop::collection::vec(0.0f64..10.0, 1..100),
+        frac in 0.0f64..1.0,
+    ) {
+        let f = Fenwick::from_weights(&weights);
+        let total = f.total();
+        prop_assume!(total > 0.0);
+        let target = frac * total * 0.999_999;
+        if let Some(idx) = f.find_by_prefix(target) {
+            // prefix(idx) > target and prefix before idx <= target.
+            prop_assert!(f.prefix_sum(idx) > target - 1e-9);
+            if idx > 0 {
+                prop_assert!(f.prefix_sum(idx - 1) <= target + 1e-9);
+            }
+            prop_assert!(f.get(idx) > 0.0, "selected a zero-weight bin");
+        }
+    }
+
+    #[test]
+    fn skipset_matches_naive(
+        len in 2usize..150,
+        occupations in prop::collection::vec(0usize..150, 0..100),
+        queries in prop::collection::vec(0usize..150, 1..30),
+    ) {
+        let mut s = SkipSet::new(len);
+        let mut occ = vec![false; len];
+        for &o in &occupations {
+            let o = o % len;
+            s.occupy(o);
+            occ[o] = true;
+        }
+        for &q in &queries {
+            let q = q % len;
+            let naive_next = (q..len).find(|&j| !occ[j]);
+            let naive_prev = (0..=q).rev().find(|&j| !occ[j]);
+            prop_assert_eq!(s.next_free(q), naive_next);
+            prop_assert_eq!(s.prev_free(q), naive_prev);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_properties(
+        lo in 0u64..1000,
+        width in 1u64..5000,
+        n_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + width;
+        let n = ((width as f64 * n_frac) as usize).min(width as usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_distinct(&mut rng, lo, hi, n);
+        prop_assert_eq!(s.len(), n);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted & distinct");
+        prop_assert!(s.iter().all(|&x| x >= lo && x < hi));
+    }
+
+    #[test]
+    fn alias_table_never_selects_zero_weight(
+        weights in prop::collection::vec(0.0f64..5.0, 1..50),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "drew zero-weight index {}", i);
+        }
+    }
+
+    #[test]
+    fn query_sets_are_valid(
+        namespace in 100u64..20_000,
+        n_frac in 0.01f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let n = ((namespace as f64 * n_frac) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for set in [
+            uniform_set(&mut rng, namespace, n),
+            clustered_set(&mut rng, namespace, n, 10.0),
+        ] {
+            prop_assert_eq!(set.len(), n);
+            prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(set.iter().all(|&x| x < namespace));
+        }
+    }
+
+    #[test]
+    fn clustered_beats_uniform_adjacency(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let namespace = 50_000u64;
+        let n = 800usize;
+        let uni = uniform_set(&mut rng, namespace, n);
+        let clu = clustered_set(&mut rng, namespace, n, 10.0);
+        prop_assert!(
+            adjacency_fraction(&clu) > adjacency_fraction(&uni),
+            "clustered {} <= uniform {}",
+            adjacency_fraction(&clu),
+            adjacency_fraction(&uni)
+        );
+    }
+
+    #[test]
+    fn occupancy_sample_ids_inside_ranges(
+        starts in prop::collection::btree_set(0u64..10_000, 1..10),
+        count in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        // Build disjoint ranges of width 400 from sorted, spaced starts.
+        let mut ranges = Vec::new();
+        let mut last_end = 0u64;
+        for &s in &starts {
+            let start = s.max(last_end);
+            let end = start + 400;
+            ranges.push(start..end);
+            last_end = end + 1;
+        }
+        let namespace = last_end + 1000;
+        let occ = OccupiedRanges::from_ranges(ranges, namespace);
+        let count = count.min(occ.span() as usize);
+        prop_assume!(count > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids = occ.sample_ids(&mut rng, count);
+        prop_assert_eq!(ids.len(), count);
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        for id in ids {
+            prop_assert!(occ.contains(id), "id {} outside occupancy", id);
+        }
+    }
+}

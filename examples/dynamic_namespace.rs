@@ -1,0 +1,131 @@
+//! Dynamic namespaces — the Pruned-BloomSampleTree growing as occupancy
+//! changes (§5.2: "it is easy to see how to evolve the
+//! Pruned-BloomSampleTree when M' grows (e.g. when new Twitter accounts
+//! are made)"), plus counting-filter deletions for the query sets
+//! themselves.
+//!
+//! Run with: `cargo run --release --example dynamic_namespace`
+
+use bloomsampletree::{BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree};
+use bst_bloom::counting::CountingBloomFilter;
+use bst_bloom::params::TreePlan;
+use bst_bloom::HashKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let namespace = 1u64 << 24; // 16.7M ids
+    let plan = TreePlan::for_accuracy(namespace, 500, 0.85, 3, HashKind::Murmur3, 5, 128.0);
+
+    // Day 0: the service launches with a small beta cohort in one id block.
+    let mut rng = StdRng::seed_from_u64(1);
+    let beta: Vec<u64> = (0..2_000u64).map(|i| 1_000_000 + i * 3).collect();
+    let mut tree = PrunedBloomSampleTree::build(&plan, &beta);
+    println!(
+        "day 0: {} users, {} tree nodes, {:.2} MB",
+        tree.occupied_count(),
+        tree.node_count(),
+        tree.memory_bytes() as f64 / 1e6
+    );
+
+    // Days 1..5: signups arrive in new regions of the namespace; the tree
+    // grows only where occupancy appears.
+    for day in 1..=5 {
+        let region = rng.gen_range(0..16u64) * (namespace / 16);
+        let mut added = 0;
+        for _ in 0..1_500 {
+            let id = region + rng.gen_range(0..namespace / 16);
+            if tree.insert(id) {
+                added += 1;
+            }
+        }
+        println!(
+            "day {day}: +{added} users (region at {region:>9}) -> {} nodes, {:.2} MB",
+            tree.node_count(),
+            tree.memory_bytes() as f64 / 1e6
+        );
+    }
+    let complete_nodes = (1u64 << (plan.depth + 1)) - 1;
+    println!(
+        "complete tree would hold {} nodes ({:.1} MB); pruned tree uses {:.1}%",
+        complete_nodes,
+        complete_nodes as f64 * (plan.m as f64 / 8.0) / 1e6,
+        100.0 * tree.node_count() as f64 / complete_nodes as f64
+    );
+
+    // A community with churn: members join AND leave. Plain Bloom filters
+    // cannot forget, so the community lives in a counting filter and is
+    // projected to a plain filter whenever the tree needs to query it.
+    let hasher = Arc::new(plan.build_hasher());
+    let mut community = CountingBloomFilter::new(Arc::clone(&hasher));
+    let occupied = tree.occupied_ids();
+    let members: Vec<u64> = occupied.iter().copied().step_by(11).collect();
+    for &m in &members {
+        community.insert(m);
+    }
+    println!("\ncommunity: {} members", members.len());
+
+    // Half the members leave.
+    let (leavers, stayers) = members.split_at(members.len() / 2);
+    for &m in leavers {
+        community.remove(m);
+    }
+    println!(
+        "{} members left; counting filter now answers stale queries correctly: \
+         contains(leaver) = {}, contains(stayer) = {}",
+        leavers.len(),
+        community.contains(leavers[0]),
+        community.contains(stayers[0])
+    );
+
+    // Sample and reconstruct the *current* membership through the tree.
+    let snapshot = community.to_bloom();
+    let sampler = BstSampler::new(&tree);
+    let mut stats = OpStats::new();
+    let mut hits = 0;
+    for _ in 0..50 {
+        if let Some(u) = sampler.sample(&snapshot, &mut rng, &mut stats) {
+            if stayers.binary_search(&u).is_ok() {
+                hits += 1;
+            }
+        }
+    }
+    println!("50 samples from the post-churn community: {hits} are current members");
+
+    let mut rec_stats = OpStats::new();
+    let rebuilt = BstReconstructor::new(&tree).reconstruct(&snapshot, &mut rec_stats);
+    let still_there = stayers
+        .iter()
+        .filter(|x| rebuilt.binary_search(x).is_ok())
+        .count();
+    let ghosts = leavers
+        .iter()
+        .filter(|x| rebuilt.binary_search(x).is_ok())
+        .count();
+    println!(
+        "reconstruction after churn: {} ids ({} of {} stayers, {} ghost leavers)",
+        rebuilt.len(),
+        still_there,
+        stayers.len(),
+        ghosts
+    );
+    println!("  cost: {rec_stats}");
+
+    // Accounts get deleted too: the pruned tree supports removal with
+    // exact filter rebuilds along the path, shrinking where occupancy
+    // disappears.
+    let before_nodes = tree.node_count();
+    let ghosts: Vec<u64> = tree.occupied_ids().into_iter().take(2000).collect();
+    for id in &ghosts {
+        tree.remove(*id);
+    }
+    println!(
+        "\ndeleted {} accounts: {} users remain (arena {} -> {} reachable nodes tracked)",
+        ghosts.len(),
+        tree.occupied_count(),
+        before_nodes,
+        tree.node_count(),
+    );
+    assert!(!tree.contains_occupied(ghosts[0]));
+}

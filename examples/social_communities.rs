@@ -1,0 +1,145 @@
+//! Social-network communities — the paper's motivating scenario (§1):
+//! "storing and subsequently sampling from a large number of dynamic,
+//! online communities that form on social networks … that could help
+//! advertisers determine where to target their products."
+//!
+//! A synthetic microblog stream (substitute for the paper's Twitter crawl,
+//! see DESIGN.md) produces per-hashtag audiences. Each audience is stored
+//! *only* as a Bloom filter. A single Pruned-BloomSampleTree over the
+//! sparsely occupied user-id namespace then answers:
+//!
+//! * "give me a random user who tweeted #tag" (ad targeting), and
+//! * "list the whole audience of #tag" (campaign export),
+//!
+//! at a fraction of the memory of a complete tree.
+//!
+//! Run with: `cargo run --release --example social_communities`
+
+use bloomsampletree::core::multiquery::sample_each;
+use bloomsampletree::core::sampler::SamplerConfig;
+use bloomsampletree::{BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, SampleTree};
+use bst_bloom::params::TreePlan;
+use bst_bloom::HashKind;
+use bst_workloads::occupancy::clustered_occupancy;
+use bst_workloads::social::{SocialConfig, SocialStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // A downscaled stream: 22M-wide id namespace, 72k active users
+    // clustered into 30% of it, 240 hashtags.
+    let cfg = SocialConfig::small();
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let occupancy = clustered_occupancy(&mut rng, cfg.namespace, 256, 0.3);
+    println!(
+        "namespace: {} ids, occupied fraction {:.2} in {} contiguous ranges",
+        cfg.namespace,
+        occupancy.fraction(),
+        occupancy.ranges().len()
+    );
+
+    let t0 = Instant::now();
+    let stream = SocialStream::generate(cfg.clone(), &occupancy);
+    println!(
+        "generated {} users, {} hashtags in {:?}",
+        stream.users().len(),
+        cfg.hashtags,
+        t0.elapsed()
+    );
+
+    // Plan filters for 80% accuracy (the paper's §8 setting) and build the
+    // pruned tree over the occupied ids only.
+    let plan = TreePlan::for_accuracy(
+        cfg.namespace,
+        1000,
+        0.8,
+        3,
+        HashKind::Murmur3,
+        99,
+        128.0,
+    );
+    let t1 = Instant::now();
+    let tree = PrunedBloomSampleTree::build(&plan, stream.users());
+    println!(
+        "pruned tree: {} nodes (complete tree would need {}), {:.1} MB, built in {:?}",
+        tree.node_count(),
+        (1u64 << (plan.depth + 1)) - 1,
+        tree.memory_bytes() as f64 / 1e6,
+        t1.elapsed()
+    );
+
+    // Store the 40 most popular hashtag audiences as Bloom filters.
+    let audiences: Vec<Vec<u64>> = (0..40).map(|tag| stream.audience(tag)).collect();
+    let filters: Vec<_> = audiences
+        .iter()
+        .map(|a| tree.query_filter(a.iter().copied()))
+        .collect();
+    println!(
+        "\nstored {} audiences as filters ({} KB each); sizes {}..{} users",
+        filters.len(),
+        plan.m / 8 / 1024,
+        audiences.iter().map(Vec::len).min().unwrap(),
+        audiences.iter().map(Vec::len).max().unwrap()
+    );
+
+    // Ad targeting: one random member of each audience, batched across
+    // worker threads.
+    let t2 = Instant::now();
+    let (picks, stats) = sample_each(&tree, &filters, SamplerConfig::default(), 7, 0);
+    let hit = picks
+        .iter()
+        .zip(&audiences)
+        .filter(|(p, aud)| p.map(|x| aud.binary_search(&x).is_ok()).unwrap_or(false))
+        .count();
+    println!(
+        "sampled one target user per audience in {:?} ({} of {} samples are true members)",
+        t2.elapsed(),
+        hit,
+        picks.len()
+    );
+    println!("  batch cost: {stats}");
+
+    // Campaign export: reconstruct one audience from its filter alone.
+    let tag = 3usize;
+    let mut rec_stats = OpStats::new();
+    let t3 = Instant::now();
+    let exported = BstReconstructor::new(&tree).reconstruct(&filters[tag], &mut rec_stats);
+    let truth = &audiences[tag];
+    let recovered = truth
+        .iter()
+        .filter(|x| exported.binary_search(x).is_ok())
+        .count();
+    println!(
+        "\nexported audience #{tag}: {} ids in {:?} ({} of {} true members, {} false positives)",
+        exported.len(),
+        t3.elapsed(),
+        recovered,
+        truth.len(),
+        exported.len() - recovered
+    );
+    println!("  export cost: {rec_stats}");
+    println!(
+        "  a DictionaryAttack export would need {} membership queries",
+        cfg.namespace
+    );
+
+    // Heavy-user overlap: sample repeatedly from two audiences and count
+    // cross-membership — the preferential-attachment signature.
+    let sampler = BstSampler::new(&tree);
+    let mut cross = 0usize;
+    let mut draws = 0usize;
+    let mut s_stats = OpStats::new();
+    for _ in 0..200 {
+        if let Some(u) = sampler.sample(&filters[0], &mut rng, &mut s_stats) {
+            draws += 1;
+            if audiences[1].binary_search(&u).is_ok() {
+                cross += 1;
+            }
+        }
+    }
+    println!(
+        "\naudience overlap probe: {cross}/{draws} samples from #0 are also in #1 \
+         (heavy users span hashtags)"
+    );
+}

@@ -1,0 +1,61 @@
+//! # bloomsampletree
+//!
+//! A reproduction of **"Sampling and Reconstruction Using Bloom Filters"**
+//! (Neha Sengupta, Amitabha Bagchi, Srikanta Bedathur, Maya Ramanath;
+//! ICDE 2017, arXiv:1701.03308) as a production-quality Rust workspace.
+//!
+//! Given a set `S ⊆ [0, M)` stored in a Bloom filter `B`, this crate can:
+//!
+//! * draw a (near-)uniform random sample from `S ∪ S(B)` (the stored set
+//!   plus `B`'s false positives) — [`BstSystem::sample`];
+//! * reconstruct `S ∪ S(B)` entirely — [`BstSystem::reconstruct`];
+//!
+//! without touching the original data, using only the filter and a
+//! once-built **BloomSampleTree** index over the namespace.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bloomsampletree::BstSystem;
+//!
+//! // One tree for the namespace, reused across all query filters.
+//! let system = BstSystem::builder(100_000).accuracy(0.9).build();
+//!
+//! // Store a set as a Bloom filter (in practice these filters arrive
+//! // from elsewhere — a log, a cache, another machine).
+//! let community = system.store((0..500u64).map(|i| i * 31));
+//!
+//! // Sample from it, without the original set.
+//! let mut rng = rand::thread_rng();
+//! let member = system.sample(&community, &mut rng).unwrap();
+//! assert!(community.contains(member));
+//!
+//! // Or rebuild the whole set.
+//! let rebuilt = system.reconstruct(&community);
+//! assert!(rebuilt.binary_search(&(31 * 7)).is_ok());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`bloom`] (re-export of `bst-bloom`) | bit vectors, hash families (Simple affine / Murmur3 / MD5), the Bloom filter, estimators, parameter planning, counting filters, codec |
+//! | [`core`] (re-export of `bst-core`) | the BloomSampleTree, pruned variant, BSTSample, reconstruction, DictionaryAttack and HashInvert baselines, cost model |
+//! | [`workloads`] (re-export of `bst-workloads`) | uniform/clustered query sets, namespace occupancy, the synthetic social stream |
+//! | [`stats`] (re-export of `bst-stats`) | chi-squared testing, summaries, binomial sampling |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use bst_bloom as bloom;
+pub use bst_core as core;
+pub use bst_stats as stats;
+pub use bst_workloads as workloads;
+
+pub use bst_bloom::{BloomFilter, BloomHasher, HashKind, TreePlan};
+pub use bst_core::{
+    BloomSampleTree, BstReconstructor, BstSampler, BstSystem, OpStats, PrunedBloomSampleTree,
+    SampleTree, SamplerConfig,
+};

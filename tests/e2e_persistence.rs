@@ -1,0 +1,92 @@
+//! Persistence and determinism: filters survive the binary codec and JSON,
+//! hash families rebuild identically from their parameters, and whole
+//! systems are reproducible from a plan.
+
+use bloomsampletree::{BloomFilter, BloomHasher, BstSystem, HashKind, SampleTree, TreePlan};
+use bst_bloom::codec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn filter_binary_roundtrip_preserves_queries() {
+    for kind in HashKind::ALL {
+        let mut f = BloomFilter::with_params(kind, 3, 8192, 100_000, 55);
+        for x in (0..2000u64).step_by(3) {
+            f.insert(x);
+        }
+        let bytes = codec::encode(&f);
+        let back = codec::decode(&bytes).expect("decode");
+        for x in 0..2000u64 {
+            assert_eq!(f.contains(x), back.contains(x), "{kind}: {x}");
+        }
+    }
+}
+
+#[test]
+fn filter_json_roundtrip() {
+    let mut f = BloomFilter::with_params(HashKind::Simple, 3, 4096, 50_000, 56);
+    f.insert(123);
+    f.insert(49_999);
+    let json = serde_json::to_string(&f).expect("serialize");
+    let back: BloomFilter = serde_json::from_str(&json).expect("deserialize");
+    assert!(back.contains(123));
+    assert!(back.contains(49_999));
+    assert!(back.compatible_with(&f));
+}
+
+#[test]
+fn hashers_rebuild_identically_from_parameters() {
+    for kind in HashKind::ALL {
+        let a = BloomHasher::new(kind, 4, 10_000, 1 << 20, 999);
+        let b = BloomHasher::new(kind, 4, 10_000, 1 << 20, 999);
+        assert_eq!(a, b);
+        for x in (0..10_000u64).step_by(997) {
+            for i in 0..4 {
+                assert_eq!(a.position(x, i), b.position(x, i));
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_serde_roundtrip_rebuilds_equivalent_tree() {
+    let plan = TreePlan::for_accuracy(50_000, 500, 0.9, 3, HashKind::Murmur3, 77, 128.0);
+    let json = serde_json::to_string(&plan).expect("serialize plan");
+    let back: TreePlan = serde_json::from_str(&json).expect("deserialize plan");
+    assert_eq!(plan, back);
+
+    let t1 = bloomsampletree::BloomSampleTree::build(&plan);
+    let t2 = bloomsampletree::BloomSampleTree::build(&back);
+    for i in (0..t1.node_count() as u32).step_by(7) {
+        assert_eq!(t1.filter(i).bits(), t2.filter(i).bits(), "node {i}");
+    }
+}
+
+#[test]
+fn remote_filter_scenario() {
+    // The §3.2 framework: filters are produced elsewhere (same parameters)
+    // and shipped as bytes; the local tree must answer queries on them.
+    let system = BstSystem::builder(30_000)
+        .expected_set_size(300)
+        .seed(88)
+        .build();
+    let plan = system.tree().plan().clone();
+
+    // "Remote" producer: rebuilds the hash family from the plan alone.
+    let remote_hasher = Arc::new(plan.build_hasher());
+    let keys: Vec<u64> = (0..300u64).map(|i| i * 99 + 1).collect();
+    let remote_filter = BloomFilter::from_keys(remote_hasher, keys.iter().copied());
+    let wire = codec::encode(&remote_filter);
+
+    // Local consumer: decode and sample/reconstruct through the tree.
+    let received = codec::decode(&wire).expect("decode");
+    assert!(received.compatible_with(system.tree().filter(0)));
+    let mut rng = StdRng::seed_from_u64(89);
+    let s = system.sample(&received, &mut rng).expect("sample");
+    assert!(received.contains(s));
+    let rec = system.reconstruct(&received);
+    for k in &keys {
+        assert!(rec.binary_search(k).is_ok());
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end low-occupancy pipeline (§8): occupancy generation → synthetic
+//! social stream → pruned tree → sampling/reconstruction, plus dynamic
+//! growth.
+
+use bloomsampletree::{
+    BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, SampleTree, TreePlan,
+};
+use bloomsampletree::HashKind;
+use bst_bloom::params::leaf_size;
+use bst_workloads::occupancy::{clustered_occupancy, uniform_occupancy};
+use bst_workloads::social::{SocialConfig, SocialStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn plan(namespace: u64) -> TreePlan {
+    TreePlan {
+        namespace,
+        m: 30_000,
+        k: 3,
+        kind: HashKind::Murmur3,
+        seed: 30,
+        depth: 8,
+        leaf_capacity: leaf_size(namespace, 8),
+        target_accuracy: 0.8,
+    }
+}
+
+#[test]
+fn social_pipeline_end_to_end() {
+    let cfg = SocialConfig::tiny();
+    let mut rng = StdRng::seed_from_u64(31);
+    let occ = uniform_occupancy(&mut rng, cfg.namespace, 256, 0.4);
+    let stream = SocialStream::generate(cfg.clone(), &occ);
+    let tree = PrunedBloomSampleTree::build(&plan(cfg.namespace), stream.users());
+    assert_eq!(tree.occupied_count() as usize, cfg.users);
+
+    let sampler = BstSampler::new(&tree);
+    let mut stats = OpStats::new();
+    for tag in 0..5usize {
+        let audience = stream.audience(tag);
+        let q = tree.query_filter(audience.iter().copied());
+        // Sample a member.
+        let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+        assert!(q.contains(s));
+        // Samples come from occupied ids only.
+        assert!(stream.users().binary_search(&s).is_ok());
+        // Reconstruct the audience.
+        let mut rstats = OpStats::new();
+        let rec = BstReconstructor::new(&tree).reconstruct(&q, &mut rstats);
+        for member in &audience {
+            assert!(rec.binary_search(member).is_ok(), "lost member {member}");
+        }
+    }
+}
+
+#[test]
+fn lower_occupancy_means_less_memory_and_better_accuracy() {
+    let cfg = SocialConfig::tiny();
+    let mut results = Vec::new();
+    for fraction in [0.2f64, 0.8] {
+        let mut rng = StdRng::seed_from_u64(32);
+        let occ = uniform_occupancy(&mut rng, cfg.namespace, 256, fraction);
+        let stream = SocialStream::generate(cfg.clone(), &occ);
+        let tree = PrunedBloomSampleTree::build(&plan(cfg.namespace), stream.users());
+        let audience = stream.audience(0);
+        let q = tree.query_filter(audience.iter().copied());
+        let sampler = BstSampler::new(&tree);
+        let (mut trues, mut total) = (0u64, 0u64);
+        let mut stats = OpStats::new();
+        for _ in 0..300 {
+            if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+                total += 1;
+                if audience.binary_search(&s).is_ok() {
+                    trues += 1;
+                }
+            }
+        }
+        results.push((tree.memory_bytes(), trues as f64 / total.max(1) as f64));
+    }
+    let (mem_low, _acc_low) = results[0];
+    let (mem_high, _acc_high) = results[1];
+    assert!(
+        mem_low < mem_high,
+        "memory at 0.2 ({mem_low}) must undercut 0.8 ({mem_high})"
+    );
+}
+
+#[test]
+fn clustered_occupancy_builds_fewer_nodes() {
+    let cfg = SocialConfig::tiny();
+    let mut rng = StdRng::seed_from_u64(33);
+    let uni = uniform_occupancy(&mut rng, cfg.namespace, 256, 0.3);
+    let clu = clustered_occupancy(&mut rng, cfg.namespace, 256, 0.3);
+    let s_uni = SocialStream::generate(cfg.clone(), &uni);
+    let s_clu = SocialStream::generate(cfg.clone(), &clu);
+    let t_uni = PrunedBloomSampleTree::build(&plan(cfg.namespace), s_uni.users());
+    let t_clu = PrunedBloomSampleTree::build(&plan(cfg.namespace), s_clu.users());
+    // Clustered leaves share ancestors: fewer materialised nodes (Fig 14's
+    // "memory requirement smaller for a clustered namespace").
+    assert!(
+        t_clu.node_count() <= t_uni.node_count(),
+        "clustered {} > uniform {}",
+        t_clu.node_count(),
+        t_uni.node_count()
+    );
+}
+
+#[test]
+fn dynamic_growth_tracks_new_signups() {
+    let cfg = SocialConfig::tiny();
+    let mut rng = StdRng::seed_from_u64(34);
+    let occ = uniform_occupancy(&mut rng, cfg.namespace, 256, 0.5);
+    let stream = SocialStream::generate(cfg.clone(), &occ);
+    let (first, rest) = stream.users().split_at(cfg.users / 2);
+    let mut tree = PrunedBloomSampleTree::build(&plan(cfg.namespace), first);
+    let nodes_before = tree.node_count();
+    for &id in rest {
+        assert!(tree.insert(id));
+    }
+    assert!(tree.node_count() >= nodes_before);
+    assert_eq!(tree.occupied_count() as usize, cfg.users);
+    // Queries over the grown tree behave like a batch-built one.
+    let batch = PrunedBloomSampleTree::build(&plan(cfg.namespace), stream.users());
+    let audience = stream.audience(1);
+    let q = tree.query_filter(audience.iter().copied());
+    let mut s1 = OpStats::new();
+    let mut s2 = OpStats::new();
+    assert_eq!(
+        BstReconstructor::new(&tree).reconstruct(&q, &mut s1),
+        BstReconstructor::new(&batch).reconstruct(&q, &mut s2),
+    );
+}
