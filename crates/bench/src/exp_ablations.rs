@@ -127,7 +127,13 @@ pub fn ablate_estimator(scale: &Scale) -> Table {
 pub fn ablate_depth(scale: &Scale) -> Table {
     let mut t = Table::new(
         "Ablation: tree depth vs time and memory (M = 10^6, n = 10^3, acc 0.9)",
-        &["depth", "M_bot", "memory MB", "ms/sample", "memberships/sample"],
+        &[
+            "depth",
+            "M_bot",
+            "memory MB",
+            "ms/sample",
+            "memberships/sample",
+        ],
     );
     let base = plan_for(NAMESPACE, 0.9, HashKind::Murmur3, crate::common::SEED);
     for depth in [5u32, 7, 9, 11, 13] {

@@ -102,7 +102,14 @@ pub fn table5(scale: &Scale) -> Table {
     let namespace: u64 = 1_000_000;
     let mut t = Table::new(
         "Table 5: chi-squared p-values, M = 10^6 (corrected / paper-literal sampler)",
-        &["accuracy", "n", "T", "p (corrected)", "p (paper)", "acc measured"],
+        &[
+            "accuracy",
+            "n",
+            "T",
+            "p (corrected)",
+            "p (paper)",
+            "acc measured",
+        ],
     );
     for &acc in &scale.accuracies {
         let plan = plan_for(namespace, acc, HashKind::Murmur3, crate::common::SEED);

@@ -14,8 +14,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitvec::BitVec;
 use crate::filter::{BloomFilter, MAX_K};
 use crate::hash::BloomHasher;
@@ -23,7 +21,7 @@ use crate::hash::BloomHasher;
 const COUNTER_MAX: u8 = 15;
 
 /// A Bloom filter with 4-bit counters per position.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CountingBloomFilter {
     /// Two 4-bit counters per byte; position `i` lives in nibble `i & 1` of
     /// byte `i >> 1`.

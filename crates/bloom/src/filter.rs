@@ -3,8 +3,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitvec::BitVec;
 use crate::estimate;
 use crate::hash::{BloomHasher, HashKind};
@@ -19,7 +17,7 @@ pub const MAX_K: usize = 32;
 /// thousands of node filters and all query filters — must use the same
 /// `(m, H)` so that intersections are meaningful (§5.1), and sharing makes
 /// that relationship explicit and cheap.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BloomFilter {
     bits: BitVec,
     hasher: Arc<BloomHasher>,
@@ -362,12 +360,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn codec_roundtrip_preserves_contents() {
         let mut f = BloomFilter::with_params(HashKind::Md5, 2, 256, 5000, 9);
         f.insert(17);
         f.insert(4999);
-        let json = serde_json::to_string(&f).unwrap();
-        let back: BloomFilter = serde_json::from_str(&json).unwrap();
+        let bytes = crate::codec::encode(&f);
+        let back = crate::codec::decode(&bytes).unwrap();
         assert!(back.contains(17));
         assert!(back.contains(4999));
         assert!(back.compatible_with(&f));

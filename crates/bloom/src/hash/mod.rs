@@ -19,11 +19,9 @@ pub mod prime;
 
 pub use affine::{AffineFamily, Preimages};
 
-use serde::{Deserialize, Serialize};
-
 /// Which base hash a family uses. Runtime-selectable because the experiments
 /// sweep over families.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HashKind {
     /// Weakly invertible affine family (the paper's "Simple").
     Simple,
@@ -67,7 +65,7 @@ impl std::str::FromStr for HashKind {
 }
 
 /// Kirsch–Mitzenmacher double-hashing family over a 128-bit base hash.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DoubleHashFamily {
     kind: HashKind,
     k: usize,
@@ -133,7 +131,7 @@ impl DoubleHashFamily {
 /// Every filter participating in a BloomSampleTree — tree nodes and query
 /// filters alike — must share one `BloomHasher` (same `m`, same functions),
 /// because the tree constantly intersects them (§5.1).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BloomHasher {
     /// The paper's "Simple" weakly invertible family.
     Affine(AffineFamily),
@@ -301,10 +299,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_enum() {
+    fn rebuild_from_params_is_identical() {
         let h = BloomHasher::new(HashKind::Murmur3, 4, 2048, 1 << 20, 77);
-        let json = serde_json::to_string(&h).unwrap();
-        let back: BloomHasher = serde_json::from_str(&json).unwrap();
+        let back = BloomHasher::new(HashKind::Murmur3, 4, 2048, 1 << 20, 77);
         assert_eq!(h, back);
         assert_eq!(h.position(555, 2), back.position(555, 2));
     }

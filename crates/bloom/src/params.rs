@@ -13,8 +13,6 @@
 //! for `M=10⁶`, `m = 297485` for `M=10⁷`, matching the published tables);
 //! exact accuracy 1.0 would need an infinite filter.
 
-use serde::{Deserialize, Serialize};
-
 use crate::estimate;
 use crate::hash::{BloomHasher, HashKind};
 
@@ -108,7 +106,7 @@ pub fn leaf_size(namespace: u64, depth: u32) -> u64 {
 
 /// A fully resolved plan for one BloomSampleTree deployment: filter
 /// parameters plus tree shape.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TreePlan {
     /// Namespace size `M`.
     pub namespace: u64,
@@ -188,7 +186,7 @@ impl TreePlan {
 /// One row of the paper's Tables 2/3, pinned so experiments can regenerate
 /// those tables verbatim even where the cost-ratio inputs behind the
 /// published `M⊥` values are unknown.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PaperRow {
     /// Target sampling accuracy of the row.
     pub accuracy: f64,
@@ -202,22 +200,82 @@ pub struct PaperRow {
 
 /// Table 2: `M = 10⁶`, `n = 10³`, `k = 3`.
 pub const PAPER_TABLE2: [PaperRow; 6] = [
-    PaperRow { accuracy: 0.5, m: 28_465, depth: 10, leaf_capacity: 976 },
-    PaperRow { accuracy: 0.6, m: 32_808, depth: 10, leaf_capacity: 976 },
-    PaperRow { accuracy: 0.7, m: 38_259, depth: 10, leaf_capacity: 976 },
-    PaperRow { accuracy: 0.8, m: 46_000, depth: 9, leaf_capacity: 1953 },
-    PaperRow { accuracy: 0.9, m: 60_870, depth: 9, leaf_capacity: 1953 },
-    PaperRow { accuracy: 1.0, m: 137_230, depth: 6, leaf_capacity: 15_625 },
+    PaperRow {
+        accuracy: 0.5,
+        m: 28_465,
+        depth: 10,
+        leaf_capacity: 976,
+    },
+    PaperRow {
+        accuracy: 0.6,
+        m: 32_808,
+        depth: 10,
+        leaf_capacity: 976,
+    },
+    PaperRow {
+        accuracy: 0.7,
+        m: 38_259,
+        depth: 10,
+        leaf_capacity: 976,
+    },
+    PaperRow {
+        accuracy: 0.8,
+        m: 46_000,
+        depth: 9,
+        leaf_capacity: 1953,
+    },
+    PaperRow {
+        accuracy: 0.9,
+        m: 60_870,
+        depth: 9,
+        leaf_capacity: 1953,
+    },
+    PaperRow {
+        accuracy: 1.0,
+        m: 137_230,
+        depth: 6,
+        leaf_capacity: 15_625,
+    },
 ];
 
 /// Table 3: `M = 10⁷`, `n = 10³`, `k = 3`.
 pub const PAPER_TABLE3: [PaperRow; 6] = [
-    PaperRow { accuracy: 0.5, m: 63_120, depth: 13, leaf_capacity: 1220 },
-    PaperRow { accuracy: 0.6, m: 72_475, depth: 13, leaf_capacity: 1220 },
-    PaperRow { accuracy: 0.7, m: 84_215, depth: 13, leaf_capacity: 1220 },
-    PaperRow { accuracy: 0.8, m: 101_090, depth: 13, leaf_capacity: 1220 },
-    PaperRow { accuracy: 0.9, m: 132_933, depth: 12, leaf_capacity: 2441 },
-    PaperRow { accuracy: 1.0, m: 297_485, depth: 10, leaf_capacity: 9765 },
+    PaperRow {
+        accuracy: 0.5,
+        m: 63_120,
+        depth: 13,
+        leaf_capacity: 1220,
+    },
+    PaperRow {
+        accuracy: 0.6,
+        m: 72_475,
+        depth: 13,
+        leaf_capacity: 1220,
+    },
+    PaperRow {
+        accuracy: 0.7,
+        m: 84_215,
+        depth: 13,
+        leaf_capacity: 1220,
+    },
+    PaperRow {
+        accuracy: 0.8,
+        m: 101_090,
+        depth: 13,
+        leaf_capacity: 1220,
+    },
+    PaperRow {
+        accuracy: 0.9,
+        m: 132_933,
+        depth: 12,
+        leaf_capacity: 2441,
+    },
+    PaperRow {
+        accuracy: 1.0,
+        m: 297_485,
+        depth: 10,
+        leaf_capacity: 9765,
+    },
 ];
 
 /// A plan pinned to a published table row, when one exists for
@@ -339,10 +397,7 @@ mod tests {
         assert_eq!(plan.k, 3);
         assert!((plan.m as i64 - 60_870).abs() <= 2);
         assert!(plan.depth >= 8 && plan.depth <= 11, "depth {}", plan.depth);
-        assert_eq!(
-            plan.leaf_capacity,
-            leaf_size(1_000_000, plan.depth)
-        );
+        assert_eq!(plan.leaf_capacity, leaf_size(1_000_000, plan.depth));
         let h = plan.build_hasher();
         assert_eq!(h.m(), plan.m);
         let acc = plan.expected_accuracy(1000);

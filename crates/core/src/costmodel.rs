@@ -146,10 +146,7 @@ mod tests {
         let tuned = cm.retune_plan(&plan);
         assert_eq!(tuned.m, plan.m);
         assert_eq!(tuned.namespace, plan.namespace);
-        assert_eq!(
-            tuned.leaf_capacity,
-            leaf_size(plan.namespace, tuned.depth)
-        );
+        assert_eq!(tuned.leaf_capacity, leaf_size(plan.namespace, tuned.depth));
         // ratio 100 -> capacity in [976, 1000) -> depth 10 for M=1e6.
         assert_eq!(tuned.depth, 10);
     }

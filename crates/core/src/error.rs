@@ -1,0 +1,84 @@
+//! Typed failure reasons for every fallible sampling/reconstruction
+//! operation.
+//!
+//! The pre-handle facade returned bare `Option<u64>` / `Vec<u64>`, which
+//! collapsed four very different situations — "you handed me an empty
+//! filter", "pruning proved no element can match", "the rejection budget
+//! ran out" and "this filter was built with a different hash family" —
+//! into one uninformative `None`. Serving infrastructure needs to route
+//! these differently (a client error vs. a retry vs. a config bug), so
+//! every fallible operation now returns `Result<_, BstError>`.
+
+/// Why a sampling or reconstruction operation could not produce a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BstError {
+    /// The query filter has no bits set: nothing was ever stored in it.
+    EmptyFilter,
+    /// The query filter's `(m, k, hash family, seed)` do not match the
+    /// tree's, so intersections against tree nodes are meaningless.
+    IncompatibleFilter,
+    /// The tree has no root (a pruned tree over an empty occupied set).
+    EmptyTree,
+    /// Tree descent proved that no live leaf exists: every root-to-leaf
+    /// path died in pruning or leaf membership scans. Under sound
+    /// (`BitOverlap`) liveness with no rejection correction this means the
+    /// filter's positive set over the namespace is empty; under
+    /// threshold pruning it may also mean the estimates discarded a small
+    /// set (the paper's §5.6 caveat).
+    NoLiveLeaf,
+    /// Rejection-corrected sampling used up its proposal budget without an
+    /// accepted (or fallback) sample. The filter may still be non-empty —
+    /// retrying with a fresh RNG state or a larger `gamma` can succeed.
+    BudgetExhausted {
+        /// Proposal walks attempted before giving up.
+        attempts: usize,
+    },
+    /// A configuration value was rejected by
+    /// [`crate::system::BstSystemBuilder::try_build`] or the `validate`
+    /// methods on the config types (negative or non-finite liveness
+    /// threshold, rejection `gamma` below 1, …).
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for BstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BstError::EmptyFilter => write!(f, "query filter is empty"),
+            BstError::IncompatibleFilter => {
+                write!(f, "query filter parameters do not match the tree")
+            }
+            BstError::EmptyTree => write!(f, "tree has no root"),
+            BstError::NoLiveLeaf => write!(f, "no live leaf: every descent path died"),
+            BstError::BudgetExhausted { attempts } => {
+                write!(f, "rejection budget exhausted after {attempts} proposals")
+            }
+            BstError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        assert!(BstError::EmptyFilter.to_string().contains("empty"));
+        assert!(BstError::IncompatibleFilter.to_string().contains("match"));
+        assert!(BstError::BudgetExhausted { attempts: 96 }
+            .to_string()
+            .contains("96"));
+        assert!(BstError::InvalidConfig("gamma")
+            .to_string()
+            .contains("gamma"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(BstError::NoLiveLeaf);
+    }
+}

@@ -15,24 +15,31 @@
 //!   Figures 3–4 and 8–12;
 //! * [`costmodel::CostModel`] — runtime `icost/mcost` calibration (§5.4);
 //! * [`multiquery`] — parallel batch sampling over many query filters;
-//! * [`system::BstSystem`] — the high-level facade.
+//! * [`error::BstError`] — typed failure reasons for every fallible op;
+//! * [`system::BstSystem`] — the `Arc`-shared, `Send + Sync` facade;
+//! * [`query::Query`] — the per-filter handle with amortized descent
+//!   state, opened via [`system::BstSystem::query`].
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod costmodel;
+pub mod error;
 pub mod metrics;
 pub mod multiquery;
 pub mod persistence;
 pub mod pruned;
+pub mod query;
 pub mod reconstruct;
 pub mod sampler;
 pub mod system;
 pub mod tree;
 
+pub use error::BstError;
 pub use metrics::OpStats;
 pub use pruned::PrunedBloomSampleTree;
-pub use reconstruct::BstReconstructor;
-pub use sampler::{BstSampler, SamplerConfig};
-pub use system::BstSystem;
+pub use query::Query;
+pub use reconstruct::{BstReconstructor, ReconstructConfig};
+pub use sampler::{BstSampler, QueryMemo, SamplerConfig};
+pub use system::{BstConfig, BstSystem};
 pub use tree::{BloomSampleTree, SampleTree};

@@ -6,28 +6,30 @@
 //! and will be repeatedly used for different query Bloom filters"), and
 //! queries are independent, so batch work parallelises trivially across
 //! worker threads (crossbeam scoped threads, aggregated stats behind a
-//! parking_lot mutex).
+//! parking_lot mutex). The facade exposes this as
+//! [`crate::system::BstSystem::query_batch`].
 
 use bst_bloom::filter::BloomFilter;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::error::BstError;
 use crate::metrics::OpStats;
 use crate::sampler::{BstSampler, SamplerConfig};
 use crate::tree::SampleTree;
 
 /// Draws one sample per query filter, in parallel over `threads` workers
-/// (0 = one per CPU). Returns per-query results (aligned with `queries`)
-/// plus aggregated operation counts. Deterministic for a fixed `seed` and
-/// query order.
+/// (0 = one per CPU). Returns per-query results (aligned with `queries`,
+/// each carrying its own typed failure reason) plus aggregated operation
+/// counts. Deterministic for a fixed `seed` and query order.
 pub fn sample_each<T: SampleTree + Sync>(
     tree: &T,
     queries: &[BloomFilter],
     cfg: SamplerConfig,
     seed: u64,
     threads: usize,
-) -> (Vec<Option<u64>>, OpStats) {
+) -> (Vec<Result<u64, BstError>>, OpStats) {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -39,7 +41,8 @@ pub fn sample_each<T: SampleTree + Sync>(
         return (Vec::new(), OpStats::new());
     }
     let chunk = queries.len().div_ceil(threads);
-    let results: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None; queries.len()]);
+    let results: Mutex<Vec<Result<u64, BstError>>> =
+        Mutex::new(vec![Err(BstError::NoLiveLeaf); queries.len()]);
     let total: Mutex<OpStats> = Mutex::new(OpStats::new());
     crossbeam::scope(|scope| {
         for (w, qchunk) in queries.chunks(chunk).enumerate() {
@@ -47,12 +50,19 @@ pub fn sample_each<T: SampleTree + Sync>(
             let total = &total;
             scope.spawn(move |_| {
                 let sampler = BstSampler::with_config(tree, cfg);
+                let root_filter = tree.root().map(|r| tree.filter(r));
                 // Worker-local rng: deterministic per (seed, worker).
                 let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E3779B9));
                 let mut stats = OpStats::new();
                 let mut local = Vec::with_capacity(qchunk.len());
                 for q in qchunk {
-                    local.push(sampler.sample(q, &mut rng, &mut stats));
+                    // Same guard the single-query handle enforces: a filter
+                    // from a different hash family is a config bug, not an
+                    // empty set.
+                    local.push(match root_filter {
+                        Some(rf) if !q.compatible_with(rf) => Err(BstError::IncompatibleFilter),
+                        _ => sampler.try_sample(q, &mut rng, &mut stats),
+                    });
                 }
                 let base = w * chunk;
                 let mut res = results.lock();
@@ -121,7 +131,37 @@ mod tests {
         let t = tree();
         let qs = queries(&t, 10);
         let (res, _) = sample_each(&t, &qs, SamplerConfig::default(), 1, 1);
-        assert_eq!(res.iter().filter(|r| r.is_some()).count(), 10);
+        assert_eq!(res.iter().filter(|r| r.is_ok()).count(), 10);
+    }
+
+    #[test]
+    fn empty_filters_carry_typed_errors() {
+        let t = tree();
+        let mut qs = queries(&t, 4);
+        qs.insert(2, t.query_filter(std::iter::empty()));
+        let (res, _) = sample_each(&t, &qs, SamplerConfig::default(), 3, 2);
+        assert_eq!(res.len(), 5);
+        assert_eq!(res[2], Err(BstError::EmptyFilter));
+        for (i, r) in res.iter().enumerate() {
+            if i != 2 {
+                assert!(r.is_ok(), "query {i} should sample");
+            }
+        }
+    }
+
+    #[test]
+    fn incompatible_filters_carry_typed_errors() {
+        let t = tree();
+        let mut qs = queries(&t, 3);
+        // Same (m, k) but a different hash-family seed: meaningless to
+        // intersect against this tree.
+        let foreign = BloomFilter::with_params(HashKind::Murmur3, 3, 1 << 16, 4096, 999);
+        qs.push(foreign);
+        let (res, _) = sample_each(&t, &qs, SamplerConfig::default(), 3, 2);
+        assert_eq!(res[3], Err(BstError::IncompatibleFilter));
+        for r in &res[..3] {
+            assert!(r.is_ok());
+        }
     }
 
     #[test]

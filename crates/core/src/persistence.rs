@@ -114,10 +114,7 @@ pub(crate) fn get_words(input: &mut &[u8], count: usize) -> Result<Vec<u64>, Per
     Ok(words)
 }
 
-pub(crate) fn check_header(
-    input: &mut &[u8],
-    magic: &[u8; 4],
-) -> Result<(), PersistError> {
+pub(crate) fn check_header(input: &mut &[u8], magic: &[u8; 4]) -> Result<(), PersistError> {
     if input.remaining() < 5 {
         return Err(PersistError::Truncated);
     }

@@ -649,7 +649,9 @@ mod tests {
         let mut stats = OpStats::new();
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(BstSampler::new(&t).sample(&q, &mut rng, &mut stats), None);
-        assert!(BstReconstructor::new(&t).reconstruct(&q, &mut stats).is_empty());
+        assert!(BstReconstructor::new(&t)
+            .reconstruct(&q, &mut stats)
+            .is_empty());
     }
 
     #[test]
@@ -702,7 +704,11 @@ mod removal_tests {
 
     #[test]
     fn remove_then_queries_forget_the_id() {
-        let occ: Vec<u64> = (0..400u64).map(|i| i * 37 % (1 << 14)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let occ: Vec<u64> = (0..400u64)
+            .map(|i| i * 37 % (1 << 14))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
         let victim = occ[123];
         assert!(t.contains_occupied(victim));
@@ -722,7 +728,11 @@ mod removal_tests {
     fn filters_stay_exact_after_removals() {
         // After removals, the tree must behave identically to a fresh
         // build over the surviving ids.
-        let occ: Vec<u64> = (0..300u64).map(|i| i * 53 % (1 << 14)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let occ: Vec<u64> = (0..300u64)
+            .map(|i| i * 53 % (1 << 14))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
         let survivors: Vec<u64> = occ.iter().copied().filter(|x| x % 3 != 0).collect();
         for id in occ.iter().filter(|x| *x % 3 == 0) {
@@ -760,7 +770,8 @@ mod removal_tests {
     fn insert_remove_interleaving() {
         let mut t = PrunedBloomSampleTree::empty(&plan());
         for i in 0..200u64 {
-            assert!(t.insert(i * 13 % (1 << 14)) || true);
+            // Duplicates return false; both outcomes are fine here.
+            let _ = t.insert(i * 13 % (1 << 14));
         }
         let ids = t.occupied_ids();
         for (i, id) in ids.iter().enumerate() {

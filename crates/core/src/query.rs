@@ -1,0 +1,308 @@
+//! The per-filter query handle: captured filter + amortized descent state.
+//!
+//! The paper's framework (§3.2) stores millions of sets as Bloom filters
+//! and serves *repeated* sampling/reconstruction requests against each of
+//! them from one shared tree. Treating every call as stateless — as the
+//! old `BstSystem::sample`/`reconstruct` facade did — rebuilds the same
+//! per-query information over and over: every descent re-intersects the
+//! query with the same node filters, every leaf visit re-scans the same
+//! candidates, and corrected sampling rebuilds its frontier weight cache
+//! from scratch each call.
+//!
+//! [`Query`] fixes the shape: [`crate::system::BstSystem::query`] captures
+//! the filter once, and each operation lazily grows a [`QueryMemo`] — the
+//! live-node frontier discovered by the first tree descents — so later
+//! operations on the same handle turn `O(m/64)`-word Bloom intersections
+//! into hash-map hits. The handle holds an `Arc` of the system, so it is
+//! `'static`, `Send + Sync`, and can be shared across worker threads or
+//! kept in a per-client session cache.
+//!
+//! Caching never changes results: cached values are pure functions of
+//! `(tree, filter, config)`, and the walk consumes randomness identically
+//! on hits and misses, so a warm handle returns exactly what a cold one
+//! would for the same RNG state (`e2e_query_handle.rs` pins this).
+
+use std::ops::Range;
+
+use bst_bloom::filter::BloomFilter;
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::error::BstError;
+use crate::metrics::OpStats;
+use crate::reconstruct::BstReconstructor;
+use crate::sampler::{BstSampler, QueryMemo};
+use crate::system::BstSystem;
+use crate::tree::SampleTree;
+
+/// A handle binding one query filter to a [`BstSystem`], with cached
+/// descent state and accumulated operation accounting.
+///
+/// Construct with [`BstSystem::query`]. All operations take `&self`; the
+/// internal caches are mutex-guarded, so a `Query` can be shared across
+/// threads (operations on *one* handle serialize on the cache lock —
+/// clone the system and open one handle per worker for parallel serving
+/// of the same filter).
+pub struct Query {
+    system: BstSystem,
+    filter: BloomFilter,
+    compatible: bool,
+    memo: Mutex<QueryMemo>,
+    stats: Mutex<OpStats>,
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let memo = self.memo.lock();
+        write!(
+            f,
+            "Query(bits={}, compatible={}, cached_evals={}, cached_leaves={})",
+            self.filter.count_ones(),
+            self.compatible,
+            memo.cached_evals(),
+            memo.cached_leaves()
+        )
+    }
+}
+
+impl Query {
+    pub(crate) fn new(system: BstSystem, filter: BloomFilter) -> Self {
+        let compatible = match system.tree().root() {
+            Some(root) => filter.compatible_with(system.tree().filter(root)),
+            None => true,
+        };
+        Query {
+            system,
+            filter,
+            compatible,
+            memo: Mutex::new(QueryMemo::new()),
+            stats: Mutex::new(OpStats::new()),
+        }
+    }
+
+    /// The captured query filter.
+    pub fn filter(&self) -> &BloomFilter {
+        &self.filter
+    }
+
+    /// The system this handle queries (an `Arc` clone away from the one
+    /// that created it).
+    pub fn system(&self) -> &BstSystem {
+        &self.system
+    }
+
+    /// Estimated cardinality of the stored set, from the filter alone.
+    pub fn estimated_cardinality(&self) -> f64 {
+        self.filter.estimate_cardinality()
+    }
+
+    /// Operation counts accumulated by every call through this handle.
+    /// Cached work performs no filter operations, so a warming handle
+    /// shows falling per-call deltas here.
+    pub fn stats(&self) -> OpStats {
+        *self.stats.lock()
+    }
+
+    /// Returns the accumulated stats and resets the counters.
+    pub fn take_stats(&self) -> OpStats {
+        let mut guard = self.stats.lock();
+        let out = *guard;
+        guard.reset();
+        out
+    }
+
+    /// Number of tree nodes whose liveness/descent evaluation is cached.
+    pub fn cached_evals(&self) -> usize {
+        self.memo.lock().cached_evals()
+    }
+
+    /// Number of leaves whose match lists are cached.
+    pub fn cached_leaves(&self) -> usize {
+        self.memo.lock().cached_leaves()
+    }
+
+    fn guard(&self) -> Result<(), BstError> {
+        if self.compatible {
+            Ok(())
+        } else {
+            Err(BstError::IncompatibleFilter)
+        }
+    }
+
+    /// Draws one near-uniform sample from the stored set.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<u64, BstError> {
+        self.guard()?;
+        let sampler = BstSampler::with_config(self.system.tree(), self.system.config().sampler);
+        let mut memo = self.memo.lock();
+        let mut local = OpStats::new();
+        let out = sampler.try_sample_memo(&self.filter, &mut memo, rng, &mut local);
+        drop(memo);
+        *self.stats.lock() += local;
+        out
+    }
+
+    /// Draws `r` samples in one tree pass (§5.3). May return fewer than
+    /// `r` when descent paths die on false-positive routes.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        r: usize,
+        rng: &mut R,
+    ) -> Result<Vec<u64>, BstError> {
+        self.guard()?;
+        let sampler = BstSampler::with_config(self.system.tree(), self.system.config().sampler);
+        let mut memo = self.memo.lock();
+        let mut local = OpStats::new();
+        let out = sampler.try_sample_many_memo(&self.filter, r, &mut memo, rng, &mut local);
+        drop(memo);
+        *self.stats.lock() += local;
+        out
+    }
+
+    /// Reconstructs the stored set (`S ∪ S(B)`), sorted ascending.
+    pub fn reconstruct(&self) -> Result<Vec<u64>, BstError> {
+        self.guard()?;
+        let recon =
+            BstReconstructor::with_config(self.system.tree(), self.system.config().reconstruct);
+        let mut memo = self.memo.lock();
+        let mut local = OpStats::new();
+        let out = recon.try_reconstruct_memo(&self.filter, &mut memo, &mut local);
+        drop(memo);
+        *self.stats.lock() += local;
+        out
+    }
+
+    /// Range-restricted reconstruction: elements of `S ∪ S(B)` inside
+    /// `window`, sorted. Subtrees disjoint from the window are never
+    /// visited. An empty window yields `Ok(vec![])`.
+    pub fn reconstruct_range(&self, window: Range<u64>) -> Result<Vec<u64>, BstError> {
+        self.guard()?;
+        let recon =
+            BstReconstructor::with_config(self.system.tree(), self.system.config().reconstruct);
+        let mut memo = self.memo.lock();
+        let mut local = OpStats::new();
+        let out = recon.try_reconstruct_range_memo(&self.filter, window, &mut memo, &mut local);
+        drop(memo);
+        *self.stats.lock() += local;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system() -> BstSystem {
+        BstSystem::builder(20_000)
+            .expected_set_size(200)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn handle_is_send_sync_static() {
+        fn assert_traits<T: Send + Sync + 'static>() {}
+        assert_traits::<Query>();
+    }
+
+    #[test]
+    fn repeated_sampling_amortizes_ops() {
+        let sys = system();
+        let f = sys.store((0..200u64).map(|i| i * 83 % 20_000));
+        let q = sys.query(&f);
+        let mut rng = StdRng::seed_from_u64(1);
+        q.sample(&mut rng).expect("first sample");
+        let cold = q.take_stats();
+        for _ in 0..100 {
+            q.sample(&mut rng).expect("warm sample");
+        }
+        let warm = q.take_stats();
+        assert!(
+            warm.total_ops() < 100 * cold.total_ops(),
+            "100 warm samples ({} ops) should amortize vs 100x cold cost ({} ops)",
+            warm.total_ops(),
+            100 * cold.total_ops()
+        );
+        assert!(q.cached_evals() > 0);
+    }
+
+    #[test]
+    fn reconstruct_twice_second_pass_is_free() {
+        let sys = system();
+        let keys: Vec<u64> = (0..150u64).map(|i| i * 131 % 20_000).collect();
+        let f = sys.store(keys.iter().copied());
+        let q = sys.query(&f);
+        let first = q.reconstruct().expect("reconstruct");
+        let ops_first = q.take_stats().total_ops();
+        let second = q.reconstruct().expect("reconstruct again");
+        let ops_second = q.take_stats().total_ops();
+        assert_eq!(first, second);
+        assert_eq!(
+            ops_second, 0,
+            "fully-warm reconstruction re-does no filter work"
+        );
+        assert!(ops_first > 0);
+    }
+
+    #[test]
+    fn incompatible_filter_is_rejected() {
+        let sys = system();
+        // A filter built with a different seed: same m/k but a different
+        // hash family — intersecting it with tree nodes is meaningless.
+        let other = BstSystem::builder(20_000)
+            .expected_set_size(200)
+            .seed(77)
+            .build();
+        let foreign = other.store([1u64, 2, 3]);
+        let q = sys.query(&foreign);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(q.sample(&mut rng), Err(BstError::IncompatibleFilter));
+        assert_eq!(q.reconstruct(), Err(BstError::IncompatibleFilter));
+        assert_eq!(
+            q.sample_many(5, &mut rng),
+            Err(BstError::IncompatibleFilter)
+        );
+    }
+
+    #[test]
+    fn empty_filter_reports_empty() {
+        let sys = system();
+        let f = sys.store(std::iter::empty());
+        let q = sys.query(&f);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(q.sample(&mut rng), Err(BstError::EmptyFilter));
+        assert_eq!(q.reconstruct(), Err(BstError::EmptyFilter));
+    }
+
+    #[test]
+    fn range_reconstruction_windows() {
+        let sys = system();
+        let keys: Vec<u64> = (100..160u64).collect();
+        let f = sys.store(keys.iter().copied());
+        let q = sys.query(&f);
+        let full = q.reconstruct().expect("full");
+        let window = q.reconstruct_range(120..140).expect("window");
+        let expect: Vec<u64> = full
+            .iter()
+            .copied()
+            .filter(|&x| (120..140).contains(&x))
+            .collect();
+        assert_eq!(window, expect);
+        assert_eq!(q.reconstruct_range(50..50).expect("empty window"), vec![]);
+    }
+
+    #[test]
+    fn stats_accumulate_across_ops() {
+        let sys = system();
+        let f = sys.store((0..50u64).map(|i| i * 31));
+        let q = sys.query(&f);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(q.stats(), OpStats::new());
+        q.sample(&mut rng).expect("sample");
+        let after_sample = q.stats();
+        assert!(after_sample.total_ops() > 0);
+        q.reconstruct().expect("reconstruct");
+        assert!(q.stats().total_ops() >= after_sample.total_ops());
+    }
+}

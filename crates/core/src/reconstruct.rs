@@ -20,8 +20,9 @@
 use bst_bloom::estimate::intersection_estimate;
 use bst_bloom::filter::BloomFilter;
 
+use crate::error::BstError;
 use crate::metrics::OpStats;
-use crate::sampler::{Liveness, DEFAULT_THRESHOLD};
+use crate::sampler::{Liveness, QueryMemo, DEFAULT_THRESHOLD};
 use crate::tree::{NodeId, SampleTree};
 
 /// Reconstruction configuration.
@@ -49,6 +50,19 @@ impl ReconstructConfig {
             liveness: Liveness::EstimateThreshold(DEFAULT_THRESHOLD),
             carry_intersection: false,
         }
+    }
+
+    /// Checks the configuration's numeric invariants, naming the broken
+    /// one. [`BstReconstructor::with_config`] asserts the same invariants.
+    pub fn validate(&self) -> Result<(), BstError> {
+        if let Liveness::EstimateThreshold(tau) = self.liveness {
+            if !(tau.is_finite() && tau >= 0.0) {
+                return Err(BstError::InvalidConfig(
+                    "liveness threshold must be finite and non-negative",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -88,6 +102,25 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
         out
     }
 
+    /// [`Self::reconstruct`] with typed errors and a persistent
+    /// [`QueryMemo`]: repeated reconstructions of the same filter skip the
+    /// liveness intersections and leaf scans of earlier walks.
+    pub fn try_reconstruct_memo(
+        &self,
+        query: &BloomFilter,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+    ) -> Result<Vec<u64>, BstError> {
+        let root = self.tree.root().ok_or(BstError::EmptyTree)?;
+        if query.is_empty() {
+            return Err(BstError::EmptyFilter);
+        }
+        let full = self.tree.range(root);
+        let mut out = Vec::new();
+        self.range_walk(query, full, memo, stats, &mut |x| out.push(x));
+        Ok(out)
+    }
+
     /// Visitor variant: calls `visit` for each reconstructed element in
     /// ascending order without materialising the set. Returns the count.
     pub fn reconstruct_with<F: FnMut(u64)>(
@@ -118,6 +151,24 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
         out
     }
 
+    /// [`Self::reconstruct_range`] with typed errors and a persistent
+    /// [`QueryMemo`]. An empty window yields `Ok(vec![])`.
+    pub fn try_reconstruct_range_memo(
+        &self,
+        query: &BloomFilter,
+        window: std::ops::Range<u64>,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+    ) -> Result<Vec<u64>, BstError> {
+        self.tree.root().ok_or(BstError::EmptyTree)?;
+        if query.is_empty() {
+            return Err(BstError::EmptyFilter);
+        }
+        let mut out = Vec::new();
+        self.range_walk(query, window, memo, stats, &mut |x| out.push(x));
+        Ok(out)
+    }
+
     /// Visitor variant of [`Self::reconstruct_range`]. Returns the count.
     pub fn reconstruct_range_with<F: FnMut(u64)>(
         &self,
@@ -126,74 +177,148 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
         stats: &mut OpStats,
         mut visit: F,
     ) -> usize {
+        if self.tree.root().is_none() || query.is_empty() {
+            return 0;
+        }
+        let mut memo = QueryMemo::new();
+        self.range_walk(query, window, &mut memo, stats, &mut visit)
+    }
+
+    /// Shared entry for all reconstruction walks.
+    fn range_walk<F: FnMut(u64)>(
+        &self,
+        query: &BloomFilter,
+        window: std::ops::Range<u64>,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+        visit: &mut F,
+    ) -> usize {
         let Some(root) = self.tree.root() else {
             return 0;
         };
-        if query.is_empty() || window.start >= window.end {
+        if window.start >= window.end {
             return 0;
         }
-        let carried = if self.cfg.carry_intersection {
-            stats.intersections += 1;
-            BloomFilter::intersection(query, self.tree.filter(root))
-        } else {
-            query.clone()
-        };
-        self.walk(root, &carried, query, &window, stats, &mut visit)
+        self.walk(root, query, &window, memo, stats, visit)
     }
 
-    fn child_live(&self, child: NodeId, carried: &BloomFilter, stats: &mut OpStats) -> bool {
+    /// Liveness of one child under the reconstruction pruning rule:
+    /// one intersection op on a memo miss, a hash lookup on a hit (sound
+    /// because each node is reached by exactly one root path, so the
+    /// carried filter at a node is determined by its id).
+    fn child_live(
+        &self,
+        child: NodeId,
+        carried: &BloomFilter,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+    ) -> bool {
+        if let Some(&live) = memo.recon_live.get(&child) {
+            return live;
+        }
         stats.intersections += 1;
         let f = self.tree.filter(child);
         let t_and = f.and_count(carried);
-        match self.cfg.liveness {
+        let live = match self.cfg.liveness {
             Liveness::BitOverlap => t_and >= f.k(),
             Liveness::EstimateThreshold(tau) => {
                 intersection_estimate(f.m(), f.k(), f.count_ones(), carried.count_ones(), t_and)
                     > tau
             }
-        }
+        };
+        memo.recon_live.insert(child, live);
+        live
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Scans a leaf. Leaves fully inside the window go through the shared
+    /// match memo; partially-covered leaves are scanned directly (caching
+    /// a window-restricted scan would poison full-range lookups).
+    fn scan_leaf<F: FnMut(u64)>(
+        &self,
+        node: NodeId,
+        query: &BloomFilter,
+        window: &std::ops::Range<u64>,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+        visit: &mut F,
+    ) -> usize {
+        let leaf_range = self.tree.range(node);
+        if window.start <= leaf_range.start && leaf_range.end <= window.end {
+            if let Some(cached) = memo.leaves.get(&node) {
+                for &x in cached.iter() {
+                    visit(x);
+                }
+                return cached.len();
+            }
+            let mut matches = Vec::new();
+            for x in self.tree.leaf_candidates(node) {
+                stats.memberships += 1;
+                if query.contains(x) {
+                    visit(x);
+                    matches.push(x);
+                }
+            }
+            let found = matches.len();
+            memo.leaves.insert(node, std::sync::Arc::new(matches));
+            return found;
+        }
+        let mut found = 0usize;
+        for x in self.tree.leaf_candidates(node) {
+            if !window.contains(&x) {
+                continue;
+            }
+            stats.memberships += 1;
+            if query.contains(x) {
+                visit(x);
+                found += 1;
+            }
+        }
+        found
+    }
+
+    /// Recursive traversal. The carried filter a node would receive on the
+    /// old eager descent equals `query ∧ filter(node)` bit-for-bit,
+    /// because tree node filters are laminar (each child is a subset of
+    /// its parent, so ancestor ANDs are absorbed); it is therefore
+    /// materialised *lazily*, only when some child's liveness is not yet
+    /// memoized — a fully-warm walk performs no filter operations at all.
     fn walk<F: FnMut(u64)>(
         &self,
         node: NodeId,
-        carried: &BloomFilter,
         query: &BloomFilter,
         window: &std::ops::Range<u64>,
+        memo: &mut QueryMemo,
         stats: &mut OpStats,
         visit: &mut F,
     ) -> usize {
         stats.nodes_visited += 1;
         if self.tree.is_leaf(node) {
-            let mut found = 0usize;
-            for x in self.tree.leaf_candidates(node) {
-                if !window.contains(&x) {
-                    continue;
-                }
-                stats.memberships += 1;
-                if query.contains(x) {
-                    visit(x);
-                    found += 1;
-                }
-            }
-            return found;
+            return self.scan_leaf(node, query, window, memo, stats, visit);
         }
         let (lc, rc) = self.tree.children(node);
+        let mut carried_here: Option<BloomFilter> = None;
         let mut found = 0usize;
         for child in [lc, rc].into_iter().flatten() {
             let r = self.tree.range(child);
             if r.end <= window.start || r.start >= window.end {
                 continue; // disjoint from the window: free pruning
             }
-            if self.child_live(child, carried, stats) {
-                let next_carried = if self.cfg.carry_intersection {
-                    stats.intersections += 1;
-                    BloomFilter::intersection(carried, self.tree.filter(child))
-                } else {
-                    carried.clone()
-                };
-                found += self.walk(child, &next_carried, query, window, stats, visit);
+            let live = match memo.recon_live.get(&child) {
+                Some(&l) => l,
+                None => {
+                    let carried = carried_here.get_or_insert_with(|| {
+                        if self.cfg.carry_intersection {
+                            stats.intersections += 1;
+                            BloomFilter::intersection(query, self.tree.filter(node))
+                        } else {
+                            query.clone()
+                        }
+                    });
+                    self.child_live(child, carried, memo, stats)
+                }
+            };
+            if live {
+                found += self.walk(child, query, window, memo, stats, visit);
             }
         }
         found

@@ -43,11 +43,29 @@
 //! exactly (up to clipping, controlled by γ): accepted samples are uniform
 //! over all positives *regardless of estimate noise*. Expected cost: γ
 //! walks per sample.
+//!
+//! ## Amortization: [`QueryMemo`]
+//!
+//! One tree serves many query filters, and one *filter* is often queried
+//! many times (the §3.2 framework's whole point). Every per-node decision
+//! this module makes — child liveness, descent weight, a leaf's matching
+//! elements, the corrected sampler's frontier weight cache — is a pure
+//! function of `(tree, query, config)`, because each tree node is reached
+//! by exactly one root path. A [`QueryMemo`] caches those decisions keyed
+//! by node id; the `*_memo` entry points consult it before touching a
+//! filter, so repeated operations on the same filter replace `O(m/64)`-word
+//! Bloom intersections and full leaf membership scans with hash-map hits.
+//! The high-level [`crate::query::Query`] handle owns one memo per filter;
+//! one-shot entry points use a throwaway memo and behave exactly as before.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use bst_bloom::estimate::{cardinality_from_ones, intersection_estimate};
 use bst_bloom::filter::BloomFilter;
 use rand::Rng;
 
+use crate::error::BstError;
 use crate::metrics::OpStats;
 use crate::tree::{NodeId, SampleTree};
 
@@ -162,35 +180,94 @@ impl SamplerConfig {
             ..Self::default()
         }
     }
+
+    /// Checks the configuration's numeric invariants, naming the broken
+    /// one. [`BstSampler::with_config`] asserts the same invariants.
+    pub fn validate(&self) -> Result<(), BstError> {
+        if let Liveness::EstimateThreshold(tau) = self.liveness {
+            if !(tau.is_finite() && tau >= 0.0) {
+                return Err(BstError::InvalidConfig(
+                    "liveness threshold must be finite and non-negative",
+                ));
+            }
+        }
+        if let Correction::Rejection { gamma } = self.correction {
+            if !(gamma.is_finite() && gamma >= 1.0) {
+                return Err(BstError::InvalidConfig(
+                    "rejection gamma must be finite and at least 1",
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Outcome of evaluating one child branch.
+#[derive(Clone, Copy)]
 struct ChildEval {
     live: bool,
     ratio_weight: f64,
 }
 
-/// Precomputed per-query state for repeated corrected sampling from the
-/// same filter: the query's cardinality estimate, the rejection factor γ,
-/// and the frontier weight cache for the tree's saturated upper region.
-/// Create with [`BstSampler::prepare`]; consume with
-/// [`BstSampler::sample_prepared`].
-pub struct PreparedQuery<'q> {
-    query: &'q BloomFilter,
+/// Frontier/correction state shared by all corrected samples of one query.
+struct PreparedState {
     n_hat: f64,
     gamma: f64,
-    blind: std::collections::HashMap<NodeId, f64>,
+    /// Aggregated mean-corrected weights for the saturated upper region
+    /// (see [`BstSampler::build_blind_cache`]). Shared behind `Arc` so a
+    /// proposal walk can read it while the memo is mutably borrowed.
+    blind: Arc<HashMap<NodeId, f64>>,
 }
 
-impl PreparedQuery<'_> {
-    /// The estimated cardinality of the prepared filter.
-    pub fn estimated_cardinality(&self) -> f64 {
-        self.n_hat
+/// Memoized per-query evaluation state.
+///
+/// Every entry is a pure function of `(tree, query filter, config)` —
+/// each node has exactly one root path, so the carried filter reaching it
+/// is determined by its id — which makes node-keyed caching sound even
+/// with `carry_intersection` enabled. A memo must only ever be reused
+/// with the *same* tree, filter and config it was first used with; the
+/// [`crate::query::Query`] handle enforces that pairing.
+///
+/// Cached work is **not** re-counted in [`OpStats`]: stats report actual
+/// filter operations performed, so the amortization is directly visible
+/// as falling per-call op counts.
+#[derive(Default)]
+pub struct QueryMemo {
+    evals: HashMap<NodeId, ChildEval>,
+    /// Matching elements per fully-scanned leaf; shared with the
+    /// reconstructor (the membership test is config-independent).
+    pub(crate) leaves: HashMap<NodeId, Arc<Vec<u64>>>,
+    /// Reconstruction liveness per node (the reconstructor's pruning rule
+    /// can differ from the sampler's, so it gets its own map).
+    pub(crate) recon_live: HashMap<NodeId, bool>,
+    prepared: Option<PreparedState>,
+}
+
+impl QueryMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The rejection oversampling factor in effect.
-    pub fn gamma(&self) -> f64 {
-        self.gamma
+    /// Number of cached node evaluations (liveness + descent weight).
+    pub fn cached_evals(&self) -> usize {
+        self.evals.len()
+    }
+
+    /// Number of leaves whose match lists are cached.
+    pub fn cached_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the corrected-sampling frontier state has been built.
+    pub fn is_prepared(&self) -> bool {
+        self.prepared.is_some()
+    }
+
+    /// The estimated cardinality of the query, if corrected-sampling
+    /// state has been built.
+    pub fn estimated_cardinality(&self) -> Option<f64> {
+        self.prepared.as_ref().map(|p| p.n_hat)
     }
 }
 
@@ -225,11 +302,13 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         &self.cfg
     }
 
-    /// Evaluates one child: liveness + descent weight. One intersection op.
+    /// Evaluates one child: liveness + descent weight. One intersection op
+    /// on a memo miss, a hash lookup on a hit.
     fn eval_child(
         &self,
         child: Option<NodeId>,
         carried: &BloomFilter,
+        memo: &mut QueryMemo,
         stats: &mut OpStats,
     ) -> ChildEval {
         let Some(c) = child else {
@@ -238,6 +317,9 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                 ratio_weight: 0.0,
             };
         };
+        if let Some(&e) = memo.evals.get(&c) {
+            return e;
+        }
         stats.intersections += 1;
         let f = self.tree.filter(c);
         let k = f.k();
@@ -246,8 +328,7 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         let live = match self.cfg.liveness {
             Liveness::BitOverlap => t_and >= k,
             Liveness::EstimateThreshold(tau) => {
-                let est =
-                    intersection_estimate(m, k, f.count_ones(), carried.count_ones(), t_and);
+                let est = intersection_estimate(m, k, f.count_ones(), carried.count_ones(), t_and);
                 est > tau
             }
         };
@@ -263,11 +344,18 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
             }
         }
         .max(1e-12);
-        ChildEval { live, ratio_weight }
+        let e = ChildEval { live, ratio_weight };
+        memo.evals.insert(c, e);
+        e
     }
 
     /// The filter to carry into `child`.
-    fn descend_filter(&self, child: NodeId, carried: &BloomFilter, stats: &mut OpStats) -> BloomFilter {
+    fn descend_filter(
+        &self,
+        child: NodeId,
+        carried: &BloomFilter,
+        stats: &mut OpStats,
+    ) -> BloomFilter {
         if self.cfg.carry_intersection {
             stats.intersections += 1;
             BloomFilter::intersection(carried, self.tree.filter(child))
@@ -277,24 +365,50 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
     }
 
     /// Draws one sample from the set stored in `query`, or `None` when the
-    /// filter is empty or every path dies in pruning.
+    /// filter is empty or every path dies in pruning. See
+    /// [`Self::try_sample`] for the variant that reports *why*.
     pub fn sample<R: Rng + ?Sized>(
         &self,
         query: &BloomFilter,
         rng: &mut R,
         stats: &mut OpStats,
     ) -> Option<u64> {
-        let root = self.tree.root()?;
+        self.try_sample(query, rng, stats).ok()
+    }
+
+    /// Draws one sample, reporting the failure reason on a miss.
+    pub fn try_sample<R: Rng + ?Sized>(
+        &self,
+        query: &BloomFilter,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Result<u64, BstError> {
+        let mut memo = QueryMemo::new();
+        self.try_sample_memo(query, &mut memo, rng, stats)
+    }
+
+    /// [`Self::try_sample`] against a persistent [`QueryMemo`], amortizing
+    /// per-node evaluations and leaf scans across repeated samples of the
+    /// same filter.
+    pub fn try_sample_memo<R: Rng + ?Sized>(
+        &self,
+        query: &BloomFilter,
+        memo: &mut QueryMemo,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Result<u64, BstError> {
+        let root = self.tree.root().ok_or(BstError::EmptyTree)?;
         if query.is_empty() {
-            return None;
+            return Err(BstError::EmptyFilter);
         }
         match self.cfg.correction {
-            Correction::None => self.sample_at(root, query, query, rng, stats),
-            Correction::Rejection { gamma } => self.sample_corrected(query, gamma, rng, stats),
-            Correction::RejectionAuto => {
-                let gamma = self.auto_gamma(query);
-                self.sample_corrected(query, gamma, rng, stats)
+            Correction::None => self
+                .sample_at(root, query, query, memo, rng, stats)
+                .ok_or(BstError::NoLiveLeaf),
+            Correction::Rejection { gamma } => {
+                self.sample_corrected(query, Some(gamma), memo, rng, stats)
             }
+            Correction::RejectionAuto => self.sample_corrected(query, None, memo, rng, stats),
         }
     }
 
@@ -323,6 +437,31 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         (12.0 * (2.0 * leaves / n_hat).sqrt()).clamp(6.0, 48.0)
     }
 
+    /// Ensures the memo carries corrected-sampling state (cardinality
+    /// estimate, γ, frontier weight cache), building it on first use.
+    fn ensure_prepared(
+        &self,
+        query: &BloomFilter,
+        gamma_override: Option<f64>,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+    ) -> (f64, f64, Arc<HashMap<NodeId, f64>>) {
+        if memo.prepared.is_none() {
+            let gamma = gamma_override.unwrap_or_else(|| self.auto_gamma(query));
+            let blind = match self.tree.root() {
+                Some(root) => self.build_blind_cache(root, query, stats),
+                None => HashMap::new(),
+            };
+            memo.prepared = Some(PreparedState {
+                n_hat: query.estimate_cardinality().max(1.0),
+                gamma,
+                blind: Arc::new(blind),
+            });
+        }
+        let p = memo.prepared.as_ref().expect("just ensured");
+        (p.n_hat, p.gamma, Arc::clone(&p.blind))
+    }
+
     /// Rejection-corrected sampling: repeat proposal walks, accepting a
     /// leaf's uniform pick with probability `c_leaf / (P(path)·n̂·γ)`.
     ///
@@ -333,107 +472,47 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
     /// is catastrophic for clustered sets. The cache evaluates the
     /// mean-corrected weight at the first *unsaturated* descendants and
     /// aggregates the sums upward, giving the blind levels informed
-    /// routing probabilities.
+    /// routing probabilities. It is built once per memo.
     fn sample_corrected<R: Rng + ?Sized>(
         &self,
         query: &BloomFilter,
-        gamma: f64,
+        gamma_override: Option<f64>,
+        memo: &mut QueryMemo,
         rng: &mut R,
         stats: &mut OpStats,
-    ) -> Option<u64> {
-        if self.tree.root().is_none() {
-            return None;
-        }
-        let prepared = self.prepare_with_gamma(query, gamma, stats);
-        self.sample_prepared(&prepared, rng, stats)
-    }
-
-    /// Precomputes the per-query state of corrected sampling (cardinality
-    /// estimate, γ, frontier weight cache) so that many samples from the
-    /// *same* filter don't pay for it repeatedly.
-    ///
-    /// ```
-    /// # use bst_core::tree::{BloomSampleTree, SampleTree};
-    /// # use bst_core::sampler::{BstSampler, SamplerConfig};
-    /// # use bst_core::metrics::OpStats;
-    /// # use bst_bloom::params::TreePlan;
-    /// # use bst_bloom::hash::HashKind;
-    /// # let tree = BloomSampleTree::build(&TreePlan {
-    /// #     namespace: 1000, m: 8192, k: 3, kind: HashKind::Murmur3,
-    /// #     seed: 1, depth: 3, leaf_capacity: 125, target_accuracy: 0.9 });
-    /// let sampler = BstSampler::with_config(&tree, SamplerConfig::corrected());
-    /// let query = tree.query_filter((0..50u64).map(|i| i * 7));
-    /// let mut stats = OpStats::new();
-    /// let prepared = sampler.prepare(&query, &mut stats);
-    /// let mut rng = rand::thread_rng();
-    /// for _ in 0..100 {
-    ///     let s = sampler.sample_prepared(&prepared, &mut rng, &mut stats);
-    ///     assert!(query.contains(s.unwrap()));
-    /// }
-    /// ```
-    pub fn prepare<'q>(&self, query: &'q BloomFilter, stats: &mut OpStats) -> PreparedQuery<'q> {
-        let gamma = match self.cfg.correction {
-            Correction::Rejection { gamma } => gamma,
-            _ => self.auto_gamma(query),
-        };
-        self.prepare_with_gamma(query, gamma, stats)
-    }
-
-    fn prepare_with_gamma<'q>(
-        &self,
-        query: &'q BloomFilter,
-        gamma: f64,
-        stats: &mut OpStats,
-    ) -> PreparedQuery<'q> {
-        let blind = match self.tree.root() {
-            Some(root) => self.build_blind_cache(root, query, stats),
-            None => std::collections::HashMap::new(),
-        };
-        PreparedQuery {
-            query,
-            n_hat: query.estimate_cardinality().max(1.0),
-            gamma,
-            blind,
-        }
-    }
-
-    /// Draws one rejection-corrected sample using precomputed query state
-    /// (see [`Self::prepare`]).
-    pub fn sample_prepared<R: Rng + ?Sized>(
-        &self,
-        prepared: &PreparedQuery<'_>,
-        rng: &mut R,
-        stats: &mut OpStats,
-    ) -> Option<u64> {
-        let root = self.tree.root()?;
-        let query = prepared.query;
-        if query.is_empty() {
-            return None;
-        }
-        let gamma = prepared.gamma;
+    ) -> Result<u64, BstError> {
+        let root = self.tree.root().ok_or(BstError::EmptyTree)?;
+        let (n_hat, gamma, blind) = self.ensure_prepared(query, gamma_override, memo, stats);
         let max_attempts = (64.0 * gamma) as usize;
         let mut fallback = None;
+        let mut reached_leaf = false;
         for attempt in 0..max_attempts {
-            let Some((leaf, p_path)) = self.propose(root, query, &prepared.blind, rng, stats)
-            else {
+            let Some((leaf, p_path)) = self.propose(root, query, &blind, memo, rng, stats) else {
                 continue;
             };
-            let matches = self.leaf_matches(leaf, query, stats);
+            reached_leaf = true;
+            let matches = self.leaf_matches(leaf, query, memo, stats);
             if matches.is_empty() {
                 continue;
             }
             let pick = matches[rng.gen_range(0..matches.len())];
-            let alpha = matches.len() as f64 / (p_path * prepared.n_hat * gamma);
+            let alpha = matches.len() as f64 / (p_path * n_hat * gamma);
             if rng.gen::<f64>() < alpha {
-                return Some(pick);
+                return Ok(pick);
             }
             if fallback.is_none() && attempt + 8 >= max_attempts {
                 fallback = Some(pick);
             }
         }
-        // Budget exhausted: return the last viable pick (slightly biased)
-        // rather than failing.
-        fallback
+        match fallback {
+            // Budget exhausted: return the last viable pick (slightly
+            // biased) rather than failing.
+            Some(pick) => Ok(pick),
+            None if reached_leaf => Err(BstError::BudgetExhausted {
+                attempts: max_attempts,
+            }),
+            None => Err(BstError::NoLiveLeaf),
+        }
     }
 
     /// Fill ratio above which a node filter is considered informationless.
@@ -450,8 +529,8 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         root: NodeId,
         query: &BloomFilter,
         stats: &mut OpStats,
-    ) -> std::collections::HashMap<NodeId, f64> {
-        let mut cache = std::collections::HashMap::new();
+    ) -> HashMap<NodeId, f64> {
+        let mut cache = HashMap::new();
         self.blind_weight(root, query, &mut cache, stats);
         cache
     }
@@ -460,13 +539,12 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         &self,
         node: NodeId,
         query: &BloomFilter,
-        cache: &mut std::collections::HashMap<NodeId, f64>,
+        cache: &mut HashMap<NodeId, f64>,
         stats: &mut OpStats,
     ) -> f64 {
         let f = self.tree.filter(node);
         let saturated = f.count_ones() as f64 > Self::SATURATION_FILL * f.m() as f64;
-        let w = if saturated && !self.tree.is_leaf(node) && cache.len() < Self::BLIND_CACHE_CAP
-        {
+        let w = if saturated && !self.tree.is_leaf(node) && cache.len() < Self::BLIND_CACHE_CAP {
             let (lc, rc) = self.tree.children(node);
             let mut sum = 0.0;
             for child in [lc, rc].into_iter().flatten() {
@@ -488,12 +566,13 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
     /// One proposal walk (no backtracking): returns the reached leaf and
     /// the path probability. Nodes present in the blind cache route by the
     /// cached aggregated weights; below the frontier the per-node
-    /// estimators take over.
+    /// estimators take over (memoized).
     fn propose<R: Rng + ?Sized>(
         &self,
         root: NodeId,
         query: &BloomFilter,
-        blind: &std::collections::HashMap<NodeId, f64>,
+        blind: &HashMap<NodeId, f64>,
+        memo: &mut QueryMemo,
         rng: &mut R,
         stats: &mut OpStats,
     ) -> Option<(NodeId, f64)> {
@@ -512,22 +591,22 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
             }
             let (lc, rc) = self.tree.children(node);
             // Cached (blind-region) weights take priority; otherwise
-            // evaluate the child estimators.
+            // evaluate the child estimators through the memo.
             let weight_of = |child: Option<NodeId>,
-                             sampler: &Self,
+                             memo: &mut QueryMemo,
                              carried: &BloomFilter,
                              stats: &mut OpStats| match child {
                 None => (false, 0.0),
                 Some(c) => match blind.get(&c) {
                     Some(&w) => (w > 0.0, w),
                     None => {
-                        let e = sampler.eval_child(Some(c), carried, stats);
+                        let e = self.eval_child(Some(c), carried, memo, stats);
                         (e.live, e.ratio_weight)
                     }
                 },
             };
-            let (l_live, lw) = weight_of(lc, self, &carried, stats);
-            let (r_live, rw) = weight_of(rc, self, &carried, stats);
+            let (l_live, lw) = weight_of(lc, memo, &carried, stats);
+            let (r_live, rw) = weight_of(rc, memo, &carried, stats);
             let (next, prob) = match (l_live, r_live) {
                 (false, false) => return None,
                 (true, false) => (lc.expect("live"), 1.0),
@@ -559,27 +638,28 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         node: NodeId,
         carried: &BloomFilter,
         query: &BloomFilter,
+        memo: &mut QueryMemo,
         rng: &mut R,
         stats: &mut OpStats,
     ) -> Option<u64> {
         stats.nodes_visited += 1;
         if self.tree.is_leaf(node) {
-            return self.sample_leaf(node, query, rng, stats);
+            return self.sample_leaf(node, query, memo, rng, stats);
         }
         let (lc, rc) = self.tree.children(node);
-        let le = self.eval_child(lc, carried, stats);
-        let re = self.eval_child(rc, carried, stats);
+        let le = self.eval_child(lc, carried, memo, stats);
+        let re = self.eval_child(rc, carried, memo, stats);
         match (le.live, re.live) {
             (false, false) => None,
             (true, false) => {
                 let c = lc.expect("live child");
                 let carried = self.descend_filter(c, carried, stats);
-                self.sample_at(c, &carried, query, rng, stats)
+                self.sample_at(c, &carried, query, memo, rng, stats)
             }
             (false, true) => {
                 let c = rc.expect("live child");
                 let carried = self.descend_filter(c, carried, stats);
-                self.sample_at(c, &carried, query, rng, stats)
+                self.sample_at(c, &carried, query, memo, rng, stats)
             }
             (true, true) => {
                 let p_left = if self.cfg.proportional_descent {
@@ -594,7 +674,7 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                 };
                 let c1 = first.expect("live child");
                 let carried1 = self.descend_filter(c1, carried, stats);
-                let picked = self.sample_at(c1, &carried1, query, rng, stats);
+                let picked = self.sample_at(c1, &carried1, query, memo, rng, stats);
                 if picked.is_some() {
                     picked
                 } else {
@@ -602,37 +682,42 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                     stats.backtracks += 1;
                     let c2 = second.expect("live child");
                     let carried2 = self.descend_filter(c2, carried, stats);
-                    self.sample_at(c2, &carried2, query, rng, stats)
+                    self.sample_at(c2, &carried2, query, memo, rng, stats)
                 }
             }
         }
     }
 
-    /// Reservoir-samples uniformly among leaf candidates passing the
-    /// membership test against the *original* query filter.
+    /// Uniform pick among leaf candidates passing the membership test
+    /// against the *original* query filter.
     fn sample_leaf<R: Rng + ?Sized>(
         &self,
         node: NodeId,
         query: &BloomFilter,
+        memo: &mut QueryMemo,
         rng: &mut R,
         stats: &mut OpStats,
     ) -> Option<u64> {
-        let mut picked = None;
-        let mut count = 0u64;
-        for x in self.tree.leaf_candidates(node) {
-            stats.memberships += 1;
-            if query.contains(x) {
-                count += 1;
-                if rng.gen_range(0..count) == 0 {
-                    picked = Some(x);
-                }
-            }
+        let matches = self.leaf_matches(node, query, memo, stats);
+        if matches.is_empty() {
+            None
+        } else {
+            Some(matches[rng.gen_range(0..matches.len())])
         }
-        picked
     }
 
-    /// Collects all leaf candidates passing the membership test.
-    fn leaf_matches(&self, node: NodeId, query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
+    /// Collects all leaf candidates passing the membership test (full
+    /// scan on a memo miss, shared `Arc` on a hit).
+    fn leaf_matches(
+        &self,
+        node: NodeId,
+        query: &BloomFilter,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+    ) -> Arc<Vec<u64>> {
+        if let Some(cached) = memo.leaves.get(&node) {
+            return Arc::clone(cached);
+        }
         let mut out = Vec::new();
         for x in self.tree.leaf_candidates(node) {
             stats.memberships += 1;
@@ -640,6 +725,8 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                 out.push(x);
             }
         }
+        let out = Arc::new(out);
+        memo.leaves.insert(node, Arc::clone(&out));
         out
     }
 
@@ -658,15 +745,30 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         rng: &mut R,
         stats: &mut OpStats,
     ) -> Vec<u64> {
-        let mut out = Vec::with_capacity(r);
-        let Some(root) = self.tree.root() else {
-            return out;
-        };
-        if r == 0 || query.is_empty() {
-            return out;
+        let mut memo = QueryMemo::new();
+        self.try_sample_many_memo(query, r, &mut memo, rng, stats)
+            .unwrap_or_default()
+    }
+
+    /// [`Self::sample_many`] with typed errors and a persistent memo.
+    pub fn try_sample_many_memo<R: Rng + ?Sized>(
+        &self,
+        query: &BloomFilter,
+        r: usize,
+        memo: &mut QueryMemo,
+        rng: &mut R,
+        stats: &mut OpStats,
+    ) -> Result<Vec<u64>, BstError> {
+        let root = self.tree.root().ok_or(BstError::EmptyTree)?;
+        if query.is_empty() {
+            return Err(BstError::EmptyFilter);
         }
-        self.many_at(root, query, query, r, rng, stats, &mut out);
-        out
+        let mut out = Vec::with_capacity(r);
+        if r == 0 {
+            return Ok(out);
+        }
+        self.many_at(root, query, query, r, memo, rng, stats, &mut out);
+        Ok(out)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -676,6 +778,7 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         carried: &BloomFilter,
         query: &BloomFilter,
         r: usize,
+        memo: &mut QueryMemo,
         rng: &mut R,
         stats: &mut OpStats,
         out: &mut Vec<u64>,
@@ -685,7 +788,7 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         }
         stats.nodes_visited += 1;
         if self.tree.is_leaf(node) {
-            let matches = self.leaf_matches(node, query, stats);
+            let matches = self.leaf_matches(node, query, memo, stats);
             if matches.is_empty() {
                 return 0;
             }
@@ -695,19 +798,19 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
             return r;
         }
         let (lc, rc) = self.tree.children(node);
-        let le = self.eval_child(lc, carried, stats);
-        let re = self.eval_child(rc, carried, stats);
+        let le = self.eval_child(lc, carried, memo, stats);
+        let re = self.eval_child(rc, carried, memo, stats);
         match (le.live, re.live) {
             (false, false) => 0,
             (true, false) => {
                 let c = lc.expect("live");
                 let carried = self.descend_filter(c, carried, stats);
-                self.many_at(c, &carried, query, r, rng, stats, out)
+                self.many_at(c, &carried, query, r, memo, rng, stats, out)
             }
             (false, true) => {
                 let c = rc.expect("live");
                 let carried = self.descend_filter(c, carried, stats);
-                self.many_at(c, &carried, query, r, rng, stats, out)
+                self.many_at(c, &carried, query, r, memo, rng, stats, out)
             }
             (true, true) => {
                 let p_left = if self.cfg.proportional_descent {
@@ -715,14 +818,13 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                 } else {
                     0.5
                 };
-                let r_left =
-                    bst_stats::binomial::sample_binomial(rng, r as u64, p_left) as usize;
+                let r_left = bst_stats::binomial::sample_binomial(rng, r as u64, p_left) as usize;
                 let cl = lc.expect("live");
                 let cr = rc.expect("live");
                 let carried_l = self.descend_filter(cl, carried, stats);
                 let carried_r = self.descend_filter(cr, carried, stats);
-                let mut got = self.many_at(cl, &carried_l, query, r_left, rng, stats, out);
-                got += self.many_at(cr, &carried_r, query, r - r_left, rng, stats, out);
+                let mut got = self.many_at(cl, &carried_l, query, r_left, memo, rng, stats, out);
+                got += self.many_at(cr, &carried_r, query, r - r_left, memo, rng, stats, out);
                 // Deficit rounds: paths that died on false-positive routes
                 // are re-split until resolved or no further progress (the
                 // multi-path analogue of single-sample backtracking).
@@ -732,12 +834,19 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                     rounds += 1;
                     let deficit = r - got;
                     let r_left =
-                        bst_stats::binomial::sample_binomial(rng, deficit as u64, p_left)
-                            as usize;
+                        bst_stats::binomial::sample_binomial(rng, deficit as u64, p_left) as usize;
                     let mut extra =
-                        self.many_at(cl, &carried_l, query, r_left, rng, stats, out);
-                    extra +=
-                        self.many_at(cr, &carried_r, query, deficit - r_left, rng, stats, out);
+                        self.many_at(cl, &carried_l, query, r_left, memo, rng, stats, out);
+                    extra += self.many_at(
+                        cr,
+                        &carried_r,
+                        query,
+                        deficit - r_left,
+                        memo,
+                        rng,
+                        stats,
+                        out,
+                    );
                     if extra == 0 && deficit == r {
                         break; // neither side can deliver anything
                     }
@@ -802,13 +911,17 @@ mod tests {
     }
 
     #[test]
-    fn empty_filter_yields_none() {
+    fn empty_filter_yields_typed_error() {
         let t = tree(1 << 16);
         let q = t.query_filter(std::iter::empty());
         let sampler = BstSampler::new(&t);
         let mut rng = StdRng::seed_from_u64(3);
         let mut stats = OpStats::new();
         assert_eq!(sampler.sample(&q, &mut rng, &mut stats), None);
+        assert_eq!(
+            sampler.try_sample(&q, &mut rng, &mut stats),
+            Err(BstError::EmptyFilter)
+        );
         assert_eq!(stats.nodes_visited, 0);
     }
 
@@ -875,6 +988,36 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow: run under --release")]
+    fn memoized_corrected_sampling_is_uniform_chi2() {
+        // The same uniformity bar as the one-shot path, but through one
+        // persistent memo — caching must not change the distribution.
+        let t = tree(1 << 17);
+        let n = 40usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 101 + 7).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::with_config(&t, SamplerConfig::corrected());
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut stats = OpStats::new();
+        let mut memo = QueryMemo::new();
+        let rounds = bst_stats::chi2::PAPER_ROUNDS_PER_ELEMENT * n;
+        let mut counts = vec![0u64; n];
+        for _ in 0..rounds {
+            let s = sampler
+                .try_sample_memo(&q, &mut memo, &mut rng, &mut stats)
+                .expect("sample");
+            let idx = keys.binary_search(&s).expect("true element");
+            counts[idx] += 1;
+        }
+        let res = bst_stats::chi2_uniform_test(&counts);
+        assert!(
+            res.is_uniform_at(0.01),
+            "chi2 rejected uniformity through memo: p = {}",
+            res.p_value
+        );
+    }
+
+    #[test]
     fn paper_config_matches_paper_op_shape() {
         // Paper-literal mode: 2 intersections per internal node on the
         // descent path, leaf memberships = leaf width.
@@ -890,6 +1033,35 @@ mod tests {
         // intersections and 128 memberships.
         assert_eq!(stats.intersections, 10, "{stats}");
         assert_eq!(stats.memberships, 128, "{stats}");
+    }
+
+    #[test]
+    fn memo_amortizes_repeated_samples() {
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (100..120u64).collect();
+        let q = t.query_filter(keys.iter().copied());
+        let sampler = BstSampler::new(&t);
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut memo = QueryMemo::new();
+        let mut first = OpStats::new();
+        sampler
+            .try_sample_memo(&q, &mut memo, &mut rng, &mut first)
+            .expect("sample");
+        assert!(memo.cached_evals() > 0);
+        assert!(memo.cached_leaves() > 0);
+        // Repeats along the already-walked path do no filter work at all.
+        let mut repeat = OpStats::new();
+        for _ in 0..50 {
+            sampler
+                .try_sample_memo(&q, &mut memo, &mut rng, &mut repeat)
+                .expect("sample");
+        }
+        assert!(
+            repeat.total_ops() < first.total_ops(),
+            "50 memoized samples ({} ops) should cost less than 1 cold sample ({} ops)",
+            repeat.total_ops(),
+            first.total_ops()
+        );
     }
 
     #[test]
@@ -995,7 +1167,10 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(12);
         let mut stats = OpStats::new();
-        assert_eq!(sampler.sample(&q, &mut rng, &mut stats), None);
+        assert_eq!(
+            sampler.try_sample(&q, &mut rng, &mut stats),
+            Err(BstError::NoLiveLeaf)
+        );
     }
 
     #[test]
@@ -1029,6 +1204,28 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_results_match_fresh_memo_results() {
+        // Determinism: walking with a warm memo consumes the RNG stream
+        // identically to a cold memo, so the sample sequences agree.
+        let t = tree(1 << 16);
+        let keys: Vec<u64> = (0..120u64).map(|i| i * 31 + 2).collect();
+        let q = t.query_filter(keys.iter().copied());
+        for cfg in [SamplerConfig::default(), SamplerConfig::corrected()] {
+            let sampler = BstSampler::with_config(&t, cfg);
+            let mut warm_memo = QueryMemo::new();
+            let mut warm_rng = StdRng::seed_from_u64(14);
+            let mut cold_rng = StdRng::seed_from_u64(14);
+            let mut stats = OpStats::new();
+            for _ in 0..40 {
+                let warm = sampler.try_sample_memo(&q, &mut warm_memo, &mut warm_rng, &mut stats);
+                let mut cold_memo = QueryMemo::new();
+                let cold = sampler.try_sample_memo(&q, &mut cold_memo, &mut cold_rng, &mut stats);
+                assert_eq!(warm, cold, "cfg {cfg:?}");
             }
         }
     }

@@ -1,5 +1,14 @@
-//! High-level facade: one object owning the tree, its sampler settings and
-//! the shared hash family — the API a downstream user starts from.
+//! High-level facade: one shared, immutable BloomSampleTree behind an
+//! `Arc`, plus the unified configuration — the API a downstream user
+//! starts from.
+//!
+//! The paper's framework (§3.2) is asymmetric: *one* tree serves millions
+//! of query filters, concurrently. [`BstSystem`] is therefore a cheap
+//! `Clone` handle (`Arc` bump) that is `Send + Sync`, so worker threads
+//! each hold their own handle to the same tree. Per-filter work goes
+//! through [`BstSystem::query`], which returns a [`Query`] handle that
+//! caches descent state so repeated operations on the same filter
+//! amortize the tree-intersection work.
 //!
 //! ```
 //! use bst_core::system::BstSystem;
@@ -7,10 +16,13 @@
 //! // Namespace of 100k ids, 90% target sampling accuracy.
 //! let system = BstSystem::builder(100_000).accuracy(0.9).build();
 //! let filter = system.store((0..500u64).map(|i| i * 7));
+//! let query = system.query(&filter);
 //! let mut rng = rand::thread_rng();
-//! let sample = system.sample(&filter, &mut rng).unwrap();
+//! let sample = query.sample(&mut rng).unwrap();
 //! assert!(filter.contains(sample));
 //! ```
+
+use std::sync::Arc;
 
 use bst_bloom::filter::BloomFilter;
 use bst_bloom::hash::HashKind;
@@ -18,10 +30,62 @@ use bst_bloom::params::{self, TreePlan};
 use rand::Rng;
 
 use crate::costmodel::CostModel;
+use crate::error::BstError;
 use crate::metrics::OpStats;
+use crate::multiquery;
+use crate::query::Query;
 use crate::reconstruct::{BstReconstructor, ReconstructConfig};
 use crate::sampler::{BstSampler, SamplerConfig};
 use crate::tree::{BloomSampleTree, SampleTree};
+
+/// Unified behaviour configuration for a [`BstSystem`]: the sampling and
+/// reconstruction knobs in one place, set once at build time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BstConfig {
+    /// Sampling behaviour (liveness rule, ratio estimator, correction).
+    pub sampler: SamplerConfig,
+    /// Reconstruction behaviour (pruning discipline).
+    pub reconstruct: ReconstructConfig,
+}
+
+impl BstConfig {
+    /// Both algorithms exactly as the paper describes them (§5.3, §5.6):
+    /// threshold pruning and Papapetrou estimates. Use for reproducing
+    /// the paper's operation counts.
+    pub fn paper() -> Self {
+        BstConfig {
+            sampler: SamplerConfig::paper(),
+            reconstruct: ReconstructConfig::paper(),
+        }
+    }
+
+    /// Sound defaults plus auto-tuned rejection correction: provably
+    /// near-uniform samples at the cost of ~γ walks per sample.
+    pub fn corrected() -> Self {
+        BstConfig {
+            sampler: SamplerConfig::corrected(),
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the sampling configuration.
+    pub fn with_sampler(mut self, sampler: SamplerConfig) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Replaces the reconstruction configuration.
+    pub fn with_reconstruct(mut self, reconstruct: ReconstructConfig) -> Self {
+        self.reconstruct = reconstruct;
+        self
+    }
+
+    /// Checks both algorithm configurations, naming the broken invariant.
+    pub fn validate(&self) -> Result<(), BstError> {
+        self.sampler.validate()?;
+        self.reconstruct.validate()
+    }
+}
 
 /// Builder for a [`BstSystem`].
 pub struct BstSystemBuilder {
@@ -31,8 +95,7 @@ pub struct BstSystemBuilder {
     k: usize,
     kind: HashKind,
     seed: u64,
-    sampler_cfg: SamplerConfig,
-    reconstruct_cfg: ReconstructConfig,
+    cfg: BstConfig,
     depth_override: Option<u32>,
     measure_costs: bool,
     threads: usize,
@@ -47,8 +110,7 @@ impl BstSystemBuilder {
             k: params::DEFAULT_K,
             kind: HashKind::Murmur3,
             seed: 0,
-            sampler_cfg: SamplerConfig::default(),
-            reconstruct_cfg: ReconstructConfig::default(),
+            cfg: BstConfig::default(),
             depth_override: None,
             measure_costs: false,
             threads: 0,
@@ -85,15 +147,21 @@ impl BstSystemBuilder {
         self
     }
 
+    /// The full behaviour configuration in one call.
+    pub fn config(mut self, cfg: BstConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
     /// Sampling behaviour (liveness rule, ratio estimator, correction).
     pub fn sampler(mut self, cfg: SamplerConfig) -> Self {
-        self.sampler_cfg = cfg;
+        self.cfg.sampler = cfg;
         self
     }
 
     /// Reconstruction behaviour (pruning discipline).
     pub fn reconstructor(mut self, cfg: ReconstructConfig) -> Self {
-        self.reconstruct_cfg = cfg;
+        self.cfg.reconstruct = cfg;
         self
     }
 
@@ -117,7 +185,21 @@ impl BstSystemBuilder {
     }
 
     /// Resolves the plan and constructs the tree.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; [`Self::try_build`] returns the
+    /// typed error instead.
     pub fn build(self) -> BstSystem {
+        match self.try_build() {
+            Ok(system) => system,
+            Err(e) => panic!("invalid BstSystem configuration: {e}"),
+        }
+    }
+
+    /// [`Self::build`], reporting configuration problems as
+    /// [`BstError::InvalidConfig`] instead of panicking.
+    pub fn try_build(self) -> Result<BstSystem, BstError> {
+        self.cfg.validate()?;
         let mut plan = TreePlan::for_accuracy(
             self.namespace,
             self.expected_set_size,
@@ -136,19 +218,40 @@ impl BstSystemBuilder {
             plan.leaf_capacity = params::leaf_size(self.namespace, d);
         }
         let tree = BloomSampleTree::build_with_threads(&plan, self.threads);
-        BstSystem {
-            tree,
-            cfg: self.sampler_cfg,
-            rcfg: self.reconstruct_cfg,
-        }
+        Ok(BstSystem {
+            shared: Arc::new(SystemShared {
+                tree,
+                cfg: self.cfg,
+            }),
+        })
     }
 }
 
+/// The tree and configuration every handle points at.
+pub(crate) struct SystemShared {
+    pub(crate) tree: BloomSampleTree,
+    pub(crate) cfg: BstConfig,
+}
+
 /// A ready-to-use sampling/reconstruction system over one namespace.
+///
+/// Cloning is an `Arc` bump: all clones share one tree, and the handle is
+/// `Send + Sync`, so a server can hand one clone to each worker thread.
+/// Per-filter operations go through [`Self::query`].
+#[derive(Clone)]
 pub struct BstSystem {
-    tree: BloomSampleTree,
-    cfg: SamplerConfig,
-    rcfg: ReconstructConfig,
+    shared: Arc<SystemShared>,
+}
+
+impl std::fmt::Debug for BstSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BstSystem({:?}, handles={})",
+            self.shared.tree,
+            Arc::strong_count(&self.shared)
+        )
+    }
 }
 
 impl BstSystem {
@@ -159,36 +262,78 @@ impl BstSystem {
 
     /// The underlying tree.
     pub fn tree(&self) -> &BloomSampleTree {
-        &self.tree
+        &self.shared.tree
+    }
+
+    /// The full behaviour configuration.
+    pub fn config(&self) -> BstConfig {
+        self.shared.cfg
     }
 
     /// The sampler configuration.
     pub fn sampler_config(&self) -> SamplerConfig {
-        self.cfg
+        self.shared.cfg.sampler
     }
 
     /// Stores a key set as a query Bloom filter compatible with the tree.
     pub fn store<I: IntoIterator<Item = u64>>(&self, keys: I) -> BloomFilter {
-        self.tree.query_filter(keys)
+        self.shared.tree.query_filter(keys)
+    }
+
+    /// Opens a [`Query`] handle on `filter`: the filter is captured once
+    /// and descent state (node liveness, descent weights, leaf matches,
+    /// the corrected sampler's frontier cache) accumulates across
+    /// operations, so repeated sampling or reconstruction of the same
+    /// filter skips already-evaluated tree intersections.
+    pub fn query(&self, filter: &BloomFilter) -> Query {
+        Query::new(self.clone(), filter.clone())
+    }
+
+    /// [`Self::query`] taking ownership of the filter (no clone).
+    pub fn query_owned(&self, filter: BloomFilter) -> Query {
+        Query::new(self.clone(), filter)
+    }
+
+    /// Draws one sample per query filter, in parallel over `threads`
+    /// worker threads (0 = one per CPU). Results align with `filters`;
+    /// each entry carries its own typed failure reason. Deterministic for
+    /// a fixed `seed`, thread count and filter order.
+    pub fn query_batch(
+        &self,
+        filters: &[BloomFilter],
+        seed: u64,
+        threads: usize,
+    ) -> (Vec<Result<u64, BstError>>, OpStats) {
+        multiquery::sample_each(self.tree(), filters, self.shared.cfg.sampler, seed, threads)
     }
 
     /// Draws one near-uniform sample from the set stored in `filter`.
+    #[deprecated(since = "0.2.0", note = "use `BstSystem::query(&filter).sample(rng)`")]
     pub fn sample<R: Rng + ?Sized>(&self, filter: &BloomFilter, rng: &mut R) -> Option<u64> {
         let mut stats = OpStats::new();
-        self.sample_counted(filter, rng, &mut stats)
+        BstSampler::with_config(self.tree(), self.shared.cfg.sampler)
+            .sample(filter, rng, &mut stats)
     }
 
-    /// [`Self::sample`] with operation accounting.
+    /// `sample` with operation accounting.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BstSystem::query(&filter)` and read `Query::stats()`"
+    )]
     pub fn sample_counted<R: Rng + ?Sized>(
         &self,
         filter: &BloomFilter,
         rng: &mut R,
         stats: &mut OpStats,
     ) -> Option<u64> {
-        BstSampler::with_config(&self.tree, self.cfg).sample(filter, rng, stats)
+        BstSampler::with_config(self.tree(), self.shared.cfg.sampler).sample(filter, rng, stats)
     }
 
     /// Draws `r` samples in one tree pass (§5.3).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BstSystem::query(&filter).sample_many(r, rng)`"
+    )]
     pub fn sample_many<R: Rng + ?Sized>(
         &self,
         filter: &BloomFilter,
@@ -196,18 +341,29 @@ impl BstSystem {
         rng: &mut R,
     ) -> Vec<u64> {
         let mut stats = OpStats::new();
-        BstSampler::with_config(&self.tree, self.cfg).sample_many(filter, r, rng, &mut stats)
+        BstSampler::with_config(self.tree(), self.shared.cfg.sampler)
+            .sample_many(filter, r, rng, &mut stats)
     }
 
     /// Reconstructs the set stored in `filter` (`S ∪ S(B)`), sorted.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BstSystem::query(&filter).reconstruct()`"
+    )]
     pub fn reconstruct(&self, filter: &BloomFilter) -> Vec<u64> {
         let mut stats = OpStats::new();
-        self.reconstruct_counted(filter, &mut stats)
+        BstReconstructor::with_config(self.tree(), self.shared.cfg.reconstruct)
+            .reconstruct(filter, &mut stats)
     }
 
-    /// [`Self::reconstruct`] with operation accounting.
+    /// `reconstruct` with operation accounting.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BstSystem::query(&filter)` and read `Query::stats()`"
+    )]
     pub fn reconstruct_counted(&self, filter: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
-        BstReconstructor::with_config(&self.tree, self.rcfg).reconstruct(filter, stats)
+        BstReconstructor::with_config(self.tree(), self.shared.cfg.reconstruct)
+            .reconstruct(filter, stats)
     }
 }
 
@@ -222,10 +378,11 @@ mod tests {
         let sys = BstSystem::builder(50_000).build();
         let keys: Vec<u64> = (0..200u64).map(|i| i * 11).collect();
         let f = sys.store(keys.iter().copied());
+        let q = sys.query(&f);
         let mut rng = StdRng::seed_from_u64(1);
-        let s = sys.sample(&f, &mut rng).expect("sample");
+        let s = q.sample(&mut rng).expect("sample");
         assert!(f.contains(s));
-        let rec = sys.reconstruct(&f);
+        let rec = q.reconstruct().expect("reconstruct");
         for k in &keys {
             assert!(rec.binary_search(k).is_ok());
         }
@@ -247,19 +404,101 @@ mod tests {
 
     #[test]
     fn hash_kind_flows_through() {
-        let sys = BstSystem::builder(10_000).hash_kind(HashKind::Simple).build();
+        let sys = BstSystem::builder(10_000)
+            .hash_kind(HashKind::Simple)
+            .build();
         assert!(sys.tree().hasher().is_invertible());
     }
 
     #[test]
-    fn sample_many_works_via_facade() {
+    fn system_is_cheap_to_clone_and_threadsafe() {
+        fn assert_traits<T: Clone + Send + Sync + 'static>() {}
+        assert_traits::<BstSystem>();
+        let sys = BstSystem::builder(10_000).build();
+        let clone = sys.clone();
+        // Clones share the identical tree allocation.
+        assert!(std::ptr::eq(sys.tree(), clone.tree()));
+    }
+
+    #[test]
+    fn unified_config_reaches_both_algorithms() {
+        let sys = BstSystem::builder(10_000)
+            .config(BstConfig::paper())
+            .build();
+        assert_eq!(sys.config().sampler, SamplerConfig::paper());
+        assert_eq!(sys.config().reconstruct, ReconstructConfig::paper());
+        // Partial setters keep the rest of the config intact.
+        let sys2 = BstSystem::builder(10_000)
+            .sampler(SamplerConfig::corrected())
+            .build();
+        assert_eq!(sys2.config().sampler, SamplerConfig::corrected());
+        assert_eq!(sys2.config().reconstruct, ReconstructConfig::default());
+    }
+
+    #[test]
+    fn try_build_rejects_invalid_configs() {
+        use crate::sampler::Correction;
+        let bad_gamma = BstConfig::default().with_sampler(SamplerConfig {
+            correction: Correction::Rejection { gamma: 0.5 },
+            ..SamplerConfig::default()
+        });
+        assert!(matches!(
+            BstSystem::builder(10_000).config(bad_gamma).try_build(),
+            Err(crate::error::BstError::InvalidConfig(_))
+        ));
+        let bad_tau = BstConfig::default().with_sampler(SamplerConfig {
+            liveness: crate::sampler::Liveness::EstimateThreshold(-1.0),
+            ..SamplerConfig::default()
+        });
+        assert!(matches!(
+            BstSystem::builder(10_000).config(bad_tau).try_build(),
+            Err(crate::error::BstError::InvalidConfig(_))
+        ));
+        assert!(BstSystem::builder(10_000).try_build().is_ok());
+    }
+
+    #[test]
+    fn sample_many_works_via_query_handle() {
         let sys = BstSystem::builder(10_000).build();
         let f = sys.store((0..100u64).map(|i| i * 3));
+        let q = sys.query(&f);
         let mut rng = StdRng::seed_from_u64(2);
-        let samples = sys.sample_many(&f, 50, &mut rng);
+        let samples = q.sample_many(50, &mut rng).expect("sample_many");
         assert_eq!(samples.len(), 50);
         for s in samples {
             assert!(f.contains(s));
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let sys = BstSystem::builder(10_000).build();
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 7).collect();
+        let f = sys.store(keys.iter().copied());
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sys.sample(&f, &mut rng).expect("sample");
+        assert!(f.contains(s));
+        let rec = sys.reconstruct(&f);
+        for k in &keys {
+            assert!(rec.binary_search(k).is_ok());
+        }
+        let many = sys.sample_many(&f, 10, &mut rng);
+        assert_eq!(many.len(), 10);
+    }
+
+    #[test]
+    fn query_batch_serves_many_filters() {
+        let sys = BstSystem::builder(20_000).build();
+        let filters: Vec<_> = (0..12)
+            .map(|i| sys.store((0..40u64).map(|j| (i * 997 + j * 13) % 20_000)))
+            .collect();
+        let (results, stats) = sys.query_batch(&filters, 5, 3);
+        assert_eq!(results.len(), filters.len());
+        for (f, r) in filters.iter().zip(&results) {
+            let s = r.expect("sample for non-empty filter");
+            assert!(f.contains(s));
+        }
+        assert!(stats.total_ops() > 0);
     }
 }

@@ -231,9 +231,7 @@ impl BloomSampleTree {
     pub fn to_bytes(&self) -> Vec<u8> {
         use bytes::BufMut;
         let words_per_node = self.plan.m.div_ceil(64);
-        let mut buf = bytes::BytesMut::with_capacity(
-            64 + self.nodes.len() * words_per_node * 8,
-        );
+        let mut buf = bytes::BytesMut::with_capacity(64 + self.nodes.len() * words_per_node * 8);
         buf.put_slice(b"BSTC");
         buf.put_u8(crate::persistence::VERSION);
         crate::persistence::put_plan(&mut buf, &self.plan);

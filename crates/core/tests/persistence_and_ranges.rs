@@ -50,7 +50,11 @@ fn complete_tree_roundtrips_through_bytes() {
 #[test]
 fn pruned_tree_roundtrips_through_bytes() {
     let p = plan(1 << 16, 6);
-    let occupied: Vec<u64> = (0..500u64).map(|i| i * 131 % (1 << 16)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    let occupied: Vec<u64> = (0..500u64)
+        .map(|i| i * 131 % (1 << 16))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
     let mut tree = PrunedBloomSampleTree::build(&p, &occupied);
     // Exercise dynamic state before persisting.
     tree.insert(99);
@@ -102,7 +106,11 @@ fn decode_rejects_corruption() {
 fn range_reconstruction_matches_filtered_full() {
     let p = plan(8192, 5);
     let tree = BloomSampleTree::build(&p);
-    let keys: Vec<u64> = (0..300u64).map(|i| i * 27 % 8192).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    let keys: Vec<u64> = (0..300u64)
+        .map(|i| i * 27 % 8192)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
     let q = tree.query_filter(keys.iter().copied());
     let recon = BstReconstructor::new(&tree);
     let mut s_full = OpStats::new();
@@ -152,43 +160,52 @@ fn empty_window_returns_nothing() {
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "slow: run under --release")]
-fn prepared_sampling_matches_unprepared_distribution() {
+fn memoized_sampling_matches_unmemoized_distribution() {
+    use bst_core::sampler::QueryMemo;
     let p = plan(1 << 14, 6);
     let tree = BloomSampleTree::build(&p);
-    let keys: Vec<u64> = (0..64u64).map(|i| i * 251 % (1 << 14)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    let keys: Vec<u64> = (0..64u64)
+        .map(|i| i * 251 % (1 << 14))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
     let q = tree.query_filter(keys.iter().copied());
     let sampler = BstSampler::with_config(&tree, SamplerConfig::corrected());
     let mut rng = StdRng::seed_from_u64(42);
     let mut stats = OpStats::new();
-    let prepared = sampler.prepare(&q, &mut stats);
-    assert!(prepared.estimated_cardinality() > 40.0);
-    assert!(prepared.gamma() >= 1.0);
+    let mut memo = QueryMemo::new();
     let mut counts = vec![0u64; keys.len()];
     for _ in 0..130 * keys.len() {
         let s = sampler
-            .sample_prepared(&prepared, &mut rng, &mut stats)
+            .try_sample_memo(&q, &mut memo, &mut rng, &mut stats)
             .expect("sample");
         if let Ok(i) = keys.binary_search(&s) {
             counts[i] += 1;
         }
     }
+    assert!(memo.is_prepared());
+    assert!(memo.estimated_cardinality().expect("prepared") > 40.0);
     let res = bst_stats::chi2_uniform_test(&counts);
-    assert!(res.p_value > 0.01, "prepared sampling skewed: p = {}", res.p_value);
+    assert!(
+        res.p_value > 0.01,
+        "memoized sampling skewed: p = {}",
+        res.p_value
+    );
 
-    // Preparation amortises: sampling with a prepared query must not be
-    // slower per sample than fresh corrected sampling.
+    // Memoization amortises: sampling with a warm memo must not be slower
+    // per sample than fresh corrected sampling.
     let t0 = std::time::Instant::now();
     for _ in 0..200 {
-        std::hint::black_box(sampler.sample_prepared(&prepared, &mut rng, &mut stats));
+        let _ = std::hint::black_box(sampler.try_sample_memo(&q, &mut memo, &mut rng, &mut stats));
     }
-    let prepared_time = t0.elapsed();
+    let memoized_time = t0.elapsed();
     let t1 = std::time::Instant::now();
     for _ in 0..200 {
         std::hint::black_box(sampler.sample(&q, &mut rng, &mut stats));
     }
     let fresh_time = t1.elapsed();
     assert!(
-        prepared_time <= fresh_time * 2,
-        "prepared {prepared_time:?} vs fresh {fresh_time:?}"
+        memoized_time <= fresh_time * 2,
+        "memoized {memoized_time:?} vs fresh {fresh_time:?}"
     );
 }

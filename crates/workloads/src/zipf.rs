@@ -51,13 +51,10 @@ impl Zipf {
     /// Draws a rank in `1..=n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inverse(u, self.s);
             let k = x.round().clamp(1.0, self.n as f64);
-            if (k - x).abs() <= self.threshold
-                || u >= h_integral(k + 0.5, self.s) - h(k, self.s)
-            {
+            if (k - x).abs() <= self.threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
                 return k as u64;
             }
         }

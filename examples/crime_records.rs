@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example crime_records`
 
 use bloomsampletree::core::baselines::{dictionary, hashinvert};
-use bloomsampletree::{BstReconstructor, BstSystem, OpStats};
+use bloomsampletree::{BstSystem, OpStats};
 use bst_bloom::HashKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,11 +28,9 @@ fn main() {
     // near a residential area sees clustered blocks (numbers are assigned
     // in ranges); a downtown tower sees a broad mix.
     let residential: Vec<u64> = (0..800u64)
-        .map(|i| 4_210_000 + i * 3 + rng.gen_range(0..2))
+        .map(|i| 4_210_000 + i * 3 + rng.gen_range(0..2u64))
         .collect();
-    let downtown: Vec<u64> = (0..2500u64)
-        .map(|_| rng.gen_range(0..NAMESPACE))
-        .collect();
+    let downtown: Vec<u64> = (0..2500u64).map(|_| rng.gen_range(0..NAMESPACE)).collect();
 
     // The telecom's archival system: one tree for the number namespace,
     // Simple (invertible) hashes so HashInvert is possible, sized for 90%
@@ -72,10 +70,14 @@ fn main() {
     // The investigation: recover all numbers seen by tower A.
     println!("\n--- reconstructing tower A's numbers, three ways ---");
 
-    let mut bst_stats = OpStats::new();
+    // The investigator holds one query handle per evidence filter: the
+    // first operation pays for the tree descent, every later operation on
+    // the same filter reuses the cached frontier.
+    let query_a = system.query(&evidence_a);
     let t1 = Instant::now();
-    let via_bst = BstReconstructor::new(system.tree()).reconstruct(&evidence_a, &mut bst_stats);
+    let via_bst = query_a.reconstruct().expect("reconstruct tower A");
     let bst_time = t1.elapsed();
+    let bst_stats = query_a.take_stats();
 
     let mut hi_stats = OpStats::new();
     let t2 = Instant::now();
@@ -129,8 +131,12 @@ fn main() {
     );
 
     // Sampling for canvassing: pick a handful of numbers seen by tower A
-    // to contact first.
+    // to contact first. The handle already holds tower A's leaf matches
+    // from the reconstruction, so this costs almost nothing extra.
     let mut rng2 = StdRng::seed_from_u64(9);
-    let canvass = system.sample_many(&evidence_a, 5, &mut rng2);
-    println!("canvassing sample from tower A: {canvass:?}");
+    let canvass = query_a.sample_many(5, &mut rng2).expect("canvass sample");
+    println!(
+        "canvassing sample from tower A: {canvass:?} ({} extra ops after reconstruction)",
+        query_a.stats().total_ops()
+    );
 }

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example dynamic_namespace`
 
-use bloomsampletree::{BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree};
+use bloomsampletree::{BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, QueryMemo};
 use bst_bloom::counting::CountingBloomFilter;
 use bst_bloom::params::TreePlan;
 use bst_bloom::HashKind;
@@ -80,18 +80,25 @@ fn main() {
     );
 
     // Sample and reconstruct the *current* membership through the tree.
+    // A QueryMemo amortizes the 50 draws: the pruned tree is walked once,
+    // later draws reuse the cached liveness and leaf matches.
     let snapshot = community.to_bloom();
     let sampler = BstSampler::new(&tree);
+    let mut memo = QueryMemo::new();
     let mut stats = OpStats::new();
     let mut hits = 0;
     for _ in 0..50 {
-        if let Some(u) = sampler.sample(&snapshot, &mut rng, &mut stats) {
+        if let Ok(u) = sampler.try_sample_memo(&snapshot, &mut memo, &mut rng, &mut stats) {
             if stayers.binary_search(&u).is_ok() {
                 hits += 1;
             }
         }
     }
-    println!("50 samples from the post-churn community: {hits} are current members");
+    println!(
+        "50 samples from the post-churn community: {hits} are current members \
+         ({} ops total through the memo)",
+        stats.total_ops()
+    );
 
     let mut rec_stats = OpStats::new();
     let rebuilt = BstReconstructor::new(&tree).reconstruct(&snapshot, &mut rec_stats);

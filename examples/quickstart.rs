@@ -1,6 +1,7 @@
 //! Quickstart: store a set in a Bloom filter, then sample from it and
-//! reconstruct it using a BloomSampleTree — including an ASCII rendering of
-//! the paper's Figure 1 tree and an empirical sampling histogram.
+//! reconstruct it through a query handle on a BloomSampleTree — including
+//! an ASCII rendering of the paper's Figure 1 tree, an empirical sampling
+//! histogram, and the handle's amortization at work.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -14,7 +15,8 @@ use rand::SeedableRng;
 fn main() {
     // ------------------------------------------------------------------
     // 1. Build the system: one BloomSampleTree for a namespace of 100k
-    //    ids, sized for 90% sampling accuracy on ~1000-element sets.
+    //    ids, sized for 90% sampling accuracy on ~1000-element sets. The
+    //    system is an Arc handle — clone it freely across threads.
     // ------------------------------------------------------------------
     let system = BstSystem::builder(100_000)
         .accuracy(0.9)
@@ -51,28 +53,49 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 3. Sample from the filter.
+    // 3. Open a query handle and sample from the filter. The handle
+    //    captures the filter once; descent state accumulates across
+    //    calls, so repeated samples get cheaper.
     // ------------------------------------------------------------------
+    let query = system.query(&filter);
     let mut rng = StdRng::seed_from_u64(7);
     print!("\nTen samples drawn without the original set:");
     for _ in 0..10 {
-        let s = system.sample(&filter, &mut rng).expect("sample");
+        let s = query.sample(&mut rng).expect("sample");
         print!(" {s}");
     }
     println!();
+    let cold = query.take_stats();
+    for _ in 0..990 {
+        query.sample(&mut rng).expect("sample");
+    }
+    let warming = query.take_stats();
+    for _ in 0..1000 {
+        query.sample(&mut rng).expect("sample");
+    }
+    let warm = query.take_stats();
+    println!(
+        "  amortization: {} ops for the first 10 samples, {} for the next 990, {} for the 1000 after that",
+        cold.total_ops(),
+        warming.total_ops(),
+        warm.total_ops()
+    );
 
     // ------------------------------------------------------------------
     // 4. Check sample quality: histogram + chi-squared over 130 draws per
     //    element (the paper's Table 5 protocol, corrected sampler).
     // ------------------------------------------------------------------
     let subset: Vec<u64> = secret_set.iter().copied().take(50).collect();
-    let small = system.store(subset.iter().copied());
+    // A different sampler config on the *same* shared tree: drop to the
+    // sampler layer with a persistent memo (no second tree build).
     let sampler =
         bloomsampletree::BstSampler::with_config(system.tree(), SamplerConfig::corrected());
-    let mut counts = vec![0u64; subset.len()];
+    let small = system.store(subset.iter().copied());
+    let mut memo = bloomsampletree::QueryMemo::new();
     let mut stats = bloomsampletree::OpStats::new();
+    let mut counts = vec![0u64; subset.len()];
     for _ in 0..130 * subset.len() {
-        if let Some(s) = sampler.sample(&small, &mut rng, &mut stats) {
+        if let Ok(s) = sampler.try_sample_memo(&small, &mut memo, &mut rng, &mut stats) {
             if let Ok(i) = subset.binary_search(&s) {
                 counts[i] += 1;
             }
@@ -100,9 +123,10 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 5. Reconstruct the full set from the filter.
+    // 5. Reconstruct the full set from the filter, through the same
+    //    handle that sampled it (the cached leaf matches are reused).
     // ------------------------------------------------------------------
-    let rebuilt = system.reconstruct(&filter);
+    let rebuilt = query.reconstruct().expect("reconstruct");
     let true_hits = rebuilt
         .iter()
         .filter(|x| secret_set.binary_search(x).is_ok())
@@ -138,5 +162,8 @@ fn main() {
     }
     let s = mini.store([4u64, 6]);
     println!("  query filter for {{4, 6}}: {} bits set", s.count_ones());
-    println!("  reconstructed: {:?}", mini.reconstruct(&s));
+    println!(
+        "  reconstructed: {:?}",
+        mini.query(&s).reconstruct().expect("reconstruct")
+    );
 }

@@ -17,7 +17,9 @@
 
 use bloomsampletree::core::multiquery::sample_each;
 use bloomsampletree::core::sampler::SamplerConfig;
-use bloomsampletree::{BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, SampleTree};
+use bloomsampletree::{
+    BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, QueryMemo, SampleTree,
+};
 use bst_bloom::params::TreePlan;
 use bst_bloom::HashKind;
 use bst_workloads::occupancy::clustered_occupancy;
@@ -50,15 +52,7 @@ fn main() {
 
     // Plan filters for 80% accuracy (the paper's §8 setting) and build the
     // pruned tree over the occupied ids only.
-    let plan = TreePlan::for_accuracy(
-        cfg.namespace,
-        1000,
-        0.8,
-        3,
-        HashKind::Murmur3,
-        99,
-        128.0,
-    );
+    let plan = TreePlan::for_accuracy(cfg.namespace, 1000, 0.8, 3, HashKind::Murmur3, 99, 128.0);
     let t1 = Instant::now();
     let tree = PrunedBloomSampleTree::build(&plan, stream.users());
     println!(
@@ -90,7 +84,7 @@ fn main() {
     let hit = picks
         .iter()
         .zip(&audiences)
-        .filter(|(p, aud)| p.map(|x| aud.binary_search(&x).is_ok()).unwrap_or(false))
+        .filter(|(p, aud)| matches!(p, Ok(x) if aud.binary_search(x).is_ok()))
         .count();
     println!(
         "sampled one target user per audience in {:?} ({} of {} samples are true members)",
@@ -125,13 +119,16 @@ fn main() {
     );
 
     // Heavy-user overlap: sample repeatedly from two audiences and count
-    // cross-membership — the preferential-attachment signature.
+    // cross-membership — the preferential-attachment signature. Repeated
+    // samples of one filter share a QueryMemo, so only the first draw
+    // pays for the tree descent.
     let sampler = BstSampler::new(&tree);
+    let mut memo = QueryMemo::new();
     let mut cross = 0usize;
     let mut draws = 0usize;
     let mut s_stats = OpStats::new();
     for _ in 0..200 {
-        if let Some(u) = sampler.sample(&filters[0], &mut rng, &mut s_stats) {
+        if let Ok(u) = sampler.try_sample_memo(&filters[0], &mut memo, &mut rng, &mut s_stats) {
             draws += 1;
             if audiences[1].binary_search(&u).is_ok() {
                 cross += 1;
@@ -140,6 +137,7 @@ fn main() {
     }
     println!(
         "\naudience overlap probe: {cross}/{draws} samples from #0 are also in #1 \
-         (heavy users span hashtags)"
+         (heavy users span hashtags; 200 draws cost {} ops through the memo)",
+        s_stats.total_ops()
     );
 }

@@ -7,13 +7,19 @@
 //! Given a set `S ⊆ [0, M)` stored in a Bloom filter `B`, this crate can:
 //!
 //! * draw a (near-)uniform random sample from `S ∪ S(B)` (the stored set
-//!   plus `B`'s false positives) — [`BstSystem::sample`];
-//! * reconstruct `S ∪ S(B)` entirely — [`BstSystem::reconstruct`];
+//!   plus `B`'s false positives) — [`Query::sample`];
+//! * reconstruct `S ∪ S(B)` entirely — [`Query::reconstruct`];
 //!
 //! without touching the original data, using only the filter and a
 //! once-built **BloomSampleTree** index over the namespace.
 //!
 //! ## Quickstart
+//!
+//! The shape of the API mirrors the paper's framework: one shared tree,
+//! many filters, *repeated* operations per filter. [`BstSystem`] is a
+//! cheap-to-clone (`Arc`), `Send + Sync` handle to the tree; per-filter
+//! work goes through a [`Query`] handle that caches descent state so
+//! repeated operations on the same filter amortize the intersection work.
 //!
 //! ```
 //! use bloomsampletree::BstSystem;
@@ -25,14 +31,59 @@
 //! // from elsewhere — a log, a cache, another machine).
 //! let community = system.store((0..500u64).map(|i| i * 31));
 //!
-//! // Sample from it, without the original set.
+//! // Open a query handle: the filter is captured once, and descent
+//! // state accumulates across calls.
+//! let query = system.query(&community);
+//!
+//! // Sample from it, without the original set. Fallible operations
+//! // return `Result<_, BstError>` naming the failure cause.
 //! let mut rng = rand::thread_rng();
-//! let member = system.sample(&community, &mut rng).unwrap();
+//! let member = query.sample(&mut rng).unwrap();
 //! assert!(community.contains(member));
 //!
+//! // Repeated samples through the same handle get cheaper: cached
+//! // intersections are hash-map hits, visible in the handle's stats.
+//! for _ in 0..100 {
+//!     query.sample(&mut rng).unwrap();
+//! }
+//!
 //! // Or rebuild the whole set.
-//! let rebuilt = system.reconstruct(&community);
+//! let rebuilt = query.reconstruct().unwrap();
 //! assert!(rebuilt.binary_search(&(31 * 7)).is_ok());
+//! ```
+//!
+//! ## Error handling
+//!
+//! Every fallible operation returns [`BstError`], which distinguishes an
+//! empty filter, a filter built with the wrong hash family, provably-dead
+//! descents, and an exhausted rejection budget:
+//!
+//! ```
+//! use bloomsampletree::{BstError, BstSystem};
+//!
+//! let system = BstSystem::builder(10_000).build();
+//! let empty = system.store(std::iter::empty());
+//! let mut rng = rand::thread_rng();
+//! assert_eq!(system.query(&empty).sample(&mut rng), Err(BstError::EmptyFilter));
+//! ```
+//!
+//! ## Serving many filters
+//!
+//! `BstSystem: Clone + Send + Sync` (an `Arc` bump), so worker threads
+//! share one tree; [`BstSystem::query_batch`] samples across a whole
+//! batch of filters in parallel:
+//!
+//! ```
+//! use bloomsampletree::BstSystem;
+//!
+//! let system = BstSystem::builder(10_000).build();
+//! let filters: Vec<_> = (0..8)
+//!     .map(|i| system.store((0..50u64).map(|j| (i * 997 + j * 11) % 10_000)))
+//!     .collect();
+//! let (picks, _stats) = system.query_batch(&filters, 42, 0);
+//! for (filter, pick) in filters.iter().zip(&picks) {
+//!     assert!(filter.contains(pick.unwrap()));
+//! }
 //! ```
 //!
 //! ## Crate map
@@ -40,7 +91,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`bloom`] (re-export of `bst-bloom`) | bit vectors, hash families (Simple affine / Murmur3 / MD5), the Bloom filter, estimators, parameter planning, counting filters, codec |
-//! | [`core`] (re-export of `bst-core`) | the BloomSampleTree, pruned variant, BSTSample, reconstruction, DictionaryAttack and HashInvert baselines, cost model |
+//! | [`core`] (re-export of `bst-core`) | the BloomSampleTree, pruned variant, BSTSample, reconstruction, the `Query` handle facade, DictionaryAttack and HashInvert baselines, cost model |
 //! | [`workloads`] (re-export of `bst-workloads`) | uniform/clustered query sets, namespace occupancy, the synthetic social stream |
 //! | [`stats`] (re-export of `bst-stats`) | chi-squared testing, summaries, binomial sampling |
 //!
@@ -56,6 +107,6 @@ pub use bst_workloads as workloads;
 
 pub use bst_bloom::{BloomFilter, BloomHasher, HashKind, TreePlan};
 pub use bst_core::{
-    BloomSampleTree, BstReconstructor, BstSampler, BstSystem, OpStats, PrunedBloomSampleTree,
-    SampleTree, SamplerConfig,
+    BloomSampleTree, BstConfig, BstError, BstReconstructor, BstSampler, BstSystem, OpStats,
+    PrunedBloomSampleTree, Query, QueryMemo, ReconstructConfig, SampleTree, SamplerConfig,
 };

@@ -1,6 +1,6 @@
-//! Persistence and determinism: filters survive the binary codec and JSON,
-//! hash families rebuild identically from their parameters, and whole
-//! systems are reproducible from a plan.
+//! Persistence and determinism: filters survive the binary codec, hash
+//! families rebuild identically from their parameters, and whole systems
+//! are reproducible from a plan.
 
 use bloomsampletree::{BloomFilter, BloomHasher, BstSystem, HashKind, SampleTree, TreePlan};
 use bst_bloom::codec;
@@ -24,12 +24,12 @@ fn filter_binary_roundtrip_preserves_queries() {
 }
 
 #[test]
-fn filter_json_roundtrip() {
+fn filter_codec_roundtrip_over_simple_family() {
     let mut f = BloomFilter::with_params(HashKind::Simple, 3, 4096, 50_000, 56);
     f.insert(123);
     f.insert(49_999);
-    let json = serde_json::to_string(&f).expect("serialize");
-    let back: BloomFilter = serde_json::from_str(&json).expect("deserialize");
+    let bytes = codec::encode(&f);
+    let back = codec::decode(&bytes).expect("decode");
     assert!(back.contains(123));
     assert!(back.contains(49_999));
     assert!(back.compatible_with(&f));
@@ -50,14 +50,11 @@ fn hashers_rebuild_identically_from_parameters() {
 }
 
 #[test]
-fn plan_serde_roundtrip_rebuilds_equivalent_tree() {
+fn plan_roundtrip_through_tree_bytes_rebuilds_equivalent_tree() {
     let plan = TreePlan::for_accuracy(50_000, 500, 0.9, 3, HashKind::Murmur3, 77, 128.0);
-    let json = serde_json::to_string(&plan).expect("serialize plan");
-    let back: TreePlan = serde_json::from_str(&json).expect("deserialize plan");
-    assert_eq!(plan, back);
-
     let t1 = bloomsampletree::BloomSampleTree::build(&plan);
-    let t2 = bloomsampletree::BloomSampleTree::build(&back);
+    let t2 = bloomsampletree::BloomSampleTree::from_bytes(&t1.to_bytes()).expect("decode tree");
+    assert_eq!(&plan, t2.plan());
     for i in (0..t1.node_count() as u32).step_by(7) {
         assert_eq!(t1.filter(i).bits(), t2.filter(i).bits(), "node {i}");
     }
@@ -79,13 +76,14 @@ fn remote_filter_scenario() {
     let remote_filter = BloomFilter::from_keys(remote_hasher, keys.iter().copied());
     let wire = codec::encode(&remote_filter);
 
-    // Local consumer: decode and sample/reconstruct through the tree.
+    // Local consumer: decode and sample/reconstruct through a handle.
     let received = codec::decode(&wire).expect("decode");
     assert!(received.compatible_with(system.tree().filter(0)));
+    let query = system.query(&received);
     let mut rng = StdRng::seed_from_u64(89);
-    let s = system.sample(&received, &mut rng).expect("sample");
+    let s = query.sample(&mut rng).expect("sample");
     assert!(received.contains(s));
-    let rec = system.reconstruct(&received);
+    let rec = query.reconstruct().expect("reconstruct");
     for k in &keys {
         assert!(rec.binary_search(k).is_ok());
     }

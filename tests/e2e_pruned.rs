@@ -2,10 +2,10 @@
 //! social stream → pruned tree → sampling/reconstruction, plus dynamic
 //! growth.
 
+use bloomsampletree::HashKind;
 use bloomsampletree::{
     BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, SampleTree, TreePlan,
 };
-use bloomsampletree::HashKind;
 use bst_bloom::params::leaf_size;
 use bst_workloads::occupancy::{clustered_occupancy, uniform_occupancy};
 use bst_workloads::social::{SocialConfig, SocialStream};
@@ -39,8 +39,10 @@ fn social_pipeline_end_to_end() {
     for tag in 0..5usize {
         let audience = stream.audience(tag);
         let q = tree.query_filter(audience.iter().copied());
-        // Sample a member.
-        let s = sampler.sample(&q, &mut rng, &mut stats).expect("sample");
+        // Sample a member (typed-error path works on pruned trees too).
+        let s = sampler
+            .try_sample(&q, &mut rng, &mut stats)
+            .expect("sample");
         assert!(q.contains(s));
         // Samples come from occupied ids only.
         assert!(stream.users().binary_search(&s).is_ok());
@@ -65,10 +67,13 @@ fn lower_occupancy_means_less_memory_and_better_accuracy() {
         let audience = stream.audience(0);
         let q = tree.query_filter(audience.iter().copied());
         let sampler = BstSampler::new(&tree);
+        // Repeated draws of one audience share a memo (the production
+        // serving shape); soundness and accuracy must be unchanged.
+        let mut memo = bloomsampletree::QueryMemo::new();
         let (mut trues, mut total) = (0u64, 0u64);
         let mut stats = OpStats::new();
         for _ in 0..300 {
-            if let Some(s) = sampler.sample(&q, &mut rng, &mut stats) {
+            if let Ok(s) = sampler.try_sample_memo(&q, &mut memo, &mut rng, &mut stats) {
                 total += 1;
                 if audience.binary_search(&s).is_ok() {
                     trues += 1;

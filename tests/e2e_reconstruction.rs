@@ -43,7 +43,7 @@ fn false_positive_volume_matches_model() {
     let mut rng = StdRng::seed_from_u64(23);
     let keys = uniform_set(&mut rng, NAMESPACE, 1000);
     let q = system.store(keys.iter().copied());
-    let rec = system.reconstruct(&q);
+    let rec = system.query(&q).reconstruct().expect("reconstruct");
     let fp = rec.len() - keys.len();
     // acc = n / (n + fp) should be near the 0.8 target:
     let measured_acc = keys.len() as f64 / rec.len() as f64;
@@ -105,10 +105,14 @@ fn reconstruction_of_dense_filters_uses_unset_mode() {
 
 #[test]
 fn empty_and_singleton_sets() {
+    use bloomsampletree::BstError;
     let system = BstSystem::builder(10_000).seed(28).build();
     let empty = system.store(std::iter::empty());
-    assert!(system.reconstruct(&empty).is_empty());
+    assert_eq!(
+        system.query(&empty).reconstruct(),
+        Err(BstError::EmptyFilter)
+    );
     let single = system.store([4321u64]);
-    let rec = system.reconstruct(&single);
+    let rec = system.query(&single).reconstruct().expect("reconstruct");
     assert!(rec.binary_search(&4321).is_ok());
 }

@@ -83,10 +83,10 @@ fn measured_accuracy_tracks_target() {
             .build();
         let mut rng = StdRng::seed_from_u64(6);
         let keys = uniform_set(&mut rng, 200_000, 1000);
-        let q = system.store(keys.iter().copied());
+        let query = system.query(&system.store(keys.iter().copied()));
         let (mut trues, mut total) = (0u64, 0u64);
         for _ in 0..2000 {
-            if let Some(s) = system.sample(&q, &mut rng) {
+            if let Ok(s) = query.sample(&mut rng) {
                 total += 1;
                 if keys.binary_search(&s).is_ok() {
                     trues += 1;
@@ -118,6 +118,11 @@ fn batch_sampling_agrees_with_sequential() {
         assert!(filter.contains(s));
     }
     assert!(stats.memberships > 0);
+    // The facade-level batch entry point serves the same filters.
+    let (via_system, _) = system.query_batch(&filters, 11, 4);
+    for (filter, r) in filters.iter().zip(&via_system) {
+        assert!(filter.contains(r.expect("sample")));
+    }
 }
 
 #[test]
@@ -125,8 +130,8 @@ fn multi_sample_distribution_covers_set() {
     let system = BstSystem::builder(65_536).seed(9).build();
     let mut rng = StdRng::seed_from_u64(10);
     let keys = uniform_set(&mut rng, 65_536, 64);
-    let q = system.store(keys.iter().copied());
-    let samples = system.sample_many(&q, 2000, &mut rng);
+    let query = system.query(&system.store(keys.iter().copied()));
+    let samples = query.sample_many(2000, &mut rng).expect("sample_many");
     assert_eq!(samples.len(), 2000);
     let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
     // 2000 draws over 64 near-uniform keys: all keys seen (coupon
@@ -150,9 +155,10 @@ fn hash_families_all_work_end_to_end() {
         let mut rng = StdRng::seed_from_u64(12);
         let keys = uniform_set(&mut rng, 20_000, 200);
         let q = system.store(keys.iter().copied());
-        let s = system.sample(&q, &mut rng).expect("sample");
+        let query = system.query(&q);
+        let s = query.sample(&mut rng).expect("sample");
         assert!(q.contains(s), "{kind}: non-positive sample");
-        let rec = system.reconstruct(&q);
+        let rec = query.reconstruct().expect("reconstruct");
         for k in &keys {
             assert!(rec.binary_search(k).is_ok(), "{kind}: lost {k}");
         }

@@ -1,0 +1,301 @@
+//! Offline mini-`criterion`: a wall-clock benchmark harness exposing the
+//! subset of the criterion API the workspace's benches use. No plotting,
+//! no statistics beyond mean/min — just stable, comparable ns/iter
+//! numbers printed to stdout.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let cfg = self.clone();
+        run_one(&cfg, &label, &mut f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the measurement budget for subsequent benches.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measurement = d;
+        self
+    }
+
+    fn config(&self) -> Criterion {
+        let mut cfg = self.parent.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        cfg
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.config(), &label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.config(), &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations per timing sample (tuned during warm-up).
+    iters_per_sample: u64,
+    /// Collected per-iteration times, one entry per sample, in ns.
+    samples: Vec<f64>,
+    sample_budget: usize,
+    warm_up: Duration,
+    tuned: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in batches; keeps the return value alive
+    /// via [`black_box`] so the optimiser cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.tuned {
+            // Warm-up: find an iteration count putting one sample in the
+            // ~1ms range, bounded by the warm-up budget.
+            let start = Instant::now();
+            let mut iters = 1u64;
+            loop {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = t.elapsed();
+                if elapsed >= Duration::from_millis(1) || start.elapsed() >= self.warm_up {
+                    let per_iter = elapsed.as_nanos().max(1) as u64 / iters.max(1);
+                    self.iters_per_sample =
+                        (1_000_000u64 / per_iter.max(1)).clamp(1, 1_000_000_000);
+                    break;
+                }
+                iters = iters.saturating_mul(4);
+            }
+            self.tuned = true;
+        }
+        for _ in 0..self.sample_budget {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, label: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_budget: cfg.sample_size,
+        warm_up: cfg.warm_up,
+        tuned: false,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<50} mean {:>12} min {:>12}",
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn, ...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &m| {
+            let mut x = 1u64;
+            b.iter(|| {
+                x = x.wrapping_mul(black_box(m)) | 1;
+                x
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = fast;
+        config = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(5));
+        targets = work
+    }
+
+    #[test]
+    fn harness_runs() {
+        fast();
+    }
+}

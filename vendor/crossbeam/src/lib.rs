@@ -1,0 +1,96 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (stable since Rust 1.63). Only the
+//! `crossbeam::scope(|s| { s.spawn(|_| ...) })` shape the workspace uses
+//! is provided.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// Scope handle passed to the `scope` closure and to spawned threads.
+///
+/// `Copy`, so `move` closures can capture it by value exactly like
+/// crossbeam's `&Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope (so nested
+    /// spawns work), matching crossbeam's `FnOnce(&Scope) -> T` signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let captured = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(captured)),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing the environment can be
+/// spawned; all are joined before `scope` returns.
+///
+/// Returns `Ok(result)` on normal completion. A panicking child thread
+/// propagates its panic at join time (crossbeam would return `Err`; every
+/// call site in this workspace immediately `expect`s, so the observable
+/// behaviour — abort with the panic message — is the same).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = s.spawn(move |_| a.iter().sum::<u64>());
+            let hb = s.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().unwrap() + hb.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn spawn_without_join_still_completes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline mini-`proptest`: deterministic randomized property testing with
+//! the subset of the proptest DSL this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the generated inputs
+//!   (cases are deterministic per test name and case index, so failures
+//!   reproduce exactly on re-run);
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning a `TestCaseResult`;
+//! * `prop_assume!` skips the current case.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Per-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The case generator handed to strategies (deterministic per case).
+pub type TestRng = StdRng;
+
+/// Builds the generator for one case of one property. Deterministic in
+/// `(test_name, case)` so failures reproduce run to run.
+pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; construct via [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full range of values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Uniform choice among boxed alternatives; construct via `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Wraps the alternatives (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// `Vec` of values from `element`, with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` of values from `element`, size drawn from `size`
+    /// (best-effort when the element domain is nearly exhausted).
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` strategy.
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(64) + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` of values from `element`, size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` strategy.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(64) + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Everything a proptest file needs in one import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among strategy alternatives of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Assertion (panics with context on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($argpat:pat in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::rng_for_case(stringify!($name), __case);
+                    $(let $argpat = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), ()> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    let _ = __result;
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_parity() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(0u64), Just(1u64)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_hit_size_targets(
+            v in prop::collection::vec(0u64..1000, 3..6),
+            s in prop::collection::hash_set(0u64..100_000, 2..5),
+            b in prop::collection::btree_set(0usize..100_000, 2..5),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!((2..5).contains(&s.len()));
+            prop_assert!((2..5).contains(&b.len()));
+        }
+
+        #[test]
+        fn oneof_and_assume_work(p in arb_parity(), n in 0u32..100) {
+            prop_assert!(p < 2);
+            prop_assume!(n > 10);
+            prop_assert!(n > 10);
+        }
+
+        #[test]
+        fn mut_bindings_allowed(mut xs in prop::collection::vec(0i64..10, 1..4)) {
+            xs.push(11);
+            prop_assert_eq!(*xs.last().unwrap(), 11);
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        let mut a = crate::rng_for_case("t", 3);
+        let mut b = crate::rng_for_case("t", 3);
+        let s: u64 = (0u64..100).generate(&mut a);
+        let t: u64 = (0u64..100).generate(&mut b);
+        assert_eq!(s, t);
+    }
+}
