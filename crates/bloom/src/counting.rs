@@ -41,6 +41,47 @@ impl CountingBloomFilter {
         }
     }
 
+    /// Creates a counting filter with `hasher`'s parameters over `keys`.
+    pub fn from_keys<I: IntoIterator<Item = u64>>(hasher: Arc<BloomHasher>, keys: I) -> Self {
+        let mut f = Self::new(hasher);
+        for x in keys {
+            f.insert(x);
+        }
+        f
+    }
+
+    /// Reassembles a counting filter from a raw counter array (as exposed
+    /// by [`Self::counter_bytes`]) and its hash family — the codec's
+    /// constructor.
+    ///
+    /// # Panics
+    /// Panics if `counters` does not hold exactly `ceil(m/2)` bytes.
+    pub fn from_parts(counters: Vec<u8>, hasher: Arc<BloomHasher>) -> Self {
+        let m = hasher.m();
+        assert_eq!(
+            counters.len(),
+            m.div_ceil(2),
+            "counter array length does not match filter width"
+        );
+        CountingBloomFilter {
+            counters,
+            m,
+            hasher,
+        }
+    }
+
+    /// The raw nibble-packed counter array (two counters per byte).
+    #[inline]
+    pub fn counter_bytes(&self) -> &[u8] {
+        &self.counters
+    }
+
+    /// Disassembles the filter into its counter array and hash family
+    /// (the inverse of [`Self::from_parts`], without copying).
+    pub fn into_parts(self) -> (Vec<u8>, Arc<BloomHasher>) {
+        (self.counters, self.hasher)
+    }
+
     /// The shared hash family.
     #[inline]
     pub fn hasher(&self) -> &Arc<BloomHasher> {

@@ -1,0 +1,274 @@
+//! Backend polymorphism for the facade: one [`TreeBackend`] serves both
+//! the dense, complete [`BloomSampleTree`] and the occupancy-aware
+//! [`PrunedBloomSampleTree`] through the same `query()`/`query_batch()`
+//! surface.
+//!
+//! The sampling and reconstruction algorithms are generic over
+//! [`SampleTree`], so an enum (rather than `dyn` dispatch) keeps every
+//! hot-path call statically dispatched inside each arm, monomorphised
+//! once per backend, with no vtable in the descent loop.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use bst_bloom::filter::BloomFilter;
+use bst_bloom::hash::BloomHasher;
+use bst_bloom::params::TreePlan;
+use bytes::{Buf, BufMut};
+
+use crate::persistence::PersistError;
+use crate::pruned::PrunedBloomSampleTree;
+use crate::tree::{BloomSampleTree, LeafCandidates, NodeId, SampleTree};
+
+/// Snapshot tag for a dense backend.
+const TAG_DENSE: u8 = 0;
+/// Snapshot tag for a pruned backend.
+const TAG_PRUNED: u8 = 1;
+
+/// The tree a [`crate::system::BstSystem`] serves queries from: either the
+/// complete tree of Definition 5.1 (static, fully occupied namespaces) or
+/// the pruned variant of §5.2 (sparse / dynamic occupancy).
+pub enum TreeBackend {
+    /// The complete [`BloomSampleTree`] over the whole namespace.
+    Dense(BloomSampleTree),
+    /// The occupancy-aware [`PrunedBloomSampleTree`].
+    Pruned(PrunedBloomSampleTree),
+}
+
+impl std::fmt::Debug for TreeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeBackend::Dense(t) => write!(f, "{t:?}"),
+            TreeBackend::Pruned(t) => write!(f, "{t:?}"),
+        }
+    }
+}
+
+impl TreeBackend {
+    /// The plan the backend was built from.
+    pub fn plan(&self) -> &TreePlan {
+        match self {
+            TreeBackend::Dense(t) => t.plan(),
+            TreeBackend::Pruned(t) => t.plan(),
+        }
+    }
+
+    /// Tree depth (leaves at this level; 0 = root-only).
+    pub fn depth(&self) -> u32 {
+        self.plan().depth
+    }
+
+    /// Namespace size `M`.
+    pub fn namespace(&self) -> u64 {
+        self.plan().namespace
+    }
+
+    /// Number of materialised nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TreeBackend::Dense(t) => t.node_count(),
+            TreeBackend::Pruned(t) => t.node_count(),
+        }
+    }
+
+    /// Heap bytes of all node bit arrays.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            TreeBackend::Dense(t) => t.memory_bytes(),
+            TreeBackend::Pruned(t) => t.memory_bytes(),
+        }
+    }
+
+    /// Number of occupied namespace ids (the full namespace for a dense
+    /// backend).
+    pub fn occupied_count(&self) -> u64 {
+        match self {
+            TreeBackend::Dense(t) => t.namespace(),
+            TreeBackend::Pruned(t) => t.occupied_count(),
+        }
+    }
+
+    /// Whether this is the pruned (occupancy-aware) backend.
+    pub fn is_pruned(&self) -> bool {
+        matches!(self, TreeBackend::Pruned(_))
+    }
+
+    /// The dense tree, if that is the active backend.
+    pub fn as_dense(&self) -> Option<&BloomSampleTree> {
+        match self {
+            TreeBackend::Dense(t) => Some(t),
+            TreeBackend::Pruned(_) => None,
+        }
+    }
+
+    /// The pruned tree, if that is the active backend.
+    pub fn as_pruned(&self) -> Option<&PrunedBloomSampleTree> {
+        match self {
+            TreeBackend::Dense(_) => None,
+            TreeBackend::Pruned(t) => Some(t),
+        }
+    }
+
+    /// Serializes the backend as `tag u8 | len u64 | tree bytes`, appended
+    /// to `buf` (each tree keeps its own magic/version inside the payload).
+    pub(crate) fn put_bytes(&self, buf: &mut bytes::BytesMut) {
+        let (tag, payload) = match self {
+            TreeBackend::Dense(t) => (TAG_DENSE, t.to_bytes()),
+            TreeBackend::Pruned(t) => (TAG_PRUNED, t.to_bytes()),
+        };
+        buf.put_u8(tag);
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(&payload);
+    }
+
+    /// Decodes a backend serialized with [`Self::put_bytes`], advancing
+    /// `input` past the payload.
+    pub(crate) fn get_bytes(input: &mut &[u8]) -> Result<Self, PersistError> {
+        if input.remaining() < 1 + 8 {
+            return Err(PersistError::Truncated);
+        }
+        let tag = input.get_u8();
+        let len = input.get_u64_le() as usize;
+        if input.remaining() < len {
+            return Err(PersistError::Truncated);
+        }
+        let payload = &input[..len];
+        let backend = match tag {
+            TAG_DENSE => TreeBackend::Dense(BloomSampleTree::from_bytes(payload)?),
+            TAG_PRUNED => TreeBackend::Pruned(PrunedBloomSampleTree::from_bytes(payload)?),
+            _ => return Err(PersistError::Corrupt("unknown tree backend tag")),
+        };
+        input.advance(len);
+        Ok(backend)
+    }
+}
+
+impl SampleTree for TreeBackend {
+    fn root(&self) -> Option<NodeId> {
+        match self {
+            TreeBackend::Dense(t) => t.root(),
+            TreeBackend::Pruned(t) => t.root(),
+        }
+    }
+
+    fn is_leaf(&self, node: NodeId) -> bool {
+        match self {
+            TreeBackend::Dense(t) => t.is_leaf(node),
+            TreeBackend::Pruned(t) => t.is_leaf(node),
+        }
+    }
+
+    fn children(&self, node: NodeId) -> (Option<NodeId>, Option<NodeId>) {
+        match self {
+            TreeBackend::Dense(t) => t.children(node),
+            TreeBackend::Pruned(t) => t.children(node),
+        }
+    }
+
+    fn filter(&self, node: NodeId) -> &BloomFilter {
+        match self {
+            TreeBackend::Dense(t) => t.filter(node),
+            TreeBackend::Pruned(t) => t.filter(node),
+        }
+    }
+
+    fn range(&self, node: NodeId) -> Range<u64> {
+        match self {
+            TreeBackend::Dense(t) => t.range(node),
+            TreeBackend::Pruned(t) => t.range(node),
+        }
+    }
+
+    fn leaf_candidates(&self, node: NodeId) -> LeafCandidates<'_> {
+        match self {
+            TreeBackend::Dense(t) => t.leaf_candidates(node),
+            TreeBackend::Pruned(t) => t.leaf_candidates(node),
+        }
+    }
+
+    fn hasher(&self) -> &Arc<BloomHasher> {
+        match self {
+            TreeBackend::Dense(t) => t.hasher(),
+            TreeBackend::Pruned(t) => t.hasher(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bst_bloom::hash::HashKind;
+
+    fn plan() -> TreePlan {
+        TreePlan {
+            namespace: 4096,
+            m: 4096,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 31,
+            depth: 4,
+            leaf_capacity: 256,
+            target_accuracy: 0.9,
+        }
+    }
+
+    #[test]
+    fn delegation_matches_the_wrapped_tree() {
+        let p = plan();
+        let dense = TreeBackend::Dense(BloomSampleTree::build(&p));
+        assert!(!dense.is_pruned());
+        assert_eq!(dense.node_count(), (1 << 5) - 1);
+        assert_eq!(dense.occupied_count(), 4096);
+        assert_eq!(dense.depth(), 4);
+        assert!(dense.as_dense().is_some() && dense.as_pruned().is_none());
+
+        let occ: Vec<u64> = (100..200u64).collect();
+        let pruned = TreeBackend::Pruned(PrunedBloomSampleTree::build(&p, &occ));
+        assert!(pruned.is_pruned());
+        assert_eq!(pruned.occupied_count(), 100);
+        assert!(pruned.node_count() < dense.node_count());
+        assert!(pruned.as_pruned().is_some() && pruned.as_dense().is_none());
+        // Trait navigation works through the enum.
+        let root = pruned.root().expect("root");
+        assert!(pruned.filter(root).contains(150));
+        assert_eq!(pruned.range(root), 0..4096);
+    }
+
+    #[test]
+    fn tagged_roundtrip_both_backends() {
+        let p = plan();
+        let occ: Vec<u64> = (0..4096u64).step_by(17).collect();
+        for backend in [
+            TreeBackend::Dense(BloomSampleTree::build(&p)),
+            TreeBackend::Pruned(PrunedBloomSampleTree::build(&p, &occ)),
+        ] {
+            let mut buf = bytes::BytesMut::new();
+            backend.put_bytes(&mut buf);
+            let mut slice: &[u8] = &buf;
+            let back = TreeBackend::get_bytes(&mut slice).expect("decode");
+            assert!(slice.is_empty(), "payload fully consumed");
+            assert_eq!(back.is_pruned(), backend.is_pruned());
+            assert_eq!(back.node_count(), backend.node_count());
+            for i in (0..backend.node_count() as u32).step_by(3) {
+                assert_eq!(back.filter(i).bits(), backend.filter(i).bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_truncation_rejected() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(9);
+        buf.put_u64_le(0);
+        let mut s: &[u8] = &buf;
+        assert_eq!(
+            TreeBackend::get_bytes(&mut s).unwrap_err(),
+            PersistError::Corrupt("unknown tree backend tag")
+        );
+        let mut short: &[u8] = &[TAG_DENSE];
+        assert_eq!(
+            TreeBackend::get_bytes(&mut short).unwrap_err(),
+            PersistError::Truncated
+        );
+    }
+}

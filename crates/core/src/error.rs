@@ -8,6 +8,15 @@
 //! into one uninformative `None`. Serving infrastructure needs to route
 //! these differently (a client error vs. a retry vs. a config bug), so
 //! every fallible operation now returns `Result<_, BstError>`.
+//!
+//! The store and persistence layers fold into the same taxonomy:
+//! looking up a dropped [`crate::store::FilterId`] is
+//! [`BstError::UnknownFilterId`], and every snapshot decode failure is
+//! [`BstError::Persist`] (via `From<PersistError>`), so the facade
+//! exposes exactly one error type.
+
+use crate::persistence::PersistError;
+use crate::store::FilterId;
 
 /// Why a sampling or reconstruction operation could not produce a result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +48,25 @@ pub enum BstError {
     /// methods on the config types (negative or non-finite liveness
     /// threshold, rejection `gamma` below 1, …).
     InvalidConfig(&'static str),
+    /// The [`crate::store::FilterId`] names no set in the system's store:
+    /// it was never created here, or it has been dropped. Query handles
+    /// opened on the id before the drop report this on their next use.
+    UnknownFilterId(FilterId),
+    /// A key handed to the store lies outside the system's namespace
+    /// `[0, M)`. Such a key could never be returned by sampling or
+    /// reconstruction (leaf candidates cover the namespace only), so
+    /// storing it would be silent data loss; the mutation is rejected
+    /// whole instead.
+    KeyOutsideNamespace(u64),
+    /// Decoding a persisted snapshot (system, tree, or store) failed; the
+    /// nested [`PersistError`] names the structural problem.
+    Persist(PersistError),
+}
+
+impl From<PersistError> for BstError {
+    fn from(e: PersistError) -> Self {
+        BstError::Persist(e)
+    }
 }
 
 impl std::fmt::Display for BstError {
@@ -54,6 +82,13 @@ impl std::fmt::Display for BstError {
                 write!(f, "rejection budget exhausted after {attempts} proposals")
             }
             BstError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            BstError::UnknownFilterId(id) => {
+                write!(f, "unknown filter id {id}: never created here, or dropped")
+            }
+            BstError::KeyOutsideNamespace(key) => {
+                write!(f, "key {key} lies outside the system's namespace")
+            }
+            BstError::Persist(e) => write!(f, "persisted snapshot rejected: {e}"),
         }
     }
 }
@@ -80,5 +115,27 @@ mod tests {
     fn is_std_error() {
         fn takes_err<E: std::error::Error>(_: E) {}
         takes_err(BstError::NoLiveLeaf);
+    }
+
+    #[test]
+    fn persist_errors_fold_into_bst_error() {
+        let e: BstError = PersistError::BadMagic.into();
+        assert_eq!(e, BstError::Persist(PersistError::BadMagic));
+        assert!(e.to_string().contains("magic"));
+        fn takes_question_mark() -> Result<(), BstError> {
+            Err(PersistError::Truncated)?;
+            Ok(())
+        }
+        assert_eq!(
+            takes_question_mark(),
+            Err(BstError::Persist(PersistError::Truncated))
+        );
+    }
+
+    #[test]
+    fn unknown_filter_id_names_the_id() {
+        let id = FilterId::from_raw(42);
+        let e = BstError::UnknownFilterId(id);
+        assert!(e.to_string().contains("42"));
     }
 }

@@ -16,12 +16,17 @@
 //! * [`costmodel::CostModel`] — runtime `icost/mcost` calibration (§5.4);
 //! * [`multiquery`] — parallel batch sampling over many query filters;
 //! * [`error::BstError`] — typed failure reasons for every fallible op;
-//! * [`system::BstSystem`] — the `Arc`-shared, `Send + Sync` facade;
+//! * [`system::BstSystem`] — the `Arc`-shared, `Send + Sync` facade over
+//!   a [`backend::TreeBackend`] (dense or pruned) and the filter store;
+//! * [`store::BstStore`] — the mutable, [`store::FilterId`]-addressed
+//!   database `D̄` of counting-filter-backed sets (§3.2);
 //! * [`query::Query`] — the per-filter handle with amortized descent
-//!   state, opened via [`system::BstSystem::query`].
+//!   state, opened via [`system::BstSystem::query`] or (generation-
+//!   stamped, mutation-safe) [`system::BstSystem::query_id`].
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baselines;
 pub mod costmodel;
 pub mod error;
@@ -32,14 +37,18 @@ pub mod pruned;
 pub mod query;
 pub mod reconstruct;
 pub mod sampler;
+pub mod store;
 pub mod system;
 pub mod tree;
 
+pub use backend::TreeBackend;
 pub use error::BstError;
 pub use metrics::OpStats;
+pub use persistence::PersistError;
 pub use pruned::PrunedBloomSampleTree;
 pub use query::Query;
 pub use reconstruct::{BstReconstructor, ReconstructConfig};
 pub use sampler::{BstSampler, QueryMemo, SamplerConfig};
+pub use store::{BstStore, FilterId};
 pub use system::{BstConfig, BstSystem};
 pub use tree::{BloomSampleTree, SampleTree};

@@ -1,5 +1,6 @@
-//! Tree persistence: compact binary save/load for [`BloomSampleTree`] and
-//! [`PrunedBloomSampleTree`].
+//! Tree persistence: compact binary save/load for
+//! [`crate::tree::BloomSampleTree`], [`crate::pruned::PrunedBloomSampleTree`]
+//! and whole-system snapshots.
 //!
 //! The framework builds the tree once and reuses it "repeatedly for
 //! different query Bloom filters" (§5); persisting it turns the multi-
@@ -14,16 +15,30 @@
 //! pruned:   "BSTP" v1 | plan | node_count u32 | root u32(MAX=none)
 //!           | per node: start u64, end u64, level u32, left u32, right u32,
 //!             occupied_len u32, occupied ids…, filter words
+//! system:   "BSTS" v1 | sampler cfg | reconstruct cfg
+//!           | backend tag u8 | backend len u64 | backend bytes
+//!           | store next_id u64 | set count u32
+//!           | per set: id u64, generation u64, len u64, counting bytes
 //! plan:     namespace u64 | m u64 | k u16 | kind u8 | seed u64
 //!           | depth u32 | leaf_capacity u64 | target_accuracy f64
+//! cfg tags: liveness 0=BitOverlap 1=EstimateThreshold(+f64)
+//!           | ratio 0=MeanCorrectedBits 1=AndCardinality 2=Papapetrou
+//!           | correction 0=None 1=Rejection(+f64) 2=RejectionAuto
 //! ```
 
 use bst_bloom::hash::HashKind;
 use bst_bloom::params::TreePlan;
 use bytes::{Buf, BufMut, BytesMut};
 
-/// Errors from decoding a persisted tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+use crate::reconstruct::ReconstructConfig;
+use crate::sampler::{Correction, Liveness, RatioEstimator, SamplerConfig};
+
+/// Errors from decoding a persisted tree, store, or system snapshot.
+///
+/// Folded into the facade's single error type as
+/// [`crate::error::BstError::Persist`], so `system.from_bytes(..)?` composes with
+/// every other fallible facade call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PersistError {
     /// Input ended before the declared structure.
     Truncated,
@@ -97,6 +112,102 @@ pub(crate) fn get_plan(input: &mut &[u8]) -> Result<TreePlan, PersistError> {
     })
 }
 
+fn put_liveness(buf: &mut BytesMut, liveness: Liveness) {
+    match liveness {
+        Liveness::BitOverlap => buf.put_u8(0),
+        Liveness::EstimateThreshold(tau) => {
+            buf.put_u8(1);
+            buf.put_f64_le(tau);
+        }
+    }
+}
+
+fn get_liveness(input: &mut &[u8]) -> Result<Liveness, PersistError> {
+    if input.remaining() < 1 {
+        return Err(PersistError::Truncated);
+    }
+    match input.get_u8() {
+        0 => Ok(Liveness::BitOverlap),
+        1 => {
+            if input.remaining() < 8 {
+                return Err(PersistError::Truncated);
+            }
+            Ok(Liveness::EstimateThreshold(input.get_f64_le()))
+        }
+        _ => Err(PersistError::Corrupt("unknown liveness tag")),
+    }
+}
+
+pub(crate) fn put_sampler_config(buf: &mut BytesMut, cfg: &SamplerConfig) {
+    put_liveness(buf, cfg.liveness);
+    buf.put_u8(match cfg.ratio {
+        RatioEstimator::MeanCorrectedBits => 0,
+        RatioEstimator::AndCardinality => 1,
+        RatioEstimator::Papapetrou => 2,
+    });
+    buf.put_u8(cfg.carry_intersection as u8);
+    buf.put_u8(cfg.proportional_descent as u8);
+    match cfg.correction {
+        Correction::None => buf.put_u8(0),
+        Correction::Rejection { gamma } => {
+            buf.put_u8(1);
+            buf.put_f64_le(gamma);
+        }
+        Correction::RejectionAuto => buf.put_u8(2),
+    }
+}
+
+pub(crate) fn get_sampler_config(input: &mut &[u8]) -> Result<SamplerConfig, PersistError> {
+    let liveness = get_liveness(input)?;
+    if input.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let ratio = match input.get_u8() {
+        0 => RatioEstimator::MeanCorrectedBits,
+        1 => RatioEstimator::AndCardinality,
+        2 => RatioEstimator::Papapetrou,
+        _ => return Err(PersistError::Corrupt("unknown ratio estimator tag")),
+    };
+    let carry_intersection = input.get_u8() != 0;
+    let proportional_descent = input.get_u8() != 0;
+    let correction = match input.get_u8() {
+        0 => Correction::None,
+        1 => {
+            if input.remaining() < 8 {
+                return Err(PersistError::Truncated);
+            }
+            Correction::Rejection {
+                gamma: input.get_f64_le(),
+            }
+        }
+        2 => Correction::RejectionAuto,
+        _ => return Err(PersistError::Corrupt("unknown correction tag")),
+    };
+    Ok(SamplerConfig {
+        liveness,
+        ratio,
+        carry_intersection,
+        proportional_descent,
+        correction,
+    })
+}
+
+pub(crate) fn put_reconstruct_config(buf: &mut BytesMut, cfg: &ReconstructConfig) {
+    put_liveness(buf, cfg.liveness);
+    buf.put_u8(cfg.carry_intersection as u8);
+}
+
+pub(crate) fn get_reconstruct_config(input: &mut &[u8]) -> Result<ReconstructConfig, PersistError> {
+    let liveness = get_liveness(input)?;
+    if input.remaining() < 1 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(ReconstructConfig {
+        liveness,
+        carry_intersection: input.get_u8() != 0,
+    })
+}
+
 pub(crate) fn put_words(buf: &mut BytesMut, words: &[u64]) {
     for &w in words {
         buf.put_u64_le(w);
@@ -159,6 +270,55 @@ mod tests {
         buf.put_u64_le(7);
         let mut slice: &[u8] = &buf;
         assert_eq!(get_plan(&mut slice).unwrap_err(), PersistError::Truncated);
+    }
+
+    #[test]
+    fn config_roundtrips_every_variant() {
+        for liveness in [Liveness::BitOverlap, Liveness::EstimateThreshold(2.5)] {
+            for ratio in [
+                RatioEstimator::MeanCorrectedBits,
+                RatioEstimator::AndCardinality,
+                RatioEstimator::Papapetrou,
+            ] {
+                for correction in [
+                    Correction::None,
+                    Correction::Rejection { gamma: 7.0 },
+                    Correction::RejectionAuto,
+                ] {
+                    let cfg = SamplerConfig {
+                        liveness,
+                        ratio,
+                        carry_intersection: true,
+                        proportional_descent: false,
+                        correction,
+                    };
+                    let mut buf = BytesMut::new();
+                    put_sampler_config(&mut buf, &cfg);
+                    let mut s: &[u8] = &buf;
+                    assert_eq!(get_sampler_config(&mut s).unwrap(), cfg);
+                    assert!(s.is_empty());
+                }
+            }
+            let rcfg = ReconstructConfig {
+                liveness,
+                carry_intersection: false,
+            };
+            let mut buf = BytesMut::new();
+            put_reconstruct_config(&mut buf, &rcfg);
+            let mut s: &[u8] = &buf;
+            assert_eq!(get_reconstruct_config(&mut s).unwrap(), rcfg);
+        }
+    }
+
+    #[test]
+    fn truncated_config_fails() {
+        let mut s: &[u8] = &[1u8]; // EstimateThreshold tag with no f64
+        assert_eq!(get_liveness(&mut s).unwrap_err(), PersistError::Truncated);
+        let mut s2: &[u8] = &[9u8];
+        assert_eq!(
+            get_liveness(&mut s2).unwrap_err(),
+            PersistError::Corrupt("unknown liveness tag")
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The per-filter query handle: captured filter + amortized descent state.
+//! The per-filter query handle: captured filter + amortized descent state,
+//! now generation-stamped against the mutable store.
 //!
 //! The paper's framework (§3.2) stores millions of sets as Bloom filters
 //! and serves *repeated* sampling/reconstruction requests against each of
@@ -17,6 +18,19 @@
 //! `'static`, `Send + Sync`, and can be shared across worker threads or
 //! kept in a per-client session cache.
 //!
+//! ## Mutation safety: generation stamps
+//!
+//! Handles opened by id ([`crate::system::BstSystem::query_id`]) read a
+//! set that can *change* under them: `insert_keys`/`remove_keys` on the
+//! store bump the set's generation. Such a handle carries the generation
+//! it last projected; every operation first compares stamps against the
+//! store (one atomic read-lock acquisition) and, when stale, re-projects
+//! the filter and discards the memo — a cold re-descent. A handle
+//! therefore never serves results computed against a superseded set, and
+//! the warm-equals-cold guarantee below extends to the mutable path:
+//! after any mutation, a warm handle's next result equals a fresh
+//! handle's for the same RNG state (`e2e_store.rs` pins this).
+//!
 //! Caching never changes results: cached values are pure functions of
 //! `(tree, filter, config)`, and the walk consumes randomness identically
 //! on hits and misses, so a warm handle returns exactly what a cold one
@@ -32,57 +46,139 @@ use crate::error::BstError;
 use crate::metrics::OpStats;
 use crate::reconstruct::BstReconstructor;
 use crate::sampler::{BstSampler, QueryMemo};
+use crate::store::FilterId;
 use crate::system::BstSystem;
 use crate::tree::SampleTree;
+
+/// Where a handle's filter came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QuerySource {
+    /// A caller-supplied filter, captured once, never refreshed.
+    Detached,
+    /// A set registered in the system's store, re-projected whenever the
+    /// stored generation moves past the handle's stamp.
+    Stored(FilterId),
+}
+
+/// The mutable half of a handle: the projected filter, its compatibility
+/// verdict, the generation stamp it was projected at, and the memo —
+/// refreshed together so they can never disagree.
+struct QueryState {
+    filter: BloomFilter,
+    compatible: bool,
+    generation: u64,
+    memo: QueryMemo,
+}
 
 /// A handle binding one query filter to a [`BstSystem`], with cached
 /// descent state and accumulated operation accounting.
 ///
-/// Construct with [`BstSystem::query`]. All operations take `&self`; the
-/// internal caches are mutex-guarded, so a `Query` can be shared across
-/// threads (operations on *one* handle serialize on the cache lock —
-/// clone the system and open one handle per worker for parallel serving
-/// of the same filter).
+/// Construct with [`BstSystem::query`] (detached filter) or
+/// [`BstSystem::query_id`] (store-registered set; mutation-safe via
+/// generation stamps). All operations take `&self`; the internal caches
+/// are mutex-guarded, so a `Query` can be shared across threads
+/// (operations on *one* handle serialize on the cache lock — clone the
+/// system and open one handle per worker for parallel serving of the
+/// same filter).
 pub struct Query {
     system: BstSystem,
-    filter: BloomFilter,
-    compatible: bool,
-    memo: Mutex<QueryMemo>,
+    source: QuerySource,
+    state: Mutex<QueryState>,
     stats: Mutex<OpStats>,
 }
 
 impl std::fmt::Debug for Query {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let memo = self.memo.lock();
+        let state = self.state.lock();
         write!(
             f,
-            "Query(bits={}, compatible={}, cached_evals={}, cached_leaves={})",
-            self.filter.count_ones(),
-            self.compatible,
-            memo.cached_evals(),
-            memo.cached_leaves()
+            "Query(source={:?}, bits={}, generation={}, compatible={}, cached_evals={}, cached_leaves={})",
+            self.source,
+            state.filter.count_ones(),
+            state.generation,
+            state.compatible,
+            state.memo.cached_evals(),
+            state.memo.cached_leaves()
         )
     }
 }
 
 impl Query {
     pub(crate) fn new(system: BstSystem, filter: BloomFilter) -> Self {
-        let compatible = match system.tree().root() {
-            Some(root) => filter.compatible_with(system.tree().filter(root)),
-            None => true,
-        };
+        let compatible = Self::compatible(&system, &filter);
         Query {
             system,
-            filter,
-            compatible,
-            memo: Mutex::new(QueryMemo::new()),
+            source: QuerySource::Detached,
+            state: Mutex::new(QueryState {
+                filter,
+                compatible,
+                generation: 0,
+                memo: QueryMemo::new(),
+            }),
             stats: Mutex::new(OpStats::new()),
         }
     }
 
-    /// The captured query filter.
-    pub fn filter(&self) -> &BloomFilter {
-        &self.filter
+    pub(crate) fn new_stored(
+        system: BstSystem,
+        id: FilterId,
+        filter: BloomFilter,
+        generation: u64,
+    ) -> Self {
+        let compatible = Self::compatible(&system, &filter);
+        Query {
+            system,
+            source: QuerySource::Stored(id),
+            state: Mutex::new(QueryState {
+                filter,
+                compatible,
+                generation,
+                memo: QueryMemo::new(),
+            }),
+            stats: Mutex::new(OpStats::new()),
+        }
+    }
+
+    fn compatible(system: &BstSystem, filter: &BloomFilter) -> bool {
+        match system.tree().root() {
+            Some(root) => filter.compatible_with(system.tree().filter(root)),
+            None => true,
+        }
+    }
+
+    /// The query filter the handle currently holds (a snapshot clone; for
+    /// store-backed handles this is the projection as of the last
+    /// refresh).
+    pub fn filter(&self) -> BloomFilter {
+        self.state.lock().filter.clone()
+    }
+
+    /// The store id this handle reads, for handles opened with
+    /// [`BstSystem::query_id`]; `None` for detached handles.
+    pub fn filter_id(&self) -> Option<FilterId> {
+        match self.source {
+            QuerySource::Detached => None,
+            QuerySource::Stored(id) => Some(id),
+        }
+    }
+
+    /// The generation stamp of the last projection (0 and constant for
+    /// detached handles).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Whether the stored set has been mutated past this handle's stamp
+    /// (the next operation will re-project and re-descend cold). Errors
+    /// if the set was dropped; always `Ok(false)` for detached handles.
+    pub fn is_stale(&self) -> Result<bool, BstError> {
+        match self.source {
+            QuerySource::Detached => Ok(false),
+            QuerySource::Stored(id) => {
+                let seen = self.state.lock().generation;
+                Ok(self.system.filters().generation(id)? != seen)
+            }
+        }
     }
 
     /// The system this handle queries (an `Arc` clone away from the one
@@ -92,8 +188,13 @@ impl Query {
     }
 
     /// Estimated cardinality of the stored set, from the filter alone.
+    /// Store-backed handles refresh their projection first, so the
+    /// estimate tracks mutations; if the set was dropped (or the filter
+    /// is incompatible), the last successful projection is reported.
     pub fn estimated_cardinality(&self) -> f64 {
-        self.filter.estimate_cardinality()
+        let mut guard = self.state.lock();
+        let _ = self.sync(&mut guard);
+        guard.filter.estimate_cardinality()
     }
 
     /// Operation counts accumulated by every call through this handle.
@@ -113,16 +214,31 @@ impl Query {
 
     /// Number of tree nodes whose liveness/descent evaluation is cached.
     pub fn cached_evals(&self) -> usize {
-        self.memo.lock().cached_evals()
+        self.state.lock().memo.cached_evals()
     }
 
     /// Number of leaves whose match lists are cached.
     pub fn cached_leaves(&self) -> usize {
-        self.memo.lock().cached_leaves()
+        self.state.lock().memo.cached_leaves()
     }
 
-    fn guard(&self) -> Result<(), BstError> {
-        if self.compatible {
+    /// Brings `state` up to date with the store (stale stamp → re-project
+    /// filter, reset memo) and enforces the compatibility guard. Called
+    /// at the top of every operation, under the state lock.
+    fn sync(&self, state: &mut QueryState) -> Result<(), BstError> {
+        if let QuerySource::Stored(id) = self.source {
+            if let Some((filter, generation)) = self
+                .system
+                .filters()
+                .snapshot_if_newer(id, state.generation)?
+            {
+                state.compatible = Self::compatible(&self.system, &filter);
+                state.filter = filter;
+                state.generation = generation;
+                state.memo = QueryMemo::new();
+            }
+        }
+        if state.compatible {
             Ok(())
         } else {
             Err(BstError::IncompatibleFilter)
@@ -131,12 +247,13 @@ impl Query {
 
     /// Draws one near-uniform sample from the stored set.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<u64, BstError> {
-        self.guard()?;
+        let mut guard = self.state.lock();
+        self.sync(&mut guard)?;
         let sampler = BstSampler::with_config(self.system.tree(), self.system.config().sampler);
-        let mut memo = self.memo.lock();
+        let state = &mut *guard;
         let mut local = OpStats::new();
-        let out = sampler.try_sample_memo(&self.filter, &mut memo, rng, &mut local);
-        drop(memo);
+        let out = sampler.try_sample_memo(&state.filter, &mut state.memo, rng, &mut local);
+        drop(guard);
         *self.stats.lock() += local;
         out
     }
@@ -148,25 +265,27 @@ impl Query {
         r: usize,
         rng: &mut R,
     ) -> Result<Vec<u64>, BstError> {
-        self.guard()?;
+        let mut guard = self.state.lock();
+        self.sync(&mut guard)?;
         let sampler = BstSampler::with_config(self.system.tree(), self.system.config().sampler);
-        let mut memo = self.memo.lock();
+        let state = &mut *guard;
         let mut local = OpStats::new();
-        let out = sampler.try_sample_many_memo(&self.filter, r, &mut memo, rng, &mut local);
-        drop(memo);
+        let out = sampler.try_sample_many_memo(&state.filter, r, &mut state.memo, rng, &mut local);
+        drop(guard);
         *self.stats.lock() += local;
         out
     }
 
     /// Reconstructs the stored set (`S ∪ S(B)`), sorted ascending.
     pub fn reconstruct(&self) -> Result<Vec<u64>, BstError> {
-        self.guard()?;
+        let mut guard = self.state.lock();
+        self.sync(&mut guard)?;
         let recon =
             BstReconstructor::with_config(self.system.tree(), self.system.config().reconstruct);
-        let mut memo = self.memo.lock();
+        let state = &mut *guard;
         let mut local = OpStats::new();
-        let out = recon.try_reconstruct_memo(&self.filter, &mut memo, &mut local);
-        drop(memo);
+        let out = recon.try_reconstruct_memo(&state.filter, &mut state.memo, &mut local);
+        drop(guard);
         *self.stats.lock() += local;
         out
     }
@@ -175,13 +294,15 @@ impl Query {
     /// `window`, sorted. Subtrees disjoint from the window are never
     /// visited. An empty window yields `Ok(vec![])`.
     pub fn reconstruct_range(&self, window: Range<u64>) -> Result<Vec<u64>, BstError> {
-        self.guard()?;
+        let mut guard = self.state.lock();
+        self.sync(&mut guard)?;
         let recon =
             BstReconstructor::with_config(self.system.tree(), self.system.config().reconstruct);
-        let mut memo = self.memo.lock();
+        let state = &mut *guard;
         let mut local = OpStats::new();
-        let out = recon.try_reconstruct_range_memo(&self.filter, window, &mut memo, &mut local);
-        drop(memo);
+        let out =
+            recon.try_reconstruct_range_memo(&state.filter, window, &mut state.memo, &mut local);
+        drop(guard);
         *self.stats.lock() += local;
         out
     }
@@ -304,5 +425,57 @@ mod tests {
         assert!(after_sample.total_ops() > 0);
         q.reconstruct().expect("reconstruct");
         assert!(q.stats().total_ops() >= after_sample.total_ops());
+    }
+
+    #[test]
+    fn detached_handles_never_go_stale() {
+        let sys = system();
+        let f = sys.store((0..50u64).map(|i| i * 7));
+        let q = sys.query(&f);
+        assert_eq!(q.filter_id(), None);
+        assert_eq!(q.is_stale(), Ok(false));
+        assert_eq!(q.generation(), 0);
+    }
+
+    #[test]
+    fn estimated_cardinality_tracks_mutations() {
+        let sys = system();
+        let id = sys.create(0..50u64).expect("create");
+        let q = sys.query_id(id).expect("open");
+        let before = q.estimated_cardinality();
+        sys.insert_keys(id, 50..500u64).expect("insert");
+        let after = q.estimated_cardinality();
+        assert!(
+            after > 2.0 * before,
+            "estimate must refresh with the store: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stored_handle_refreshes_on_mutation() {
+        let sys = system();
+        let id = sys.create((0..100u64).map(|i| i * 3)).expect("create");
+        let q = sys.query_id(id).expect("open");
+        assert_eq!(q.filter_id(), Some(id));
+        let mut rng = StdRng::seed_from_u64(6);
+        q.sample(&mut rng).expect("sample");
+        let warm_evals = q.cached_evals();
+        assert!(warm_evals > 0);
+        assert_eq!(q.is_stale(), Ok(false));
+
+        // Mutate: handle turns stale, next op re-projects + resets memo.
+        sys.insert_keys(id, [9_999u64]).expect("insert");
+        assert_eq!(q.is_stale(), Ok(true));
+        assert_eq!(q.generation(), 0, "stamp moves only on next op");
+        q.reconstruct().expect("reconstruct");
+        assert_eq!(q.generation(), 1);
+        assert_eq!(q.is_stale(), Ok(false));
+        let rec = q.reconstruct().expect("reconstruct warm");
+        assert!(rec.binary_search(&9_999).is_ok(), "new key visible");
+
+        // Dropping the set turns every later op into UnknownFilterId.
+        sys.drop_set(id).expect("drop");
+        assert_eq!(q.sample(&mut rng), Err(BstError::UnknownFilterId(id)));
+        assert_eq!(q.is_stale(), Err(BstError::UnknownFilterId(id)));
     }
 }

@@ -1,25 +1,41 @@
-//! High-level facade: one shared, immutable BloomSampleTree behind an
-//! `Arc`, plus the unified configuration — the API a downstream user
-//! starts from.
+//! High-level facade: one shared tree backend (dense or pruned) plus the
+//! mutable filter store `D̄` behind an `Arc`, with the unified
+//! configuration — the API a downstream user starts from.
 //!
-//! The paper's framework (§3.2) is asymmetric: *one* tree serves millions
-//! of query filters, concurrently. [`BstSystem`] is therefore a cheap
-//! `Clone` handle (`Arc` bump) that is `Send + Sync`, so worker threads
-//! each hold their own handle to the same tree. Per-filter work goes
-//! through [`BstSystem::query`], which returns a [`Query`] handle that
-//! caches descent state so repeated operations on the same filter
-//! amortize the tree-intersection work.
+//! The paper's framework (§3.2) is asymmetric: *one* tree serves a
+//! database of millions of stored sets, concurrently. [`BstSystem`] is
+//! therefore a cheap `Clone` handle (`Arc` bump) that is `Send + Sync`,
+//! so worker threads each hold their own handle to the same tree and
+//! store. Sets registered with the system ([`BstSystem::create`]) live in
+//! a [`BstStore`] as counting filters — they support `insert_keys` *and*
+//! `remove_keys` — and are queried by stable [`FilterId`] through
+//! [`BstSystem::query_id`], which returns a generation-stamped [`Query`]
+//! handle: mutations invalidate the handle's cached descent state, never
+//! its correctness.
 //!
 //! ```
 //! use bst_core::system::BstSystem;
 //!
 //! // Namespace of 100k ids, 90% target sampling accuracy.
 //! let system = BstSystem::builder(100_000).accuracy(0.9).build();
-//! let filter = system.store((0..500u64).map(|i| i * 7));
-//! let query = system.query(&filter);
+//!
+//! // Register a mutable set; it is addressed by id from now on.
+//! let community = system.create((0..500u64).map(|i| i * 7)).unwrap();
+//! let query = system.query_id(community).unwrap();
 //! let mut rng = rand::thread_rng();
-//! let sample = query.sample(&mut rng).unwrap();
-//! assert!(filter.contains(sample));
+//! // Samples come from the set's positives (stored keys ∪ false positives).
+//! let member = query.sample(&mut rng).unwrap();
+//! assert!(system.get(community).unwrap().contains(member));
+//!
+//! // Members churn; the open handle sees the new state on its next call.
+//! system.insert_keys(community, [99_999u64]).unwrap();
+//! system.remove_keys(community, [0u64]).unwrap();
+//! let rebuilt = query.reconstruct().unwrap();
+//! assert!(rebuilt.binary_search(&99_999).is_ok());
+//!
+//! // The whole system — plan, tree, store, config — snapshots to bytes.
+//! let restored = BstSystem::from_bytes(&system.to_bytes()).unwrap();
+//! assert_eq!(restored.query_id(community).unwrap().reconstruct().unwrap(), rebuilt);
 //! ```
 
 use std::sync::Arc;
@@ -27,16 +43,24 @@ use std::sync::Arc;
 use bst_bloom::filter::BloomFilter;
 use bst_bloom::hash::HashKind;
 use bst_bloom::params::{self, TreePlan};
+use bytes::{BufMut, BytesMut};
 use rand::Rng;
 
+use crate::backend::TreeBackend;
 use crate::costmodel::CostModel;
 use crate::error::BstError;
 use crate::metrics::OpStats;
 use crate::multiquery;
+use crate::persistence::{self, PersistError};
+use crate::pruned::PrunedBloomSampleTree;
 use crate::query::Query;
 use crate::reconstruct::{BstReconstructor, ReconstructConfig};
 use crate::sampler::{BstSampler, SamplerConfig};
+use crate::store::{BstStore, FilterId};
 use crate::tree::{BloomSampleTree, SampleTree};
+
+/// Magic bytes of a whole-system snapshot.
+const SYSTEM_MAGIC: &[u8; 4] = b"BSTS";
 
 /// Unified behaviour configuration for a [`BstSystem`]: the sampling and
 /// reconstruction knobs in one place, set once at build time.
@@ -99,6 +123,7 @@ pub struct BstSystemBuilder {
     depth_override: Option<u32>,
     measure_costs: bool,
     threads: usize,
+    occupied: Option<Vec<u64>>,
 }
 
 impl BstSystemBuilder {
@@ -114,6 +139,7 @@ impl BstSystemBuilder {
             depth_override: None,
             measure_costs: false,
             threads: 0,
+            occupied: None,
         }
     }
 
@@ -184,6 +210,16 @@ impl BstSystemBuilder {
         self
     }
 
+    /// Serve from a [`PrunedBloomSampleTree`] (§5.2) materialised only
+    /// over `occupied` namespace ids, instead of the dense complete tree.
+    /// Ids may arrive in any order and with duplicates; out-of-namespace
+    /// ids are reported by [`Self::try_build`] as
+    /// [`BstError::InvalidConfig`].
+    pub fn pruned<I: IntoIterator<Item = u64>>(mut self, occupied: I) -> Self {
+        self.occupied = Some(occupied.into_iter().collect());
+        self
+    }
+
     /// Resolves the plan and constructs the tree.
     ///
     /// # Panics
@@ -217,27 +253,43 @@ impl BstSystemBuilder {
             plan.depth = d;
             plan.leaf_capacity = params::leaf_size(self.namespace, d);
         }
-        let tree = BloomSampleTree::build_with_threads(&plan, self.threads);
+        let tree = match self.occupied {
+            None => TreeBackend::Dense(BloomSampleTree::build_with_threads(&plan, self.threads)),
+            Some(mut occ) => {
+                occ.sort_unstable();
+                occ.dedup();
+                if occ.last().is_some_and(|&last| last >= self.namespace) {
+                    return Err(BstError::InvalidConfig("occupied id outside the namespace"));
+                }
+                TreeBackend::Pruned(PrunedBloomSampleTree::build(&plan, &occ))
+            }
+        };
+        let store = BstStore::new(Arc::clone(tree.hasher()), tree.namespace());
         Ok(BstSystem {
             shared: Arc::new(SystemShared {
                 tree,
                 cfg: self.cfg,
+                store,
             }),
         })
     }
 }
 
-/// The tree and configuration every handle points at.
+/// The tree backend, filter store and configuration every handle points
+/// at.
 pub(crate) struct SystemShared {
-    pub(crate) tree: BloomSampleTree,
+    pub(crate) tree: TreeBackend,
     pub(crate) cfg: BstConfig,
+    pub(crate) store: BstStore,
 }
 
-/// A ready-to-use sampling/reconstruction system over one namespace.
+/// A ready-to-use sampling/reconstruction system over one namespace: a
+/// tree backend (dense or pruned) plus the mutable filter store `D̄`.
 ///
-/// Cloning is an `Arc` bump: all clones share one tree, and the handle is
-/// `Send + Sync`, so a server can hand one clone to each worker thread.
-/// Per-filter operations go through [`Self::query`].
+/// Cloning is an `Arc` bump: all clones share one tree and one store, and
+/// the handle is `Send + Sync`, so a server can hand one clone to each
+/// worker thread. Per-filter operations go through [`Self::query`]
+/// (detached filters) or [`Self::query_id`] (store-registered sets).
 #[derive(Clone)]
 pub struct BstSystem {
     shared: Arc<SystemShared>,
@@ -260,9 +312,16 @@ impl BstSystem {
         BstSystemBuilder::new(namespace)
     }
 
-    /// The underlying tree.
-    pub fn tree(&self) -> &BloomSampleTree {
+    /// The underlying tree backend (dense or pruned); implements
+    /// [`SampleTree`], so it plugs into the sampler/reconstructor layers
+    /// directly.
+    pub fn tree(&self) -> &TreeBackend {
         &self.shared.tree
+    }
+
+    /// The system's mutable filter database `D̄`.
+    pub fn filters(&self) -> &BstStore {
+        &self.shared.store
     }
 
     /// The full behaviour configuration.
@@ -305,6 +364,140 @@ impl BstSystem {
         threads: usize,
     ) -> (Vec<Result<u64, BstError>>, OpStats) {
         multiquery::sample_each(self.tree(), filters, self.shared.cfg.sampler, seed, threads)
+    }
+
+    /// [`Self::query_batch`] addressed by store id: projects each stored
+    /// set once, then samples the batch in parallel. Results align with
+    /// `ids`; an unknown/dropped id yields `Err(UnknownFilterId)` for its
+    /// slot without failing the rest of the batch.
+    pub fn query_batch_ids(
+        &self,
+        ids: &[FilterId],
+        seed: u64,
+        threads: usize,
+    ) -> (Vec<Result<u64, BstError>>, OpStats) {
+        // Project once, moving each Ok filter into the sampling batch and
+        // keeping only the Ok/Err skeleton for realignment afterwards.
+        let mut filters = Vec::with_capacity(ids.len());
+        let slots: Vec<Result<(), BstError>> = ids
+            .iter()
+            .map(|&id| self.shared.store.get(id).map(|f| filters.push(f)))
+            .collect();
+        let (sampled, stats) = multiquery::sample_each(
+            self.tree(),
+            &filters,
+            self.shared.cfg.sampler,
+            seed,
+            threads,
+        );
+        let mut sampled = sampled.into_iter();
+        let results = slots
+            .into_iter()
+            .map(|r| match r {
+                Ok(()) => sampled.next().expect("one sample per projected filter"),
+                Err(e) => Err(e),
+            })
+            .collect();
+        (results, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // The store facade: D̄ as id-addressed mutable sets.
+    // ------------------------------------------------------------------
+
+    /// Registers a mutable set over `keys` in the system's store,
+    /// returning its stable [`FilterId`]. Keys outside the namespace are
+    /// rejected as [`BstError::KeyOutsideNamespace`] (they could never be
+    /// sampled or reconstructed) without creating anything.
+    pub fn create<I: IntoIterator<Item = u64>>(&self, keys: I) -> Result<FilterId, BstError> {
+        self.shared.store.create(keys)
+    }
+
+    /// Inserts `keys` into the stored set, bumping its generation (open
+    /// [`Query`] handles re-descend cold on their next operation).
+    /// Returns the new generation.
+    pub fn insert_keys<I: IntoIterator<Item = u64>>(
+        &self,
+        id: FilterId,
+        keys: I,
+    ) -> Result<u64, BstError> {
+        self.shared.store.insert_keys(id, keys)
+    }
+
+    /// Removes `keys` from the stored set (counting-filter semantics),
+    /// bumping its generation. Returns the new generation.
+    pub fn remove_keys<I: IntoIterator<Item = u64>>(
+        &self,
+        id: FilterId,
+        keys: I,
+    ) -> Result<u64, BstError> {
+        self.shared.store.remove_keys(id, keys)
+    }
+
+    /// Projects the stored set to a plain [`BloomFilter`] snapshot.
+    pub fn get(&self, id: FilterId) -> Result<BloomFilter, BstError> {
+        self.shared.store.get(id)
+    }
+
+    /// Unregisters a stored set; its id is retired and open handles
+    /// report [`BstError::UnknownFilterId`] from their next operation.
+    pub fn drop_set(&self, id: FilterId) -> Result<(), BstError> {
+        self.shared.store.drop_set(id)
+    }
+
+    /// Opens a generation-stamped [`Query`] handle on a stored set. The
+    /// handle re-checks the stamp on every operation: if `insert_keys` /
+    /// `remove_keys` moved the set past the handle's generation, the
+    /// filter is re-projected and the memo discarded before the operation
+    /// runs, so results are never computed against a superseded set.
+    pub fn query_id(&self, id: FilterId) -> Result<Query, BstError> {
+        let (filter, generation) = self.shared.store.snapshot(id)?;
+        Ok(Query::new_stored(self.clone(), id, filter, generation))
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-system persistence.
+    // ------------------------------------------------------------------
+
+    /// Serializes the entire system — behaviour configuration, tree
+    /// backend, and filter store (counting filters + generations) — into
+    /// one snapshot buffer. Byte-deterministic for a given system state.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(SYSTEM_MAGIC);
+        buf.put_u8(persistence::VERSION);
+        persistence::put_sampler_config(&mut buf, &self.shared.cfg.sampler);
+        persistence::put_reconstruct_config(&mut buf, &self.shared.cfg.reconstruct);
+        self.shared.tree.put_bytes(&mut buf);
+        self.shared.store.put_bytes(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Restores a system serialized with [`Self::to_bytes`]: the same
+    /// plan, tree bits, stored sets, generations and configuration, so
+    /// samples and reconstructions match the original for the same RNG
+    /// state and [`FilterId`]s remain valid addresses.
+    pub fn from_bytes(input: &[u8]) -> Result<Self, BstError> {
+        let mut input = input;
+        persistence::check_header(&mut input, SYSTEM_MAGIC)?;
+        let sampler = persistence::get_sampler_config(&mut input)?;
+        let reconstruct = persistence::get_reconstruct_config(&mut input)?;
+        let cfg = BstConfig {
+            sampler,
+            reconstruct,
+        };
+        cfg.validate()
+            .map_err(|_| PersistError::Corrupt("snapshot configuration invalid"))?;
+        let tree = TreeBackend::get_bytes(&mut input)?;
+        let store = BstStore::get_bytes(&mut input, Arc::clone(tree.hasher()), tree.namespace())?;
+        if !input.is_empty() {
+            return Err(BstError::Persist(PersistError::Corrupt(
+                "trailing bytes after system snapshot",
+            )));
+        }
+        Ok(BstSystem {
+            shared: Arc::new(SystemShared { tree, cfg, store }),
+        })
     }
 
     /// Draws one near-uniform sample from the set stored in `filter`.
@@ -485,6 +678,161 @@ mod tests {
         }
         let many = sys.sample_many(&f, 10, &mut rng);
         assert_eq!(many.len(), 10);
+    }
+
+    #[test]
+    fn pruned_backend_serves_the_same_surface() {
+        let occ: Vec<u64> = (0..10_000u64).step_by(7).collect();
+        let sys = BstSystem::builder(10_000)
+            .pruned(occ.iter().copied())
+            .build();
+        assert!(sys.tree().is_pruned());
+        assert_eq!(sys.tree().occupied_count(), occ.len() as u64);
+        let keys: Vec<u64> = occ.iter().copied().step_by(5).collect();
+        let f = sys.store(keys.iter().copied());
+        let q = sys.query(&f);
+        let mut rng = StdRng::seed_from_u64(21);
+        let s = q.sample(&mut rng).expect("sample");
+        assert!(occ.binary_search(&s).is_ok(), "samples only occupied ids");
+        let rec = q.reconstruct().expect("reconstruct");
+        for k in &keys {
+            assert!(rec.binary_search(k).is_ok());
+        }
+        // Batch surface too.
+        let filters = vec![f.clone(), f];
+        let (results, _) = sys.query_batch(&filters, 3, 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn pruned_builder_sorts_dedups_and_validates() {
+        let sys = BstSystem::builder(4_096)
+            .expected_set_size(10)
+            .pruned([50u64, 3, 50, 999, 3])
+            .build();
+        assert_eq!(sys.tree().occupied_count(), 3);
+        assert!(matches!(
+            BstSystem::builder(4_096)
+                .expected_set_size(10)
+                .pruned([4_096u64])
+                .try_build(),
+            Err(BstError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn store_facade_lifecycle_and_query_id() {
+        let sys = BstSystem::builder(10_000).build();
+        let id = sys
+            .create((0..120u64).map(|i| i * 13 % 10_000))
+            .expect("create");
+        assert_eq!(sys.filters().len(), 1);
+        let q = sys.query_id(id).expect("open");
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = q.sample(&mut rng).expect("sample");
+        assert!(sys.get(id).expect("get").contains(s));
+        // Mutate through the facade; the handle refreshes transparently.
+        sys.insert_keys(id, [4_242u64]).expect("insert");
+        let rec = q.reconstruct().expect("reconstruct");
+        assert!(rec.binary_search(&4_242).is_ok());
+        assert_eq!(q.generation(), 1);
+        sys.drop_set(id).expect("drop");
+        assert_eq!(sys.query_id(id).err(), Some(BstError::UnknownFilterId(id)));
+        assert!(sys.filters().is_empty());
+    }
+
+    #[test]
+    fn query_batch_ids_aligns_and_reports_unknown() {
+        let sys = BstSystem::builder(20_000).build();
+        let ids: Vec<_> = (0..6)
+            .map(|i| {
+                sys.create((0..40u64).map(|j| (i * 911 + j * 17) % 20_000))
+                    .expect("create")
+            })
+            .collect();
+        let dropped = ids[2];
+        sys.drop_set(dropped).expect("drop");
+        let (results, stats) = sys.query_batch_ids(&ids, 9, 3);
+        assert_eq!(results.len(), ids.len());
+        for (i, (id, r)) in ids.iter().zip(&results).enumerate() {
+            if *id == dropped {
+                assert_eq!(*r, Err(BstError::UnknownFilterId(dropped)));
+            } else {
+                let s = r.expect("sample");
+                assert!(sys.get(*id).expect("get").contains(s), "slot {i}");
+            }
+        }
+        assert!(stats.total_ops() > 0);
+    }
+
+    #[test]
+    fn system_snapshot_roundtrip_dense_and_pruned() {
+        for pruned in [false, true] {
+            let mut builder = BstSystem::builder(8_192)
+                .expected_set_size(100)
+                .seed(17)
+                .config(BstConfig::corrected());
+            if pruned {
+                builder = builder.pruned((0..8_192u64).step_by(3));
+            }
+            let sys = builder.build();
+            let a = sys
+                .create((0..300u64).map(|i| i * 27 % 8_192))
+                .expect("create");
+            let b = sys
+                .create((0..90u64).map(|i| i * 81 % 8_192))
+                .expect("create");
+            sys.remove_keys(a, [0u64, 27]).expect("remove");
+            sys.drop_set(b).expect("drop");
+
+            let bytes = sys.to_bytes();
+            let restored = BstSystem::from_bytes(&bytes).expect("restore");
+            assert_eq!(restored.config(), sys.config());
+            assert_eq!(restored.tree().is_pruned(), pruned);
+            assert_eq!(restored.tree().plan(), sys.tree().plan());
+            assert_eq!(restored.filters().ids(), sys.filters().ids());
+            assert_eq!(restored.filters().generation(a), Ok(1));
+
+            // Same samples for the same RNG state, same reconstruction.
+            let q1 = sys.query_id(a).expect("open");
+            let q2 = restored.query_id(a).expect("open");
+            let mut r1 = StdRng::seed_from_u64(5);
+            let mut r2 = StdRng::seed_from_u64(5);
+            for _ in 0..20 {
+                assert_eq!(q1.sample(&mut r1), q2.sample(&mut r2));
+            }
+            assert_eq!(q1.reconstruct(), q2.reconstruct());
+            // Snapshot determinism.
+            assert_eq!(bytes, restored.to_bytes());
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        let sys = BstSystem::builder(4_096).build();
+        let bytes = sys.to_bytes();
+        assert_eq!(
+            BstSystem::from_bytes(&bytes[..10]).err(),
+            Some(BstError::Persist(
+                crate::persistence::PersistError::Truncated
+            ))
+        );
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(
+            BstSystem::from_bytes(&wrong).err(),
+            Some(BstError::Persist(
+                crate::persistence::PersistError::BadMagic
+            ))
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            BstSystem::from_bytes(&trailing).err(),
+            Some(BstError::Persist(
+                crate::persistence::PersistError::Corrupt(_)
+            ))
+        ));
     }
 
     #[test]

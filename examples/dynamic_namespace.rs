@@ -1,107 +1,114 @@
-//! Dynamic namespaces — the Pruned-BloomSampleTree growing as occupancy
-//! changes (§5.2: "it is easy to see how to evolve the
-//! Pruned-BloomSampleTree when M' grows (e.g. when new Twitter accounts
-//! are made)"), plus counting-filter deletions for the query sets
-//! themselves.
+//! Dynamic namespaces through the facade: a pruned-backend `BstSystem`
+//! over sparse occupancy (§5.2), a store of mutable communities that
+//! churn via `insert_keys`/`remove_keys`, generation-stamped query
+//! handles that survive the churn, and a whole-system snapshot.
+//!
+//! Everything below is public facade API — no raw tree, sampler, or memo
+//! plumbing.
 //!
 //! Run with: `cargo run --release --example dynamic_namespace`
 
-use bloomsampletree::{BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, QueryMemo};
-use bst_bloom::counting::CountingBloomFilter;
-use bst_bloom::params::TreePlan;
-use bst_bloom::HashKind;
+use bloomsampletree::BstSystem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 fn main() {
     let namespace = 1u64 << 24; // 16.7M ids
-    let plan = TreePlan::for_accuracy(namespace, 500, 0.85, 3, HashKind::Murmur3, 5, 128.0);
-
-    // Day 0: the service launches with a small beta cohort in one id block.
     let mut rng = StdRng::seed_from_u64(1);
-    let beta: Vec<u64> = (0..2_000u64).map(|i| 1_000_000 + i * 3).collect();
-    let mut tree = PrunedBloomSampleTree::build(&plan, &beta);
+
+    // The service's user base occupies a few regions of the huge id
+    // namespace: a launch cohort plus several growth regions.
+    let mut occupied: Vec<u64> = (0..2_000u64).map(|i| 1_000_000 + i * 3).collect();
+    for _ in 1..=5 {
+        let region = rng.gen_range(0..16u64) * (namespace / 16);
+        for _ in 0..1_500 {
+            occupied.push(region + rng.gen_range(0..namespace / 16));
+        }
+    }
+
+    // One builder call: the system plans the filters for the full
+    // namespace but materialises its tree only over occupied ids.
+    let system = BstSystem::builder(namespace)
+        .expected_set_size(500)
+        .accuracy(0.85)
+        .seed(5)
+        .pruned(occupied.iter().copied())
+        .build();
+    let tree = system.tree();
+    let complete_nodes = (1u64 << (tree.depth() + 1)) - 1;
     println!(
-        "day 0: {} users, {} tree nodes, {:.2} MB",
+        "pruned backend: {} users in {} nodes, {:.2} MB \
+         (complete tree would hold {} nodes, {:.1} MB; pruned uses {:.1}%)",
         tree.occupied_count(),
         tree.node_count(),
-        tree.memory_bytes() as f64 / 1e6
-    );
-
-    // Days 1..5: signups arrive in new regions of the namespace; the tree
-    // grows only where occupancy appears.
-    for day in 1..=5 {
-        let region = rng.gen_range(0..16u64) * (namespace / 16);
-        let mut added = 0;
-        for _ in 0..1_500 {
-            let id = region + rng.gen_range(0..namespace / 16);
-            if tree.insert(id) {
-                added += 1;
-            }
-        }
-        println!(
-            "day {day}: +{added} users (region at {region:>9}) -> {} nodes, {:.2} MB",
-            tree.node_count(),
-            tree.memory_bytes() as f64 / 1e6
-        );
-    }
-    let complete_nodes = (1u64 << (plan.depth + 1)) - 1;
-    println!(
-        "complete tree would hold {} nodes ({:.1} MB); pruned tree uses {:.1}%",
+        tree.memory_bytes() as f64 / 1e6,
         complete_nodes,
-        complete_nodes as f64 * (plan.m as f64 / 8.0) / 1e6,
+        complete_nodes as f64 * (tree.plan().m as f64 / 8.0) / 1e6,
         100.0 * tree.node_count() as f64 / complete_nodes as f64
     );
 
-    // A community with churn: members join AND leave. Plain Bloom filters
-    // cannot forget, so the community lives in a counting filter and is
-    // projected to a plain filter whenever the tree needs to query it.
-    let hasher = Arc::new(plan.build_hasher());
-    let mut community = CountingBloomFilter::new(Arc::clone(&hasher));
-    let occupied = tree.occupied_ids();
+    // A community with churn lives in the system's store: counting-filter
+    // backed, so members can join AND leave. It is addressed by a stable
+    // id from now on.
+    let occupied = {
+        let mut o = occupied;
+        o.sort_unstable();
+        o.dedup();
+        o
+    };
     let members: Vec<u64> = occupied.iter().copied().step_by(11).collect();
-    for &m in &members {
-        community.insert(m);
-    }
-    println!("\ncommunity: {} members", members.len());
+    let community = system
+        .create(members.iter().copied())
+        .expect("create community");
+    println!("\ncommunity {community}: {} members", members.len());
 
-    // Half the members leave.
-    let (leavers, stayers) = members.split_at(members.len() / 2);
-    for &m in leavers {
-        community.remove(m);
-    }
+    // Open a handle before the churn; it stays valid throughout.
+    let query = system.query_id(community).expect("open handle");
+    let mut warmup_rng = StdRng::seed_from_u64(7);
+    query.sample(&mut warmup_rng).expect("warm-up sample");
     println!(
-        "{} members left; counting filter now answers stale queries correctly: \
-         contains(leaver) = {}, contains(stayer) = {}",
-        leavers.len(),
-        community.contains(leavers[0]),
-        community.contains(stayers[0])
+        "handle opened at generation {} ({} node evals cached after one draw)",
+        query.generation(),
+        query.cached_evals()
     );
 
-    // Sample and reconstruct the *current* membership through the tree.
-    // A QueryMemo amortizes the 50 draws: the pruned tree is walked once,
-    // later draws reuse the cached liveness and leaf matches.
-    let snapshot = community.to_bloom();
-    let sampler = BstSampler::new(&tree);
-    let mut memo = QueryMemo::new();
-    let mut stats = OpStats::new();
+    // Half the members leave; a few new ones join.
+    let (leavers, stayers) = members.split_at(members.len() / 2);
+    system
+        .remove_keys(community, leavers.iter().copied())
+        .expect("remove leavers");
+    let joiners: Vec<u64> = occupied.iter().copied().step_by(501).collect();
+    system
+        .insert_keys(community, joiners.iter().copied())
+        .expect("insert joiners");
+    println!(
+        "{} left, {} joined -> store generation {}, open handle stale: {}",
+        leavers.len(),
+        joiners.len(),
+        system.filters().generation(community).expect("generation"),
+        query.is_stale().expect("staleness")
+    );
+
+    // The stale handle transparently re-projects and re-descends cold on
+    // its next operation — never a stale answer.
     let mut hits = 0;
+    let mut ghost_hits = 0;
     for _ in 0..50 {
-        if let Ok(u) = sampler.try_sample_memo(&snapshot, &mut memo, &mut rng, &mut stats) {
-            if stayers.binary_search(&u).is_ok() {
+        if let Ok(u) = query.sample(&mut warmup_rng) {
+            if stayers.binary_search(&u).is_ok() || joiners.binary_search(&u).is_ok() {
                 hits += 1;
+            } else if leavers.binary_search(&u).is_ok() {
+                ghost_hits += 1;
             }
         }
     }
     println!(
-        "50 samples from the post-churn community: {hits} are current members \
-         ({} ops total through the memo)",
-        stats.total_ops()
+        "50 post-churn samples: {hits} current members, {ghost_hits} ghost leavers \
+         (handle now at generation {})",
+        query.generation()
     );
 
-    let mut rec_stats = OpStats::new();
-    let rebuilt = BstReconstructor::new(&tree).reconstruct(&snapshot, &mut rec_stats);
+    let rebuilt = query.reconstruct().expect("reconstruct");
     let still_there = stayers
         .iter()
         .filter(|x| rebuilt.binary_search(x).is_ok())
@@ -117,22 +124,39 @@ fn main() {
         stayers.len(),
         ghosts
     );
-    println!("  cost: {rec_stats}");
 
-    // Accounts get deleted too: the pruned tree supports removal with
-    // exact filter rebuilds along the path, shrinking where occupancy
-    // disappears.
-    let before_nodes = tree.node_count();
-    let ghosts: Vec<u64> = tree.occupied_ids().into_iter().take(2000).collect();
-    for id in &ghosts {
-        tree.remove(*id);
-    }
+    // Accounts get deleted too: whole stored sets drop from the store,
+    // and their ids are retired (open handles fail typed, not silently).
+    let doomed = system
+        .create(occupied.iter().copied().take(100))
+        .expect("create");
+    let doomed_handle = system.query_id(doomed).expect("open");
+    system.drop_set(doomed).expect("drop");
     println!(
-        "\ndeleted {} accounts: {} users remain (arena {} -> {} reachable nodes tracked)",
-        ghosts.len(),
-        tree.occupied_count(),
-        before_nodes,
-        tree.node_count(),
+        "\ndropped set {doomed}: re-query -> {}",
+        doomed_handle
+            .reconstruct()
+            .expect_err("dropped sets fail typed")
     );
-    assert!(!tree.contains_occupied(ghosts[0]));
+
+    // Nightly ops: snapshot the whole system — plan, pruned tree, store
+    // (counting filters + generations) — and restore it elsewhere.
+    let snapshot = system.to_bytes();
+    let restored = BstSystem::from_bytes(&snapshot).expect("restore snapshot");
+    let restored_rec = restored
+        .query_id(community)
+        .expect("same id after restore")
+        .reconstruct()
+        .expect("reconstruct on restored system");
+    println!(
+        "\nsnapshot: {:.2} MB; restored system answers identically: {} \
+         (community still at generation {})",
+        snapshot.len() as f64 / 1e6,
+        restored_rec == rebuilt,
+        restored
+            .filters()
+            .generation(community)
+            .expect("generation"),
+    );
+    assert_eq!(restored_rec, rebuilt);
 }

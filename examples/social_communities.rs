@@ -4,24 +4,21 @@
 //! advertisers determine where to target their products."
 //!
 //! A synthetic microblog stream (substitute for the paper's Twitter crawl,
-//! see DESIGN.md) produces per-hashtag audiences. Each audience is stored
-//! *only* as a Bloom filter. A single Pruned-BloomSampleTree over the
+//! see DESIGN.md) produces per-hashtag audiences. Each audience is
+//! registered in the system's store — the filter database `D̄` — and
+//! addressed by a stable id. A single pruned-backend `BstSystem` over the
 //! sparsely occupied user-id namespace then answers:
 //!
-//! * "give me a random user who tweeted #tag" (ad targeting), and
-//! * "list the whole audience of #tag" (campaign export),
+//! * "give me a random user who tweeted #tag" (ad targeting),
+//! * "list the whole audience of #tag" (campaign export), and
+//! * both again after the audience churns (members join and leave),
 //!
-//! at a fraction of the memory of a complete tree.
+//! at a fraction of the memory of a complete tree, using only public
+//! facade API.
 //!
 //! Run with: `cargo run --release --example social_communities`
 
-use bloomsampletree::core::multiquery::sample_each;
-use bloomsampletree::core::sampler::SamplerConfig;
-use bloomsampletree::{
-    BstReconstructor, BstSampler, OpStats, PrunedBloomSampleTree, QueryMemo, SampleTree,
-};
-use bst_bloom::params::TreePlan;
-use bst_bloom::HashKind;
+use bloomsampletree::{BstSystem, FilterId};
 use bst_workloads::occupancy::clustered_occupancy;
 use bst_workloads::social::{SocialConfig, SocialStream};
 use rand::rngs::StdRng;
@@ -50,37 +47,41 @@ fn main() {
         t0.elapsed()
     );
 
-    // Plan filters for 80% accuracy (the paper's §8 setting) and build the
-    // pruned tree over the occupied ids only.
-    let plan = TreePlan::for_accuracy(cfg.namespace, 1000, 0.8, 3, HashKind::Murmur3, 99, 128.0);
+    // One facade call: filters planned for 80% accuracy (the paper's §8
+    // setting), pruned tree over the occupied ids only.
     let t1 = Instant::now();
-    let tree = PrunedBloomSampleTree::build(&plan, stream.users());
+    let system = BstSystem::builder(cfg.namespace)
+        .expected_set_size(1000)
+        .accuracy(0.8)
+        .seed(99)
+        .pruned(stream.users().iter().copied())
+        .build();
     println!(
-        "pruned tree: {} nodes (complete tree would need {}), {:.1} MB, built in {:?}",
-        tree.node_count(),
-        (1u64 << (plan.depth + 1)) - 1,
-        tree.memory_bytes() as f64 / 1e6,
+        "pruned backend: {} nodes (complete tree would need {}), {:.1} MB, built in {:?}",
+        system.tree().node_count(),
+        (1u64 << (system.tree().depth() + 1)) - 1,
+        system.tree().memory_bytes() as f64 / 1e6,
         t1.elapsed()
     );
 
-    // Store the 40 most popular hashtag audiences as Bloom filters.
+    // Register the 40 most popular hashtag audiences in the store.
     let audiences: Vec<Vec<u64>> = (0..40).map(|tag| stream.audience(tag)).collect();
-    let filters: Vec<_> = audiences
+    let ids: Vec<FilterId> = audiences
         .iter()
-        .map(|a| tree.query_filter(a.iter().copied()))
+        .map(|a| system.create(a.iter().copied()).expect("register audience"))
         .collect();
     println!(
-        "\nstored {} audiences as filters ({} KB each); sizes {}..{} users",
-        filters.len(),
-        plan.m / 8 / 1024,
+        "\nregistered {} audiences in the store ({} KB per projection); sizes {}..{} users",
+        ids.len(),
+        system.tree().plan().m / 8 / 1024,
         audiences.iter().map(Vec::len).min().unwrap(),
         audiences.iter().map(Vec::len).max().unwrap()
     );
 
     // Ad targeting: one random member of each audience, batched across
-    // worker threads.
+    // worker threads, addressed by id.
     let t2 = Instant::now();
-    let (picks, stats) = sample_each(&tree, &filters, SamplerConfig::default(), 7, 0);
+    let (picks, stats) = system.query_batch_ids(&ids, 7, 0);
     let hit = picks
         .iter()
         .zip(&audiences)
@@ -94,11 +95,11 @@ fn main() {
     );
     println!("  batch cost: {stats}");
 
-    // Campaign export: reconstruct one audience from its filter alone.
+    // Campaign export: reconstruct one audience from its stored filter.
     let tag = 3usize;
-    let mut rec_stats = OpStats::new();
+    let export_query = system.query_id(ids[tag]).expect("open handle");
     let t3 = Instant::now();
-    let exported = BstReconstructor::new(&tree).reconstruct(&filters[tag], &mut rec_stats);
+    let exported = export_query.reconstruct().expect("reconstruct");
     let truth = &audiences[tag];
     let recovered = truth
         .iter()
@@ -112,23 +113,21 @@ fn main() {
         truth.len(),
         exported.len() - recovered
     );
-    println!("  export cost: {rec_stats}");
+    println!("  export cost: {}", export_query.take_stats());
     println!(
         "  a DictionaryAttack export would need {} membership queries",
         cfg.namespace
     );
 
-    // Heavy-user overlap: sample repeatedly from two audiences and count
-    // cross-membership — the preferential-attachment signature. Repeated
-    // samples of one filter share a QueryMemo, so only the first draw
-    // pays for the tree descent.
-    let sampler = BstSampler::new(&tree);
-    let mut memo = QueryMemo::new();
+    // Heavy-user overlap: sample repeatedly from one audience and count
+    // cross-membership with another — the preferential-attachment
+    // signature. Repeated samples share the handle's memo, so only the
+    // first draw pays for the tree descent.
+    let overlap_query = system.query_id(ids[0]).expect("open handle");
     let mut cross = 0usize;
     let mut draws = 0usize;
-    let mut s_stats = OpStats::new();
     for _ in 0..200 {
-        if let Ok(u) = sampler.try_sample_memo(&filters[0], &mut memo, &mut rng, &mut s_stats) {
+        if let Ok(u) = overlap_query.sample(&mut rng) {
             draws += 1;
             if audiences[1].binary_search(&u).is_ok() {
                 cross += 1;
@@ -137,7 +136,38 @@ fn main() {
     }
     println!(
         "\naudience overlap probe: {cross}/{draws} samples from #0 are also in #1 \
-         (heavy users span hashtags; 200 draws cost {} ops through the memo)",
-        s_stats.total_ops()
+         (heavy users span hashtags; 200 draws cost {} ops through the handle)",
+        overlap_query.take_stats().total_ops()
+    );
+
+    // Audiences churn: a trending hashtag gains users, a fading one loses
+    // half. The store mutates in place; the open export handle notices.
+    let newcomers: Vec<u64> = stream.audience(100);
+    system
+        .insert_keys(ids[5], newcomers.iter().copied())
+        .expect("insert");
+    let (fading_leavers, _) = audiences[tag].split_at(truth.len() / 2);
+    system
+        .remove_keys(ids[tag], fading_leavers.iter().copied())
+        .expect("remove");
+    println!(
+        "\nchurn: audience #5 gained {} users (gen {}), #{} lost {} (gen {}; export handle stale: {})",
+        newcomers.len(),
+        system.filters().generation(ids[5]).expect("generation"),
+        tag,
+        fading_leavers.len(),
+        system.filters().generation(ids[tag]).expect("generation"),
+        export_query.is_stale().expect("staleness"),
+    );
+    let re_export = export_query.reconstruct().expect("re-export");
+    let ghosts = fading_leavers
+        .iter()
+        .filter(|x| re_export.binary_search(x).is_ok())
+        .count();
+    println!(
+        "re-export of #{tag}: {} ids ({} ghost leavers), handle refreshed to generation {}",
+        re_export.len(),
+        ghosts,
+        export_query.generation()
     );
 }

@@ -67,11 +67,41 @@
 //! assert_eq!(system.query(&empty).sample(&mut rng), Err(BstError::EmptyFilter));
 //! ```
 //!
+//! ## The filter database: mutable sets by id
+//!
+//! The paper's setting is a *database* `D̄` of stored sets. Registering a
+//! set with the system ([`BstSystem::create`]) backs it with a counting
+//! filter — it supports `insert_keys` *and* `remove_keys` — addressed by
+//! a stable [`FilterId`]. Handles opened by id are generation-stamped:
+//! mutating the set invalidates their cached descent state, so they
+//! always answer against the current membership:
+//!
+//! ```
+//! use bloomsampletree::BstSystem;
+//!
+//! let system = BstSystem::builder(10_000).build();
+//! let community = system.create((0..300u64).map(|i| i * 3)).unwrap();
+//! let query = system.query_id(community).unwrap();
+//!
+//! system.insert_keys(community, [9_001u64]).unwrap();   // member joins
+//! system.remove_keys(community, [0u64, 3]).unwrap();    // members leave
+//! let rebuilt = query.reconstruct().unwrap();           // sees the churn
+//! assert!(rebuilt.binary_search(&9_001).is_ok());
+//!
+//! // The whole system — tree, store, config — snapshots to bytes.
+//! let restored = BstSystem::from_bytes(&system.to_bytes()).unwrap();
+//! assert_eq!(restored.query_id(community).unwrap().reconstruct().unwrap(), rebuilt);
+//! ```
+//!
 //! ## Serving many filters
 //!
 //! `BstSystem: Clone + Send + Sync` (an `Arc` bump), so worker threads
 //! share one tree; [`BstSystem::query_batch`] samples across a whole
-//! batch of filters in parallel:
+//! batch of filters in parallel ([`BstSystem::query_batch_ids`] is the
+//! id-addressed form). Sparse or dynamic-occupancy namespaces build the
+//! same system over a pruned backend with
+//! [`builder(M).pruned(occupied)`](bst_core::system::BstSystemBuilder::pruned)
+//! and get the identical surface:
 //!
 //! ```
 //! use bloomsampletree::BstSystem;
@@ -105,8 +135,10 @@ pub use bst_core as core;
 pub use bst_stats as stats;
 pub use bst_workloads as workloads;
 
+pub use bst_bloom::counting::CountingBloomFilter;
 pub use bst_bloom::{BloomFilter, BloomHasher, HashKind, TreePlan};
 pub use bst_core::{
-    BloomSampleTree, BstConfig, BstError, BstReconstructor, BstSampler, BstSystem, OpStats,
-    PrunedBloomSampleTree, Query, QueryMemo, ReconstructConfig, SampleTree, SamplerConfig,
+    BloomSampleTree, BstConfig, BstError, BstReconstructor, BstSampler, BstStore, BstSystem,
+    FilterId, OpStats, PersistError, PrunedBloomSampleTree, Query, QueryMemo, ReconstructConfig,
+    SampleTree, SamplerConfig, TreeBackend,
 };

@@ -1,8 +1,12 @@
-//! Persistence and determinism: filters survive the binary codec, hash
-//! families rebuild identically from their parameters, and whole systems
-//! are reproducible from a plan.
+//! Persistence and determinism: filters (plain and counting) survive the
+//! binary codec, hash families rebuild identically from their parameters,
+//! both tree backends round-trip through their snapshot formats, and
+//! whole systems are reproducible from a plan.
 
-use bloomsampletree::{BloomFilter, BloomHasher, BstSystem, HashKind, SampleTree, TreePlan};
+use bloomsampletree::{
+    BloomFilter, BloomHasher, BstSystem, CountingBloomFilter, HashKind, OpStats,
+    PrunedBloomSampleTree, SampleTree, TreePlan,
+};
 use bst_bloom::codec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,6 +62,91 @@ fn plan_roundtrip_through_tree_bytes_rebuilds_equivalent_tree() {
     for i in (0..t1.node_count() as u32).step_by(7) {
         assert_eq!(t1.filter(i).bits(), t2.filter(i).bits(), "node {i}");
     }
+}
+
+#[test]
+fn counting_filter_codec_roundtrip_preserves_removability() {
+    // The store's substrate: counting filters must survive the codec with
+    // their *counters* (not just the bit projection), or restored sets
+    // would forget how many inserts each position carries.
+    let hasher = Arc::new(BloomHasher::new(HashKind::Murmur3, 3, 8192, 100_000, 91));
+    let mut f = CountingBloomFilter::from_keys(Arc::clone(&hasher), (0..400u64).map(|i| i * 11));
+    f.insert(55); // 55 = 5*11 now counted twice
+    f.remove(110);
+    let bytes = codec::encode_counting(&f);
+    let mut back = codec::decode_counting(&bytes).expect("decode");
+    assert_eq!(back.counter_bytes(), f.counter_bytes());
+    for x in 0..4400u64 {
+        assert_eq!(back.contains(x), f.contains(x), "key {x}");
+    }
+    // Counter semantics survive: one remove does not clear a double insert.
+    back.remove(55);
+    assert!(back.contains(55));
+    back.remove(55);
+    assert!(!back.contains(55));
+}
+
+#[test]
+fn pruned_tree_snapshot_restores_structure_and_answers() {
+    let plan = TreePlan {
+        namespace: 1 << 16,
+        m: 1 << 14,
+        k: 3,
+        kind: HashKind::Murmur3,
+        seed: 33,
+        depth: 6,
+        leaf_capacity: 1 << 10,
+        target_accuracy: 0.9,
+    };
+    // Clustered occupancy, then churn, so the snapshot covers grown and
+    // shrunk regions (materialised nodes + unlinked tombstones).
+    let occupied: Vec<u64> = (2_000..2_600u64)
+        .chain((40_000..40_300).step_by(3))
+        .collect();
+    let mut tree = PrunedBloomSampleTree::build(&plan, &occupied);
+    for id in 50_000..50_040u64 {
+        assert!(tree.insert(id));
+    }
+    for id in (2_000..2_100u64).step_by(2) {
+        assert!(tree.remove(id));
+    }
+
+    let bytes = tree.to_bytes();
+    let restored = PrunedBloomSampleTree::from_bytes(&bytes).expect("decode");
+    assert_eq!(restored.plan(), tree.plan());
+    assert_eq!(restored.node_count(), tree.node_count());
+    assert_eq!(restored.occupied_count(), tree.occupied_count());
+    assert_eq!(restored.occupied_ids(), tree.occupied_ids());
+
+    // Same answers through the sampling/reconstruction layers.
+    let members: Vec<u64> = tree.occupied_ids().into_iter().step_by(5).collect();
+    let q = tree.query_filter(members.iter().copied());
+    let mut s1 = OpStats::new();
+    let mut s2 = OpStats::new();
+    let rec_orig = bloomsampletree::BstReconstructor::new(&tree).reconstruct(&q, &mut s1);
+    let rec_back = bloomsampletree::BstReconstructor::new(&restored).reconstruct(&q, &mut s2);
+    assert_eq!(rec_orig, rec_back);
+    assert_eq!(s1.intersections, s2.intersections, "identical pruning work");
+    let mut rng_a = StdRng::seed_from_u64(3);
+    let mut rng_b = StdRng::seed_from_u64(3);
+    for _ in 0..40 {
+        assert_eq!(
+            bloomsampletree::BstSampler::new(&tree).sample(&q, &mut rng_a, &mut s1),
+            bloomsampletree::BstSampler::new(&restored).sample(&q, &mut rng_b, &mut s2),
+        );
+    }
+
+    // The restored tree stays dynamic: inserts and removals keep working.
+    let mut restored = restored;
+    assert!(restored.insert(60_000));
+    assert!(restored.contains_occupied(60_000));
+    assert!(restored.remove(60_000));
+
+    // Corruption is rejected, not mis-decoded.
+    assert!(PrunedBloomSampleTree::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    let mut wrong = bytes.clone();
+    wrong[0] = b'X';
+    assert!(PrunedBloomSampleTree::from_bytes(&wrong).is_err());
 }
 
 #[test]
