@@ -33,7 +33,8 @@ fn build_system(cfg: BstConfig) -> BstSystem {
 fn print_ops_ratio(label: &str, system: &BstSystem, filter: &bst_bloom::filter::BloomFilter) {
     let mut rng = rng_for(99);
     let mut per_call = OpStats::new();
-    let sampler = BstSampler::with_config(system.tree(), system.config().sampler);
+    let view = system.tree().read();
+    let sampler = BstSampler::with_config(&view, system.config().sampler);
     for _ in 0..OPS_PROBE_SAMPLES {
         let _ = sampler.sample(filter, &mut rng, &mut per_call);
     }
@@ -65,7 +66,8 @@ fn bench_query_handle(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("per-call", n), &n, |b, _| {
                 // The old facade shape: a stateless sampler invocation per
                 // request, no reusable per-filter state.
-                let sampler = BstSampler::with_config(system.tree(), system.config().sampler);
+                let view = system.tree().read();
+                let sampler = BstSampler::with_config(&view, system.config().sampler);
                 let mut rng = rng_for(7);
                 let mut stats = OpStats::new();
                 b.iter(|| sampler.sample(&filter, &mut rng, &mut stats))
@@ -91,8 +93,9 @@ fn bench_query_handle(c: &mut Criterion) {
     let mut group = c.benchmark_group("repeated-reconstruct");
     group.sample_size(10);
     group.bench_function("per-call", |b| {
+        let view = system.tree().read();
         let recon = bst_core::reconstruct::BstReconstructor::with_config(
-            system.tree(),
+            &view,
             system.config().reconstruct,
         );
         let mut stats = OpStats::new();

@@ -1,0 +1,172 @@
+//! The sharded engine: scatter-gather sample/reconstruct latency at
+//! S ∈ {1, 4, 16} shards against the single-tree baseline, batch fan-out
+//! across the crossbeam pool, and the occupancy-mutation invalidation
+//! round-trip (insert_occupied → stale sharded handle → cold re-descend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bst_bench::common::rng_for;
+use bst_core::system::BstSystem;
+use bst_shard::ShardedBstSystem;
+use bst_workloads::querysets::uniform_set;
+
+const NAMESPACE: u64 = 262_144;
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Sparse occupancy shared by every engine under test.
+fn occupancy() -> Vec<u64> {
+    (0..NAMESPACE).step_by(4).collect()
+}
+
+fn build_sharded(shards: usize) -> ShardedBstSystem {
+    ShardedBstSystem::builder(NAMESPACE)
+        .shards(shards)
+        .accuracy(0.9)
+        .expected_set_size(1000)
+        .seed(1)
+        .occupied(occupancy())
+        .build()
+}
+
+fn build_single() -> BstSystem {
+    BstSystem::builder(NAMESPACE)
+        .accuracy(0.9)
+        .expected_set_size(1000)
+        .seed(1)
+        .pruned(occupancy())
+        .build()
+}
+
+/// Warm-handle scatter-gather sampling vs the single-tree baseline.
+fn bench_sample_scaling(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(3);
+    let keys: Vec<u64> = uniform_set(&mut rng, occ.len() as u64, 1000)
+        .into_iter()
+        .map(|i| occ[i as usize])
+        .collect();
+
+    let mut group = c.benchmark_group("shard-sample");
+    let single = build_single();
+    let filter = single.store(keys.iter().copied());
+    group.bench_function("single-tree", |b| {
+        let query = single.query(&filter);
+        let mut rng = rng_for(7);
+        b.iter(|| query.sample(&mut rng))
+    });
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            let query = engine.query(&filter);
+            let mut rng = rng_for(7);
+            b.iter(|| query.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// Cold reconstruction (the scatter-gather path that visits every live
+/// leaf once) vs the single-tree baseline.
+fn bench_reconstruct_scaling(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(5);
+    let keys: Vec<u64> = uniform_set(&mut rng, occ.len() as u64, 1000)
+        .into_iter()
+        .map(|i| occ[i as usize])
+        .collect();
+
+    let mut group = c.benchmark_group("shard-reconstruct");
+    group.sample_size(20);
+    let single = build_single();
+    let filter = single.store(keys.iter().copied());
+    group.bench_function("single-tree", |b| {
+        b.iter(|| single.query(&filter).reconstruct().expect("reconstruct"))
+    });
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            b.iter(|| engine.query(&filter).reconstruct().expect("reconstruct"))
+        });
+    }
+    group.finish();
+}
+
+/// Batch fan-out across the crossbeam worker pool.
+fn bench_batch_fanout(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(9);
+    let mut group = c.benchmark_group("shard-batch-32");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        let filters: Vec<_> = (0..32)
+            .map(|_| {
+                let keys = uniform_set(&mut rng, occ.len() as u64, 200);
+                engine.store(keys.into_iter().map(|i| occ[i as usize]))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            b.iter(|| engine.query_batch(&filters, 17, 0))
+        });
+    }
+    group.finish();
+}
+
+/// The occupancy-mutation invalidation round-trip: insert_occupied on
+/// the owning shard, then the stale sharded handle's next sample (full
+/// re-weight + cold re-descent on one shard).
+fn bench_occupancy_invalidation(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(11);
+    let keys: Vec<u64> = uniform_set(&mut rng, occ.len() as u64, 1000)
+        .into_iter()
+        .map(|i| occ[i as usize])
+        .collect();
+
+    let mut group = c.benchmark_group("occupancy-invalidation");
+    group.sample_size(20);
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        let filter = engine.store(keys.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::new("insert+stale-sample", shards),
+            &shards,
+            |b, _| {
+                let query = engine.query(&filter);
+                let mut rng = rng_for(13);
+                let mut key = 1u64;
+                b.iter(|| {
+                    // Toggle an id in and out of the occupancy so the
+                    // engine keeps mutating without unbounded growth.
+                    engine.insert_occupied(key).expect("insert");
+                    engine.remove_occupied(key).expect("remove");
+                    key = (key + 4) % NAMESPACE;
+                    query.sample(&mut rng)
+                })
+            },
+        );
+    }
+    let single = build_single();
+    let filter = single.store(keys.iter().copied());
+    group.bench_function("single-tree/insert+stale-sample", |b| {
+        let query = single.query(&filter);
+        let mut rng = rng_for(13);
+        let mut key = 1u64;
+        b.iter(|| {
+            single.insert_occupied(key).expect("insert");
+            single.remove_occupied(key).expect("remove");
+            key = (key + 4) % NAMESPACE;
+            query.sample(&mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sample_scaling,
+    bench_reconstruct_scaling,
+    bench_batch_fanout,
+    bench_occupancy_invalidation
+);
+criterion_main!(benches);

@@ -1,21 +1,40 @@
 //! Backend polymorphism for the facade: one [`TreeBackend`] serves both
 //! the dense, complete [`BloomSampleTree`] and the occupancy-aware
 //! [`PrunedBloomSampleTree`] through the same `query()`/`query_batch()`
-//! surface.
+//! surface — and, for the pruned backend, lets the *namespace occupancy
+//! itself* evolve behind the shared `Arc`.
 //!
-//! The sampling and reconstruction algorithms are generic over
-//! [`SampleTree`], so an enum (rather than `dyn` dispatch) keeps every
-//! hot-path call statically dispatched inside each arm, monomorphised
-//! once per backend, with no vtable in the descent loop.
+//! ## Tree generations
+//!
+//! The pruned tree supports §5.2 `insert`/`remove`, but those take `&mut`
+//! while the facade shares the backend behind an `Arc`. The backend
+//! therefore wraps the pruned tree in an `RwLock` and stamps every
+//! structural mutation with a monotonically increasing **tree
+//! generation** (the occupancy analogue of the store's per-set
+//! generations). Read access goes through [`TreeBackend::read`], which
+//! returns a [`TreeView`] — a read-guard enum implementing
+//! [`SampleTree`] — so the sampling and reconstruction algorithms stay
+//! statically dispatched inside each arm, with no vtable in the descent
+//! loop. While a view is held, writers block, so the view's generation
+//! stamp is stable for the whole operation; open
+//! [`crate::query::Query`] handles compare stamps at the top of every
+//! operation and re-descend cold after any occupancy change.
+//!
+//! The dense backend's occupancy is the full namespace by construction
+//! and never changes: its generation is the constant 0 and the mutation
+//! entry points report [`BstError::ImmutableBackend`].
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bst_bloom::filter::BloomFilter;
 use bst_bloom::hash::BloomHasher;
 use bst_bloom::params::TreePlan;
 use bytes::{Buf, BufMut};
+use parking_lot::RwLock;
 
+use crate::error::BstError;
 use crate::persistence::PersistError;
 use crate::pruned::PrunedBloomSampleTree;
 use crate::tree::{BloomSampleTree, LeafCandidates, NodeId, SampleTree};
@@ -25,31 +44,66 @@ const TAG_DENSE: u8 = 0;
 /// Snapshot tag for a pruned backend.
 const TAG_PRUNED: u8 = 1;
 
+/// The mutable half of a pruned backend: the tree behind its lock plus
+/// the generation stamp bumped (under the write lock) by every
+/// structural mutation.
+pub struct PrunedBackend {
+    /// The plan, cached outside the lock (it never changes).
+    plan: TreePlan,
+    /// The shared hash family, cached outside the lock.
+    hasher: Arc<BloomHasher>,
+    /// Occupancy mutation counter; bumped while the write lock is held,
+    /// so a reader holding a [`TreeView`] observes a stable value.
+    generation: AtomicU64,
+    tree: RwLock<PrunedBloomSampleTree>,
+}
+
 /// The tree a [`crate::system::BstSystem`] serves queries from: either the
 /// complete tree of Definition 5.1 (static, fully occupied namespaces) or
-/// the pruned variant of §5.2 (sparse / dynamic occupancy).
+/// the pruned variant of §5.2 (sparse / dynamic occupancy, mutable
+/// through [`Self::insert_occupied`] / [`Self::remove_occupied`]).
 pub enum TreeBackend {
     /// The complete [`BloomSampleTree`] over the whole namespace.
     Dense(BloomSampleTree),
-    /// The occupancy-aware [`PrunedBloomSampleTree`].
-    Pruned(PrunedBloomSampleTree),
+    /// The occupancy-aware, lock-wrapped [`PrunedBloomSampleTree`].
+    Pruned(PrunedBackend),
 }
 
 impl std::fmt::Debug for TreeBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TreeBackend::Dense(t) => write!(f, "{t:?}"),
-            TreeBackend::Pruned(t) => write!(f, "{t:?}"),
+            TreeBackend::Pruned(p) => write!(
+                f,
+                "{:?}@gen{}",
+                &*p.tree.read(),
+                p.generation.load(Ordering::Acquire)
+            ),
         }
     }
 }
 
 impl TreeBackend {
+    /// Wraps a dense tree.
+    pub fn dense(tree: BloomSampleTree) -> Self {
+        TreeBackend::Dense(tree)
+    }
+
+    /// Wraps a pruned tree, starting at tree generation 0.
+    pub fn pruned(tree: PrunedBloomSampleTree) -> Self {
+        TreeBackend::Pruned(PrunedBackend {
+            plan: tree.plan().clone(),
+            hasher: Arc::clone(tree.hasher()),
+            generation: AtomicU64::new(0),
+            tree: RwLock::new(tree),
+        })
+    }
+
     /// The plan the backend was built from.
     pub fn plan(&self) -> &TreePlan {
         match self {
             TreeBackend::Dense(t) => t.plan(),
-            TreeBackend::Pruned(t) => t.plan(),
+            TreeBackend::Pruned(p) => &p.plan,
         }
     }
 
@@ -63,11 +117,13 @@ impl TreeBackend {
         self.plan().namespace
     }
 
-    /// Number of materialised nodes.
+    /// Number of materialised nodes (for a mutated pruned backend this
+    /// includes unlinked tombstones still in the arena; snapshots compact
+    /// them away).
     pub fn node_count(&self) -> usize {
         match self {
             TreeBackend::Dense(t) => t.node_count(),
-            TreeBackend::Pruned(t) => t.node_count(),
+            TreeBackend::Pruned(p) => p.tree.read().node_count(),
         }
     }
 
@@ -75,7 +131,7 @@ impl TreeBackend {
     pub fn memory_bytes(&self) -> usize {
         match self {
             TreeBackend::Dense(t) => t.memory_bytes(),
-            TreeBackend::Pruned(t) => t.memory_bytes(),
+            TreeBackend::Pruned(p) => p.tree.read().memory_bytes(),
         }
     }
 
@@ -84,7 +140,26 @@ impl TreeBackend {
     pub fn occupied_count(&self) -> u64 {
         match self {
             TreeBackend::Dense(t) => t.namespace(),
-            TreeBackend::Pruned(t) => t.occupied_count(),
+            TreeBackend::Pruned(p) => p.tree.read().occupied_count(),
+        }
+    }
+
+    /// All occupied namespace ids, ascending. For a dense backend this is
+    /// the full namespace — `O(M)` memory; intended for pruned backends
+    /// and small dense systems.
+    pub fn occupied_ids(&self) -> Vec<u64> {
+        match self {
+            TreeBackend::Dense(t) => (0..t.namespace()).collect(),
+            TreeBackend::Pruned(p) => p.tree.read().occupied_ids(),
+        }
+    }
+
+    /// Whether `id` is an occupied namespace element (exact; always true
+    /// inside the namespace for a dense backend).
+    pub fn contains_occupied(&self, id: u64) -> bool {
+        match self {
+            TreeBackend::Dense(t) => id < t.namespace(),
+            TreeBackend::Pruned(p) => p.tree.read().contains_occupied(id),
         }
     }
 
@@ -93,28 +168,96 @@ impl TreeBackend {
         matches!(self, TreeBackend::Pruned(_))
     }
 
-    /// The dense tree, if that is the active backend.
-    pub fn as_dense(&self) -> Option<&BloomSampleTree> {
+    /// The shared hash family.
+    pub fn hasher(&self) -> &Arc<BloomHasher> {
         match self {
-            TreeBackend::Dense(t) => Some(t),
-            TreeBackend::Pruned(_) => None,
+            TreeBackend::Dense(t) => t.hasher(),
+            TreeBackend::Pruned(p) => &p.hasher,
         }
     }
 
-    /// The pruned tree, if that is the active backend.
-    pub fn as_pruned(&self) -> Option<&PrunedBloomSampleTree> {
+    /// Builds a query filter compatible with this backend from a key set.
+    pub fn query_filter<I: IntoIterator<Item = u64>>(&self, keys: I) -> BloomFilter {
+        BloomFilter::from_keys(Arc::clone(self.hasher()), keys)
+    }
+
+    /// The current tree generation: 0 forever for a dense backend, the
+    /// occupancy-mutation count for a pruned one. Prefer
+    /// [`TreeView::generation`] when a consistent (view, stamp) pair is
+    /// needed — this unlocked read may race an in-flight mutation.
+    pub fn generation(&self) -> u64 {
         match self {
-            TreeBackend::Dense(_) => None,
-            TreeBackend::Pruned(t) => Some(t),
+            TreeBackend::Dense(_) => 0,
+            TreeBackend::Pruned(p) => p.generation.load(Ordering::Acquire),
         }
+    }
+
+    /// Acquires a read view for sampling/reconstruction. Occupancy
+    /// writers block until the view is dropped, so everything computed
+    /// through one view is consistent with its [`TreeView::generation`].
+    pub fn read(&self) -> TreeView<'_> {
+        match self {
+            TreeBackend::Dense(t) => TreeView::Dense(t),
+            TreeBackend::Pruned(p) => {
+                let guard = p.tree.read();
+                let generation = p.generation.load(Ordering::Acquire);
+                TreeView::Pruned { guard, generation }
+            }
+        }
+    }
+
+    /// Marks `id` occupied (§5.2 dynamic insertion), extending filters
+    /// along its root-to-leaf path and materialising missing nodes. Bumps
+    /// the tree generation when the occupancy actually changed — open
+    /// [`crate::query::Query`] handles re-descend cold on their next
+    /// operation — and returns the resulting generation.
+    ///
+    /// Fails with [`BstError::ImmutableBackend`] on a dense backend and
+    /// [`BstError::KeyOutsideNamespace`] for ids outside `[0, M)`.
+    pub fn insert_occupied(&self, id: u64) -> Result<u64, BstError> {
+        self.mutate_occupied(id, |tree, id| tree.insert(id))
+    }
+
+    /// Removes `id` from the occupied set (the §5.2 evolution run in
+    /// reverse), rebuilding path filters exactly and unlinking emptied
+    /// subtrees. Bumps the tree generation when the occupancy actually
+    /// changed and returns the resulting generation. Same failure modes
+    /// as [`Self::insert_occupied`].
+    pub fn remove_occupied(&self, id: u64) -> Result<u64, BstError> {
+        self.mutate_occupied(id, |tree, id| tree.remove(id))
+    }
+
+    fn mutate_occupied(
+        &self,
+        id: u64,
+        op: impl FnOnce(&mut PrunedBloomSampleTree, u64) -> bool,
+    ) -> Result<u64, BstError> {
+        let p = match self {
+            TreeBackend::Dense(_) => return Err(BstError::ImmutableBackend),
+            TreeBackend::Pruned(p) => p,
+        };
+        if id >= p.plan.namespace {
+            return Err(BstError::KeyOutsideNamespace(id));
+        }
+        let mut tree = p.tree.write();
+        let generation = if op(&mut tree, id) {
+            // Bumped under the write lock: a reader holding a view can
+            // never observe a generation older than the tree it reads.
+            p.generation.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            p.generation.load(Ordering::Acquire)
+        };
+        Ok(generation)
     }
 
     /// Serializes the backend as `tag u8 | len u64 | tree bytes`, appended
     /// to `buf` (each tree keeps its own magic/version inside the payload).
+    /// The tree generation is *not* persisted: it only sequences live
+    /// handles, and a restored system starts a fresh handle population.
     pub(crate) fn put_bytes(&self, buf: &mut bytes::BytesMut) {
         let (tag, payload) = match self {
             TreeBackend::Dense(t) => (TAG_DENSE, t.to_bytes()),
-            TreeBackend::Pruned(t) => (TAG_PRUNED, t.to_bytes()),
+            TreeBackend::Pruned(p) => (TAG_PRUNED, p.tree.read().to_bytes()),
         };
         buf.put_u8(tag);
         buf.put_u64_le(payload.len() as u64);
@@ -134,8 +277,8 @@ impl TreeBackend {
         }
         let payload = &input[..len];
         let backend = match tag {
-            TAG_DENSE => TreeBackend::Dense(BloomSampleTree::from_bytes(payload)?),
-            TAG_PRUNED => TreeBackend::Pruned(PrunedBloomSampleTree::from_bytes(payload)?),
+            TAG_DENSE => TreeBackend::dense(BloomSampleTree::from_bytes(payload)?),
+            TAG_PRUNED => TreeBackend::pruned(PrunedBloomSampleTree::from_bytes(payload)?),
             _ => return Err(PersistError::Corrupt("unknown tree backend tag")),
         };
         input.advance(len);
@@ -143,53 +286,79 @@ impl TreeBackend {
     }
 }
 
-impl SampleTree for TreeBackend {
+/// A read view over a [`TreeBackend`]: the [`SampleTree`] the descent
+/// algorithms actually run against. For a pruned backend this holds the
+/// read lock, so occupancy writers wait until the view is dropped —
+/// acquire it per operation, not per session.
+pub enum TreeView<'a> {
+    /// A dense backend (no lock needed; the tree is immutable).
+    Dense(&'a BloomSampleTree),
+    /// A pruned backend's read guard plus the generation it captured.
+    Pruned {
+        /// The locked tree.
+        guard: parking_lot::RwLockReadGuard<'a, PrunedBloomSampleTree>,
+        /// Tree generation at acquisition (stable while the guard lives).
+        generation: u64,
+    },
+}
+
+impl TreeView<'_> {
+    /// The tree generation this view observes (0 for dense backends).
+    pub fn generation(&self) -> u64 {
+        match self {
+            TreeView::Dense(_) => 0,
+            TreeView::Pruned { generation, .. } => *generation,
+        }
+    }
+}
+
+impl SampleTree for TreeView<'_> {
     fn root(&self) -> Option<NodeId> {
         match self {
-            TreeBackend::Dense(t) => t.root(),
-            TreeBackend::Pruned(t) => t.root(),
+            TreeView::Dense(t) => t.root(),
+            TreeView::Pruned { guard, .. } => guard.root(),
         }
     }
 
     fn is_leaf(&self, node: NodeId) -> bool {
         match self {
-            TreeBackend::Dense(t) => t.is_leaf(node),
-            TreeBackend::Pruned(t) => t.is_leaf(node),
+            TreeView::Dense(t) => t.is_leaf(node),
+            TreeView::Pruned { guard, .. } => guard.is_leaf(node),
         }
     }
 
     fn children(&self, node: NodeId) -> (Option<NodeId>, Option<NodeId>) {
         match self {
-            TreeBackend::Dense(t) => t.children(node),
-            TreeBackend::Pruned(t) => t.children(node),
+            TreeView::Dense(t) => t.children(node),
+            TreeView::Pruned { guard, .. } => guard.children(node),
         }
     }
 
     fn filter(&self, node: NodeId) -> &BloomFilter {
         match self {
-            TreeBackend::Dense(t) => t.filter(node),
-            TreeBackend::Pruned(t) => t.filter(node),
+            TreeView::Dense(t) => t.filter(node),
+            TreeView::Pruned { guard, .. } => guard.filter(node),
         }
     }
 
     fn range(&self, node: NodeId) -> Range<u64> {
         match self {
-            TreeBackend::Dense(t) => t.range(node),
-            TreeBackend::Pruned(t) => t.range(node),
+            TreeView::Dense(t) => t.range(node),
+            TreeView::Pruned { guard, .. } => guard.range(node),
         }
     }
 
     fn leaf_candidates(&self, node: NodeId) -> LeafCandidates<'_> {
         match self {
-            TreeBackend::Dense(t) => t.leaf_candidates(node),
-            TreeBackend::Pruned(t) => t.leaf_candidates(node),
+            TreeView::Dense(t) => t.leaf_candidates(node),
+            TreeView::Pruned { guard, .. } => guard.leaf_candidates(node),
         }
     }
 
     fn hasher(&self) -> &Arc<BloomHasher> {
         match self {
-            TreeBackend::Dense(t) => t.hasher(),
-            TreeBackend::Pruned(t) => t.hasher(),
+            TreeView::Dense(t) => t.hasher(),
+            TreeView::Pruned { guard, .. } => guard.hasher(),
         }
     }
 }
@@ -215,23 +384,55 @@ mod tests {
     #[test]
     fn delegation_matches_the_wrapped_tree() {
         let p = plan();
-        let dense = TreeBackend::Dense(BloomSampleTree::build(&p));
+        let dense = TreeBackend::dense(BloomSampleTree::build(&p));
         assert!(!dense.is_pruned());
         assert_eq!(dense.node_count(), (1 << 5) - 1);
         assert_eq!(dense.occupied_count(), 4096);
         assert_eq!(dense.depth(), 4);
-        assert!(dense.as_dense().is_some() && dense.as_pruned().is_none());
 
         let occ: Vec<u64> = (100..200u64).collect();
-        let pruned = TreeBackend::Pruned(PrunedBloomSampleTree::build(&p, &occ));
+        let pruned = TreeBackend::pruned(PrunedBloomSampleTree::build(&p, &occ));
         assert!(pruned.is_pruned());
         assert_eq!(pruned.occupied_count(), 100);
         assert!(pruned.node_count() < dense.node_count());
-        assert!(pruned.as_pruned().is_some() && pruned.as_dense().is_none());
-        // Trait navigation works through the enum.
-        let root = pruned.root().expect("root");
-        assert!(pruned.filter(root).contains(150));
-        assert_eq!(pruned.range(root), 0..4096);
+        assert_eq!(pruned.occupied_ids(), occ);
+        // Trait navigation works through the view.
+        let view = pruned.read();
+        let root = view.root().expect("root");
+        assert!(view.filter(root).contains(150));
+        assert_eq!(view.range(root), 0..4096);
+        assert_eq!(view.generation(), 0);
+    }
+
+    #[test]
+    fn occupancy_mutations_bump_the_tree_generation() {
+        let backend = TreeBackend::pruned(PrunedBloomSampleTree::build(&plan(), &[5, 10]));
+        assert_eq!(backend.generation(), 0);
+        assert_eq!(backend.insert_occupied(99), Ok(1));
+        assert!(backend.contains_occupied(99));
+        // A no-op insert does not bump.
+        assert_eq!(backend.insert_occupied(99), Ok(1));
+        assert_eq!(backend.remove_occupied(5), Ok(2));
+        assert!(!backend.contains_occupied(5));
+        // A no-op removal does not bump either.
+        assert_eq!(backend.remove_occupied(5), Ok(2));
+        assert_eq!(backend.occupied_count(), 2);
+        assert_eq!(backend.read().generation(), 2);
+        // Out-of-namespace ids are typed errors, not panics.
+        assert_eq!(
+            backend.insert_occupied(4096),
+            Err(BstError::KeyOutsideNamespace(4096))
+        );
+    }
+
+    #[test]
+    fn dense_backend_is_immutable() {
+        let backend = TreeBackend::dense(BloomSampleTree::build(&plan()));
+        assert_eq!(backend.insert_occupied(7), Err(BstError::ImmutableBackend));
+        assert_eq!(backend.remove_occupied(7), Err(BstError::ImmutableBackend));
+        assert_eq!(backend.generation(), 0);
+        assert!(backend.contains_occupied(7));
+        assert!(!backend.contains_occupied(4096));
     }
 
     #[test]
@@ -239,8 +440,8 @@ mod tests {
         let p = plan();
         let occ: Vec<u64> = (0..4096u64).step_by(17).collect();
         for backend in [
-            TreeBackend::Dense(BloomSampleTree::build(&p)),
-            TreeBackend::Pruned(PrunedBloomSampleTree::build(&p, &occ)),
+            TreeBackend::dense(BloomSampleTree::build(&p)),
+            TreeBackend::pruned(PrunedBloomSampleTree::build(&p, &occ)),
         ] {
             let mut buf = bytes::BytesMut::new();
             backend.put_bytes(&mut buf);
@@ -249,8 +450,9 @@ mod tests {
             assert!(slice.is_empty(), "payload fully consumed");
             assert_eq!(back.is_pruned(), backend.is_pruned());
             assert_eq!(back.node_count(), backend.node_count());
+            let (va, vb) = (back.read(), backend.read());
             for i in (0..backend.node_count() as u32).step_by(3) {
-                assert_eq!(back.filter(i).bits(), backend.filter(i).bits());
+                assert_eq!(va.filter(i).bits(), vb.filter(i).bits());
             }
         }
     }

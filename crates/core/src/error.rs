@@ -52,6 +52,13 @@ pub enum BstError {
     /// it was never created here, or it has been dropped. Query handles
     /// opened on the id before the drop report this on their next use.
     UnknownFilterId(FilterId),
+    /// An occupancy mutation ([`crate::system::BstSystem::insert_occupied`]
+    /// / [`crate::system::BstSystem::remove_occupied`]) was attempted on a
+    /// dense backend, whose occupancy is the full namespace by
+    /// construction and can never change. Build the system with
+    /// [`crate::system::BstSystemBuilder::pruned`] for an evolvable
+    /// namespace.
+    ImmutableBackend,
     /// A key handed to the store lies outside the system's namespace
     /// `[0, M)`. Such a key could never be returned by sampling or
     /// reconstruction (leaf candidates cover the namespace only), so
@@ -84,6 +91,12 @@ impl std::fmt::Display for BstError {
             BstError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             BstError::UnknownFilterId(id) => {
                 write!(f, "unknown filter id {id}: never created here, or dropped")
+            }
+            BstError::ImmutableBackend => {
+                write!(
+                    f,
+                    "dense backend occupancy is immutable; build with .pruned(..) to evolve it"
+                )
             }
             BstError::KeyOutsideNamespace(key) => {
                 write!(f, "key {key} lies outside the system's namespace")

@@ -17,7 +17,8 @@
 //! * [`multiquery`] — parallel batch sampling over many query filters;
 //! * [`error::BstError`] — typed failure reasons for every fallible op;
 //! * [`system::BstSystem`] — the `Arc`-shared, `Send + Sync` facade over
-//!   a [`backend::TreeBackend`] (dense or pruned) and the filter store;
+//!   a [`backend::TreeBackend`] (dense, or pruned with tree-generation-
+//!   stamped occupancy mutation) and the filter store;
 //! * [`store::BstStore`] — the mutable, [`store::FilterId`]-addressed
 //!   database `D̄` of counting-filter-backed sets (§3.2);
 //! * [`query::Query`] — the per-filter handle with amortized descent
@@ -41,7 +42,7 @@ pub mod store;
 pub mod system;
 pub mod tree;
 
-pub use backend::TreeBackend;
+pub use backend::{TreeBackend, TreeView};
 pub use error::BstError;
 pub use metrics::OpStats;
 pub use persistence::PersistError;

@@ -66,7 +66,10 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-pub(crate) const VERSION: u8 = 1;
+/// Snapshot format version shared by every structure in this module (and
+/// by the `bst-shard` sharded-system snapshot, which embeds whole-system
+/// payloads).
+pub const VERSION: u8 = 1;
 
 pub(crate) fn put_plan(buf: &mut BytesMut, plan: &TreePlan) {
     buf.put_u64_le(plan.namespace);
@@ -225,7 +228,10 @@ pub(crate) fn get_words(input: &mut &[u8], count: usize) -> Result<Vec<u64>, Per
     Ok(words)
 }
 
-pub(crate) fn check_header(input: &mut &[u8], magic: &[u8; 4]) -> Result<(), PersistError> {
+/// Consumes and validates a 4-byte magic plus the [`VERSION`] byte,
+/// advancing `input` past them. Public so layered codecs (the sharded
+/// system snapshot) frame their own payloads consistently.
+pub fn check_header(input: &mut &[u8], magic: &[u8; 4]) -> Result<(), PersistError> {
     if input.remaining() < 5 {
         return Err(PersistError::Truncated);
     }
@@ -239,6 +245,100 @@ pub(crate) fn check_header(input: &mut &[u8], magic: &[u8; 4]) -> Result<(), Per
         return Err(PersistError::BadVersion(version));
     }
     Ok(())
+}
+
+/// The decoded header of a sharded-system snapshot: how the namespace is
+/// partitioned and how sharded filter ids map onto per-shard store ids.
+///
+/// Written by `bst-shard`'s `ShardedBstSystem::to_bytes` between the
+/// snapshot header and the per-shard system payloads; the layout is
+/// `shard_count u32 | boundaries (shard_count+1)×u64 | next_id u64 |
+/// entry_count u32 | per entry: id u64, shard_count×u64 per-shard ids`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Shard boundaries: `shards+1` ascending values, first 0, last `M`;
+    /// shard `s` owns `[boundaries[s], boundaries[s+1])`.
+    pub boundaries: Vec<u64>,
+    /// Next sharded filter id to allocate.
+    pub next_id: u64,
+    /// `(sharded id, per-shard store ids)` pairs, ascending by id, one
+    /// per-shard id per shard.
+    pub entries: Vec<(u64, Vec<u64>)>,
+}
+
+/// Serializes a [`ShardManifest`], appended to `buf`. Entries are written
+/// in the order given; callers sort by id for byte-determinism.
+pub fn put_shard_manifest(buf: &mut BytesMut, manifest: &ShardManifest) {
+    let shards = manifest.boundaries.len().saturating_sub(1);
+    buf.put_u32_le(shards as u32);
+    for &b in &manifest.boundaries {
+        buf.put_u64_le(b);
+    }
+    buf.put_u64_le(manifest.next_id);
+    buf.put_u32_le(manifest.entries.len() as u32);
+    for (id, per_shard) in &manifest.entries {
+        debug_assert_eq!(per_shard.len(), shards, "one store id per shard");
+        buf.put_u64_le(*id);
+        for &raw in per_shard {
+            buf.put_u64_le(raw);
+        }
+    }
+}
+
+/// Decodes a manifest serialized with [`put_shard_manifest`], advancing
+/// `input`, and validates its structural invariants: at least one shard,
+/// boundaries starting at 0 and strictly increasing, entries strictly
+/// ascending by id below `next_id`, one per-shard id per shard.
+pub fn get_shard_manifest(input: &mut &[u8]) -> Result<ShardManifest, PersistError> {
+    if input.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let shards = input.get_u32_le() as usize;
+    if shards == 0 {
+        return Err(PersistError::Corrupt("manifest has zero shards"));
+    }
+    if input.remaining() < (shards + 1) * 8 {
+        return Err(PersistError::Truncated);
+    }
+    let mut boundaries = Vec::with_capacity(shards + 1);
+    for _ in 0..=shards {
+        boundaries.push(input.get_u64_le());
+    }
+    if boundaries[0] != 0 || boundaries.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(PersistError::Corrupt(
+            "shard boundaries not ascending from 0",
+        ));
+    }
+    if input.remaining() < 8 + 4 {
+        return Err(PersistError::Truncated);
+    }
+    let next_id = input.get_u64_le();
+    let count = input.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(count.min(input.remaining() / ((shards + 1) * 8)));
+    let mut prev: Option<u64> = None;
+    for _ in 0..count {
+        if input.remaining() < (shards + 1) * 8 {
+            return Err(PersistError::Truncated);
+        }
+        let id = input.get_u64_le();
+        if id >= next_id {
+            return Err(PersistError::Corrupt("manifest id beyond next_id"));
+        }
+        if prev.is_some_and(|p| p >= id) {
+            return Err(PersistError::Corrupt("manifest ids not strictly ascending"));
+        }
+        prev = Some(id);
+        let mut per_shard = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            per_shard.push(input.get_u64_le());
+        }
+        entries.push((id, per_shard));
+    }
+    Ok(ShardManifest {
+        boundaries,
+        next_id,
+        entries,
+    })
 }
 
 #[cfg(test)]
@@ -319,6 +419,58 @@ mod tests {
             get_liveness(&mut s2).unwrap_err(),
             PersistError::Corrupt("unknown liveness tag")
         );
+    }
+
+    #[test]
+    fn shard_manifest_roundtrip_and_validation() {
+        let manifest = ShardManifest {
+            boundaries: vec![0, 250, 500, 1000],
+            next_id: 5,
+            entries: vec![(0, vec![0, 0, 0]), (2, vec![1, 1, 1]), (4, vec![2, 2, 2])],
+        };
+        let mut buf = BytesMut::new();
+        put_shard_manifest(&mut buf, &manifest);
+        let mut s: &[u8] = &buf;
+        assert_eq!(get_shard_manifest(&mut s).unwrap(), manifest);
+        assert!(s.is_empty());
+
+        // Truncation anywhere fails typed.
+        for cut in [1, 8, 20, buf.len() - 4] {
+            let mut short: &[u8] = &buf[..cut];
+            assert_eq!(
+                get_shard_manifest(&mut short).unwrap_err(),
+                PersistError::Truncated,
+                "cut at {cut}"
+            );
+        }
+
+        // Non-ascending boundaries are corrupt.
+        let bad = ShardManifest {
+            boundaries: vec![0, 500, 500],
+            next_id: 0,
+            entries: vec![],
+        };
+        let mut buf = BytesMut::new();
+        put_shard_manifest(&mut buf, &bad);
+        let mut s: &[u8] = &buf;
+        assert!(matches!(
+            get_shard_manifest(&mut s).unwrap_err(),
+            PersistError::Corrupt(_)
+        ));
+
+        // Ids at or past next_id are corrupt.
+        let bad = ShardManifest {
+            boundaries: vec![0, 1000],
+            next_id: 1,
+            entries: vec![(1, vec![0])],
+        };
+        let mut buf = BytesMut::new();
+        put_shard_manifest(&mut buf, &bad);
+        let mut s: &[u8] = &buf;
+        assert!(matches!(
+            get_shard_manifest(&mut s).unwrap_err(),
+            PersistError::Corrupt(_)
+        ));
     }
 
     #[test]

@@ -341,20 +341,47 @@ impl PrunedBloomSampleTree {
 
     /// Serializes the pruned tree (plan, structure, occupied ids, node bit
     /// arrays) into a compact binary buffer.
+    ///
+    /// Removals unlink emptied subtrees but leave their nodes in the
+    /// arena as unreachable tombstones; the snapshot **compacts** them
+    /// away, writing only reachable nodes (in arena order, links
+    /// remapped), so a long-mutated tree persists no dead weight and a
+    /// freshly built tree round-trips byte-identically.
     pub fn to_bytes(&self) -> Vec<u8> {
         use bytes::BufMut;
+        // Remap arena indices to reachable-only indices, arena order kept.
+        let mut remap = vec![u32::MAX; self.nodes.len()];
+        if let Some(root) = self.root {
+            self.mark_reachable(root, &mut remap);
+        }
+        let mut live = 0u32;
+        for slot in remap.iter_mut() {
+            if *slot != u32::MAX {
+                *slot = live;
+                live += 1;
+            }
+        }
+        let link = |child: Option<NodeId>| match child {
+            Some(c) => remap[c as usize],
+            None => u32::MAX,
+        };
         let mut buf = bytes::BytesMut::new();
         buf.put_slice(b"BSTP");
         buf.put_u8(crate::persistence::VERSION);
         crate::persistence::put_plan(&mut buf, &self.plan);
-        buf.put_u32_le(self.nodes.len() as u32);
-        buf.put_u32_le(self.root.unwrap_or(u32::MAX));
-        for node in &self.nodes {
+        buf.put_u32_le(live);
+        buf.put_u32_le(link(self.root));
+        for (node, _) in self
+            .nodes
+            .iter()
+            .zip(&remap)
+            .filter(|(_, &slot)| slot != u32::MAX)
+        {
             buf.put_u64_le(node.range.start);
             buf.put_u64_le(node.range.end);
             buf.put_u32_le(node.level);
-            buf.put_u32_le(node.left.unwrap_or(u32::MAX));
-            buf.put_u32_le(node.right.unwrap_or(u32::MAX));
+            buf.put_u32_le(link(node.left));
+            buf.put_u32_le(link(node.right));
             buf.put_u32_le(node.occupied.len() as u32);
             for &id in &node.occupied {
                 buf.put_u64_le(id);
@@ -362,6 +389,16 @@ impl PrunedBloomSampleTree {
             crate::persistence::put_words(&mut buf, node.filter.bits().words());
         }
         buf.to_vec()
+    }
+
+    /// Marks every node reachable from `node` with a non-MAX sentinel in
+    /// `remap` (resolved to compact indices by the caller).
+    fn mark_reachable(&self, node: NodeId, remap: &mut [u32]) {
+        remap[node as usize] = 0;
+        let n = &self.nodes[node as usize];
+        for child in [n.left, n.right].into_iter().flatten() {
+            self.mark_reachable(child, remap);
+        }
     }
 
     /// Reconstructs a pruned tree serialized with [`Self::to_bytes`].
@@ -764,6 +801,42 @@ mod removal_tests {
         // Insert works again after total removal.
         assert!(t.insert(42));
         assert!(t.contains_occupied(42));
+    }
+
+    #[test]
+    fn snapshot_compacts_tombstones() {
+        let occ: Vec<u64> = (0..256u64)
+            .map(|i| i * 53 % (1 << 14))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
+        // Remove a contiguous cluster so whole subtrees unlink.
+        for id in &occ {
+            if *id < 8_000 {
+                assert!(t.remove(*id));
+            }
+        }
+        let survivors: Vec<u64> = occ.iter().copied().filter(|&x| x >= 8_000).collect();
+        let fresh = PrunedBloomSampleTree::build(&plan(), &survivors);
+        assert!(
+            t.node_count() > fresh.node_count(),
+            "mutated arena keeps tombstones in memory"
+        );
+        // The snapshot drops them: same byte length as a fresh build's,
+        // and the decoded tree behaves identically.
+        let bytes = t.to_bytes();
+        assert_eq!(bytes.len(), fresh.to_bytes().len());
+        let back = PrunedBloomSampleTree::from_bytes(&bytes).expect("decode");
+        assert_eq!(back.node_count(), fresh.node_count());
+        assert_eq!(back.occupied_ids(), survivors);
+        let q = t.query_filter(survivors.iter().copied().take(40));
+        let mut s1 = OpStats::new();
+        let mut s2 = OpStats::new();
+        assert_eq!(
+            BstReconstructor::new(&back).reconstruct(&q, &mut s1),
+            BstReconstructor::new(&t).reconstruct(&q, &mut s2),
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The per-filter query handle: captured filter + amortized descent state,
-//! now generation-stamped against the mutable store.
+//! generation-stamped against the mutable store *and* the mutable tree.
 //!
 //! The paper's framework (§3.2) stores millions of sets as Bloom filters
 //! and serves *repeated* sampling/reconstruction requests against each of
@@ -18,18 +18,28 @@
 //! `'static`, `Send + Sync`, and can be shared across worker threads or
 //! kept in a per-client session cache.
 //!
-//! ## Mutation safety: generation stamps
+//! ## Mutation safety: two generation stamps
 //!
-//! Handles opened by id ([`crate::system::BstSystem::query_id`]) read a
-//! set that can *change* under them: `insert_keys`/`remove_keys` on the
-//! store bump the set's generation. Such a handle carries the generation
-//! it last projected; every operation first compares stamps against the
-//! store (one atomic read-lock acquisition) and, when stale, re-projects
-//! the filter and discards the memo — a cold re-descent. A handle
-//! therefore never serves results computed against a superseded set, and
-//! the warm-equals-cold guarantee below extends to the mutable path:
-//! after any mutation, a warm handle's next result equals a fresh
-//! handle's for the same RNG state (`e2e_store.rs` pins this).
+//! Two things can change under an open handle, and each has its own
+//! invalidation path:
+//!
+//! * **The stored set** (handles opened by id via
+//!   [`crate::system::BstSystem::query_id`]): `insert_keys`/`remove_keys`
+//!   bump the set's generation in the store. A stale handle re-projects
+//!   the filter and discards the memo — a cold re-descent.
+//! * **The tree's occupancy** (pruned backends):
+//!   [`crate::system::BstSystem::insert_occupied`] /
+//!   [`crate::system::BstSystem::remove_occupied`] bump the backend's
+//!   *tree generation* (see [`crate::backend::TreeBackend`]). Every memo
+//!   entry is keyed by `NodeId` into a tree that just changed shape, so a
+//!   stale handle discards the memo wholesale (the filter itself is still
+//!   valid — it never depended on the tree) and re-descends cold. This
+//!   applies to *detached* handles too.
+//!
+//! Every operation acquires the tree view first, then checks both stamps
+//! under the state lock, so results are never computed against a
+//! superseded set or a reshaped tree; the warm-equals-cold guarantee
+//! holds across both mutation paths (`e2e_store.rs`, `e2e_shard.rs`).
 //!
 //! Caching never changes results: cached values are pure functions of
 //! `(tree, filter, config)`, and the walk consumes randomness identically
@@ -42,6 +52,7 @@ use bst_bloom::filter::BloomFilter;
 use parking_lot::Mutex;
 use rand::Rng;
 
+use crate::backend::TreeView;
 use crate::error::BstError;
 use crate::metrics::OpStats;
 use crate::reconstruct::BstReconstructor;
@@ -61,12 +72,15 @@ enum QuerySource {
 }
 
 /// The mutable half of a handle: the projected filter, its compatibility
-/// verdict, the generation stamp it was projected at, and the memo —
+/// verdict, the two generation stamps it was computed at, and the memo —
 /// refreshed together so they can never disagree.
 struct QueryState {
     filter: BloomFilter,
     compatible: bool,
+    /// Store generation of the last projection (0, constant, detached).
     generation: u64,
+    /// Tree generation the memo was built against.
+    tree_generation: u64,
     memo: QueryMemo,
 }
 
@@ -92,10 +106,11 @@ impl std::fmt::Debug for Query {
         let state = self.state.lock();
         write!(
             f,
-            "Query(source={:?}, bits={}, generation={}, compatible={}, cached_evals={}, cached_leaves={})",
+            "Query(source={:?}, bits={}, generation={}, tree_generation={}, compatible={}, cached_evals={}, cached_leaves={})",
             self.source,
             state.filter.count_ones(),
             state.generation,
+            state.tree_generation,
             state.compatible,
             state.memo.cached_evals(),
             state.memo.cached_leaves()
@@ -105,18 +120,7 @@ impl std::fmt::Debug for Query {
 
 impl Query {
     pub(crate) fn new(system: BstSystem, filter: BloomFilter) -> Self {
-        let compatible = Self::compatible(&system, &filter);
-        Query {
-            system,
-            source: QuerySource::Detached,
-            state: Mutex::new(QueryState {
-                filter,
-                compatible,
-                generation: 0,
-                memo: QueryMemo::new(),
-            }),
-            stats: Mutex::new(OpStats::new()),
-        }
+        Self::build(system, QuerySource::Detached, filter, 0)
     }
 
     pub(crate) fn new_stored(
@@ -125,23 +129,31 @@ impl Query {
         filter: BloomFilter,
         generation: u64,
     ) -> Self {
-        let compatible = Self::compatible(&system, &filter);
+        Self::build(system, QuerySource::Stored(id), filter, generation)
+    }
+
+    fn build(system: BstSystem, source: QuerySource, filter: BloomFilter, generation: u64) -> Self {
+        let view = system.tree().read();
+        let compatible = Self::compatible(&view, &filter);
+        let tree_generation = view.generation();
+        drop(view);
         Query {
             system,
-            source: QuerySource::Stored(id),
+            source,
             state: Mutex::new(QueryState {
                 filter,
                 compatible,
                 generation,
+                tree_generation,
                 memo: QueryMemo::new(),
             }),
             stats: Mutex::new(OpStats::new()),
         }
     }
 
-    fn compatible(system: &BstSystem, filter: &BloomFilter) -> bool {
-        match system.tree().root() {
-            Some(root) => filter.compatible_with(system.tree().filter(root)),
+    fn compatible(view: &TreeView<'_>, filter: &BloomFilter) -> bool {
+        match view.root() {
+            Some(root) => filter.compatible_with(view.filter(root)),
             None => true,
         }
     }
@@ -162,23 +174,42 @@ impl Query {
         }
     }
 
-    /// The generation stamp of the last projection (0 and constant for
-    /// detached handles).
+    /// The store-generation stamp of the last projection (0 and constant
+    /// for detached handles).
     pub fn generation(&self) -> u64 {
         self.state.lock().generation
     }
 
-    /// Whether the stored set has been mutated past this handle's stamp
-    /// (the next operation will re-project and re-descend cold). Errors
-    /// if the set was dropped; always `Ok(false)` for detached handles.
+    /// The tree-generation stamp of the handle's cached descent state
+    /// (0 and constant on a dense backend).
+    pub fn tree_generation(&self) -> u64 {
+        self.state.lock().tree_generation
+    }
+
+    /// Whether the stored set *or* the tree's occupancy has moved past
+    /// this handle's stamps (the next operation will re-descend cold).
+    /// Errors if the set was dropped.
     pub fn is_stale(&self) -> Result<bool, BstError> {
-        match self.source {
-            QuerySource::Detached => Ok(false),
-            QuerySource::Stored(id) => {
-                let seen = self.state.lock().generation;
-                Ok(self.system.filters().generation(id)? != seen)
-            }
-        }
+        Ok(self.staleness()?.2)
+    }
+
+    /// One-shot staleness probe: the handle's `(set generation, tree
+    /// generation)` stamps plus whether anything has moved past them,
+    /// with a single state-lock acquisition — the hot-path form of
+    /// [`Self::generation`] + [`Self::tree_generation`] +
+    /// [`Self::is_stale`] (the sharded engine's per-sample weight-cache
+    /// check). Errors if the backing set was dropped.
+    pub fn staleness(&self) -> Result<(u64, u64, bool), BstError> {
+        let (seen_set, seen_tree) = {
+            let state = self.state.lock();
+            (state.generation, state.tree_generation)
+        };
+        let set_stale = match self.source {
+            QuerySource::Detached => false,
+            QuerySource::Stored(id) => self.system.filters().generation(id)? != seen_set,
+        };
+        let stale = set_stale || self.system.tree().generation() != seen_tree;
+        Ok((seen_set, seen_tree, stale))
     }
 
     /// The system this handle queries (an `Arc` clone away from the one
@@ -192,8 +223,9 @@ impl Query {
     /// estimate tracks mutations; if the set was dropped (or the filter
     /// is incompatible), the last successful projection is reported.
     pub fn estimated_cardinality(&self) -> f64 {
+        let view = self.system.tree().read();
         let mut guard = self.state.lock();
-        let _ = self.sync(&mut guard);
+        let _ = self.sync(&mut guard, &view);
         guard.filter.estimate_cardinality()
     }
 
@@ -222,17 +254,27 @@ impl Query {
         self.state.lock().memo.cached_leaves()
     }
 
-    /// Brings `state` up to date with the store (stale stamp → re-project
-    /// filter, reset memo) and enforces the compatibility guard. Called
-    /// at the top of every operation, under the state lock.
-    fn sync(&self, state: &mut QueryState) -> Result<(), BstError> {
+    /// Brings `state` up to date with the store (stale set stamp →
+    /// re-project filter, reset memo) and the tree (stale tree stamp →
+    /// reset memo), then enforces the compatibility guard. Called at the
+    /// top of every operation, under the state lock, with the view the
+    /// operation will run against — the view holds the tree read lock, so
+    /// neither stamp can move between this check and the operation.
+    fn sync(&self, state: &mut QueryState, view: &TreeView<'_>) -> Result<(), BstError> {
+        if view.generation() != state.tree_generation {
+            // The tree changed shape: every memo entry is keyed by NodeId
+            // into the old tree. The filter itself is unaffected.
+            state.memo = QueryMemo::new();
+            state.tree_generation = view.generation();
+            state.compatible = Self::compatible(view, &state.filter);
+        }
         if let QuerySource::Stored(id) = self.source {
             if let Some((filter, generation)) = self
                 .system
                 .filters()
                 .snapshot_if_newer(id, state.generation)?
             {
-                state.compatible = Self::compatible(&self.system, &filter);
+                state.compatible = Self::compatible(view, &filter);
                 state.filter = filter;
                 state.generation = generation;
                 state.memo = QueryMemo::new();
@@ -247,9 +289,10 @@ impl Query {
 
     /// Draws one near-uniform sample from the stored set.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<u64, BstError> {
+        let view = self.system.tree().read();
         let mut guard = self.state.lock();
-        self.sync(&mut guard)?;
-        let sampler = BstSampler::with_config(self.system.tree(), self.system.config().sampler);
+        self.sync(&mut guard, &view)?;
+        let sampler = BstSampler::with_config(&view, self.system.config().sampler);
         let state = &mut *guard;
         let mut local = OpStats::new();
         let out = sampler.try_sample_memo(&state.filter, &mut state.memo, rng, &mut local);
@@ -265,9 +308,10 @@ impl Query {
         r: usize,
         rng: &mut R,
     ) -> Result<Vec<u64>, BstError> {
+        let view = self.system.tree().read();
         let mut guard = self.state.lock();
-        self.sync(&mut guard)?;
-        let sampler = BstSampler::with_config(self.system.tree(), self.system.config().sampler);
+        self.sync(&mut guard, &view)?;
+        let sampler = BstSampler::with_config(&view, self.system.config().sampler);
         let state = &mut *guard;
         let mut local = OpStats::new();
         let out = sampler.try_sample_many_memo(&state.filter, r, &mut state.memo, rng, &mut local);
@@ -278,10 +322,10 @@ impl Query {
 
     /// Reconstructs the stored set (`S ∪ S(B)`), sorted ascending.
     pub fn reconstruct(&self) -> Result<Vec<u64>, BstError> {
+        let view = self.system.tree().read();
         let mut guard = self.state.lock();
-        self.sync(&mut guard)?;
-        let recon =
-            BstReconstructor::with_config(self.system.tree(), self.system.config().reconstruct);
+        self.sync(&mut guard, &view)?;
+        let recon = BstReconstructor::with_config(&view, self.system.config().reconstruct);
         let state = &mut *guard;
         let mut local = OpStats::new();
         let out = recon.try_reconstruct_memo(&state.filter, &mut state.memo, &mut local);
@@ -290,14 +334,48 @@ impl Query {
         out
     }
 
+    /// The number of elements [`Self::reconstruct`] would return — the
+    /// handle's **live-leaf weight**: matching candidates summed over all
+    /// live leaves. Exact (the same walk as reconstruction, without
+    /// materialising the set) and amortized by the memo, so repeated
+    /// calls on a warm handle do no filter work. The sharded engine uses
+    /// this to weight shard selection so merged sampling stays uniform.
+    pub fn live_weight(&self) -> Result<u64, BstError> {
+        self.live_weight_stamped().0
+    }
+
+    /// [`Self::live_weight`] plus the `(set generation, tree generation)`
+    /// stamps the outcome was computed at, read under the same state lock
+    /// as the computation — so a caller caching the weight can key it to
+    /// *exactly* the state it reflects, even while other threads operate
+    /// on the same handle. On hard errors (dropped set, incompatible
+    /// filter) the stamps are the handle's current ones and should not
+    /// be used for caching.
+    pub fn live_weight_stamped(&self) -> (Result<u64, BstError>, u64, u64) {
+        let view = self.system.tree().read();
+        let mut guard = self.state.lock();
+        let synced = self.sync(&mut guard, &view);
+        let (set_gen, tree_gen) = (guard.generation, guard.tree_generation);
+        if let Err(e) = synced {
+            return (Err(e), set_gen, tree_gen);
+        }
+        let recon = BstReconstructor::with_config(&view, self.system.config().reconstruct);
+        let state = &mut *guard;
+        let mut local = OpStats::new();
+        let out = recon.try_count_memo(&state.filter, &mut state.memo, &mut local);
+        drop(guard);
+        *self.stats.lock() += local;
+        (out, set_gen, tree_gen)
+    }
+
     /// Range-restricted reconstruction: elements of `S ∪ S(B)` inside
     /// `window`, sorted. Subtrees disjoint from the window are never
     /// visited. An empty window yields `Ok(vec![])`.
     pub fn reconstruct_range(&self, window: Range<u64>) -> Result<Vec<u64>, BstError> {
+        let view = self.system.tree().read();
         let mut guard = self.state.lock();
-        self.sync(&mut guard)?;
-        let recon =
-            BstReconstructor::with_config(self.system.tree(), self.system.config().reconstruct);
+        self.sync(&mut guard, &view)?;
+        let recon = BstReconstructor::with_config(&view, self.system.config().reconstruct);
         let state = &mut *guard;
         let mut local = OpStats::new();
         let out =
@@ -367,6 +445,20 @@ mod tests {
     }
 
     #[test]
+    fn live_weight_counts_the_reconstruction() {
+        let sys = system();
+        let keys: Vec<u64> = (0..150u64).map(|i| i * 97 % 20_000).collect();
+        let f = sys.store(keys.iter().copied());
+        let q = sys.query(&f);
+        let rec = q.reconstruct().expect("reconstruct");
+        assert_eq!(q.live_weight(), Ok(rec.len() as u64));
+        // Warm: counting re-does no filter work.
+        q.take_stats();
+        assert_eq!(q.live_weight(), Ok(rec.len() as u64));
+        assert_eq!(q.take_stats().total_ops(), 0);
+    }
+
+    #[test]
     fn incompatible_filter_is_rejected() {
         let sys = system();
         // A filter built with a different seed: same m/k but a different
@@ -384,6 +476,7 @@ mod tests {
             q.sample_many(5, &mut rng),
             Err(BstError::IncompatibleFilter)
         );
+        assert_eq!(q.live_weight(), Err(BstError::IncompatibleFilter));
     }
 
     #[test]
@@ -394,6 +487,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(q.sample(&mut rng), Err(BstError::EmptyFilter));
         assert_eq!(q.reconstruct(), Err(BstError::EmptyFilter));
+        assert_eq!(q.live_weight(), Err(BstError::EmptyFilter));
     }
 
     #[test]
@@ -428,13 +522,53 @@ mod tests {
     }
 
     #[test]
-    fn detached_handles_never_go_stale() {
+    fn detached_handles_never_go_stale_on_dense_backends() {
         let sys = system();
         let f = sys.store((0..50u64).map(|i| i * 7));
         let q = sys.query(&f);
         assert_eq!(q.filter_id(), None);
         assert_eq!(q.is_stale(), Ok(false));
         assert_eq!(q.generation(), 0);
+        assert_eq!(q.tree_generation(), 0);
+    }
+
+    #[test]
+    fn detached_handles_track_tree_mutations_on_pruned_backends() {
+        let occ: Vec<u64> = (0..20_000u64).step_by(5).collect();
+        let sys = BstSystem::builder(20_000)
+            .expected_set_size(200)
+            .seed(5)
+            .pruned(occ.iter().copied())
+            .build();
+        let keys: Vec<u64> = occ.iter().copied().take(60).collect();
+        let f = sys.store(keys.iter().copied());
+        let q = sys.query(&f);
+        let rec = q.reconstruct().expect("reconstruct");
+        assert!(q.cached_leaves() > 0);
+        assert_eq!(q.is_stale(), Ok(false));
+
+        // Occupy a namespace id that the filter already stores: the
+        // element becomes sampleable, so the handle must re-descend.
+        let newcomer = 3; // 3 % 5 != 0, so it was unoccupied
+        assert!(!rec.contains(&newcomer));
+        let f2 = sys.store(keys.iter().copied().chain([newcomer]));
+        let q2 = sys.query(&f2);
+        let before = q2.reconstruct().expect("reconstruct");
+        assert!(!before.contains(&newcomer), "unoccupied id invisible");
+
+        sys.insert_occupied(newcomer).expect("insert_occupied");
+        assert_eq!(q.is_stale(), Ok(true));
+        assert_eq!(q2.is_stale(), Ok(true));
+        let after = q2.reconstruct().expect("reconstruct after occupy");
+        assert!(after.contains(&newcomer), "occupied id now visible");
+        assert_eq!(q2.tree_generation(), 1);
+        assert_eq!(q2.is_stale(), Ok(false));
+
+        // Removal invalidates again and hides the id.
+        sys.remove_occupied(newcomer).expect("remove_occupied");
+        let gone = q2.reconstruct().expect("reconstruct after removal");
+        assert!(!gone.contains(&newcomer));
+        assert_eq!(q2.tree_generation(), 2);
     }
 
     #[test]

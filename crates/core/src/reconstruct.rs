@@ -121,6 +121,25 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
         Ok(out)
     }
 
+    /// The number of elements [`Self::try_reconstruct_memo`] would return,
+    /// without materialising the set: the query's **live-leaf weight** —
+    /// matching candidates summed over every live leaf. Runs the same
+    /// memoized walk as reconstruction, so a warm memo answers from
+    /// cached leaf match lists with no filter operations.
+    pub fn try_count_memo(
+        &self,
+        query: &BloomFilter,
+        memo: &mut QueryMemo,
+        stats: &mut OpStats,
+    ) -> Result<u64, BstError> {
+        let root = self.tree.root().ok_or(BstError::EmptyTree)?;
+        if query.is_empty() {
+            return Err(BstError::EmptyFilter);
+        }
+        let full = self.tree.range(root);
+        Ok(self.range_walk(query, full, memo, stats, &mut |_| {}) as u64)
+    }
+
     /// Visitor variant: calls `visit` for each reconstructed element in
     /// ascending order without materialising the set. Returns the count.
     pub fn reconstruct_with<F: FnMut(u64)>(

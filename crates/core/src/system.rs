@@ -44,7 +44,6 @@ use bst_bloom::filter::BloomFilter;
 use bst_bloom::hash::HashKind;
 use bst_bloom::params::{self, TreePlan};
 use bytes::{BufMut, BytesMut};
-use rand::Rng;
 
 use crate::backend::TreeBackend;
 use crate::costmodel::CostModel;
@@ -54,10 +53,10 @@ use crate::multiquery;
 use crate::persistence::{self, PersistError};
 use crate::pruned::PrunedBloomSampleTree;
 use crate::query::Query;
-use crate::reconstruct::{BstReconstructor, ReconstructConfig};
-use crate::sampler::{BstSampler, SamplerConfig};
+use crate::reconstruct::ReconstructConfig;
+use crate::sampler::SamplerConfig;
 use crate::store::{BstStore, FilterId};
-use crate::tree::{BloomSampleTree, SampleTree};
+use crate::tree::BloomSampleTree;
 
 /// Magic bytes of a whole-system snapshot.
 const SYSTEM_MAGIC: &[u8; 4] = b"BSTS";
@@ -254,14 +253,14 @@ impl BstSystemBuilder {
             plan.leaf_capacity = params::leaf_size(self.namespace, d);
         }
         let tree = match self.occupied {
-            None => TreeBackend::Dense(BloomSampleTree::build_with_threads(&plan, self.threads)),
+            None => TreeBackend::dense(BloomSampleTree::build_with_threads(&plan, self.threads)),
             Some(mut occ) => {
                 occ.sort_unstable();
                 occ.dedup();
                 if occ.last().is_some_and(|&last| last >= self.namespace) {
                     return Err(BstError::InvalidConfig("occupied id outside the namespace"));
                 }
-                TreeBackend::Pruned(PrunedBloomSampleTree::build(&plan, &occ))
+                TreeBackend::pruned(PrunedBloomSampleTree::build(&plan, &occ))
             }
         };
         let store = BstStore::new(Arc::clone(tree.hasher()), tree.namespace());
@@ -312,9 +311,9 @@ impl BstSystem {
         BstSystemBuilder::new(namespace)
     }
 
-    /// The underlying tree backend (dense or pruned); implements
-    /// [`SampleTree`], so it plugs into the sampler/reconstructor layers
-    /// directly.
+    /// The underlying tree backend (dense or pruned). Acquire a
+    /// [`crate::backend::TreeView`] via [`TreeBackend::read`] to plug it
+    /// into the sampler/reconstructor layers directly.
     pub fn tree(&self) -> &TreeBackend {
         &self.shared.tree
     }
@@ -363,7 +362,8 @@ impl BstSystem {
         seed: u64,
         threads: usize,
     ) -> (Vec<Result<u64, BstError>>, OpStats) {
-        multiquery::sample_each(self.tree(), filters, self.shared.cfg.sampler, seed, threads)
+        let view = self.shared.tree.read();
+        multiquery::sample_each(&view, filters, self.shared.cfg.sampler, seed, threads)
     }
 
     /// [`Self::query_batch`] addressed by store id: projects each stored
@@ -383,13 +383,10 @@ impl BstSystem {
             .iter()
             .map(|&id| self.shared.store.get(id).map(|f| filters.push(f)))
             .collect();
-        let (sampled, stats) = multiquery::sample_each(
-            self.tree(),
-            &filters,
-            self.shared.cfg.sampler,
-            seed,
-            threads,
-        );
+        let view = self.shared.tree.read();
+        let (sampled, stats) =
+            multiquery::sample_each(&view, &filters, self.shared.cfg.sampler, seed, threads);
+        drop(view);
         let mut sampled = sampled.into_iter();
         let results = slots
             .into_iter()
@@ -500,63 +497,53 @@ impl BstSystem {
         })
     }
 
-    /// Draws one near-uniform sample from the set stored in `filter`.
-    #[deprecated(since = "0.2.0", note = "use `BstSystem::query(&filter).sample(rng)`")]
-    pub fn sample<R: Rng + ?Sized>(&self, filter: &BloomFilter, rng: &mut R) -> Option<u64> {
-        let mut stats = OpStats::new();
-        BstSampler::with_config(self.tree(), self.shared.cfg.sampler)
-            .sample(filter, rng, &mut stats)
+    // ------------------------------------------------------------------
+    // Namespace occupancy (§5.2), pruned backends only.
+    // ------------------------------------------------------------------
+
+    /// Marks a namespace id occupied on the pruned backend (§5.2 dynamic
+    /// insertion), bumping the tree generation when the occupancy
+    /// actually changed so every open [`Query`] handle re-descends cold
+    /// on its next operation. Returns the resulting tree generation.
+    ///
+    /// Dense backends are fully occupied by construction and report
+    /// [`BstError::ImmutableBackend`]; ids outside `[0, M)` report
+    /// [`BstError::KeyOutsideNamespace`].
+    pub fn insert_occupied(&self, id: u64) -> Result<u64, BstError> {
+        self.shared.tree.insert_occupied(id)
     }
 
-    /// `sample` with operation accounting.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BstSystem::query(&filter)` and read `Query::stats()`"
-    )]
-    pub fn sample_counted<R: Rng + ?Sized>(
-        &self,
-        filter: &BloomFilter,
-        rng: &mut R,
-        stats: &mut OpStats,
-    ) -> Option<u64> {
-        BstSampler::with_config(self.tree(), self.shared.cfg.sampler).sample(filter, rng, stats)
+    /// Removes a namespace id from the pruned backend's occupied set
+    /// (path filters are rebuilt exactly; emptied subtrees unlink),
+    /// bumping the tree generation when the occupancy actually changed.
+    /// Returns the resulting tree generation. Same failure modes as
+    /// [`Self::insert_occupied`].
+    pub fn remove_occupied(&self, id: u64) -> Result<u64, BstError> {
+        self.shared.tree.remove_occupied(id)
     }
 
-    /// Draws `r` samples in one tree pass (§5.3).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BstSystem::query(&filter).sample_many(r, rng)`"
-    )]
-    pub fn sample_many<R: Rng + ?Sized>(
-        &self,
-        filter: &BloomFilter,
-        r: usize,
-        rng: &mut R,
-    ) -> Vec<u64> {
-        let mut stats = OpStats::new();
-        BstSampler::with_config(self.tree(), self.shared.cfg.sampler)
-            .sample_many(filter, r, rng, &mut stats)
+    /// Whether `id` is an occupied namespace element (exact; always true
+    /// inside the namespace on a dense backend).
+    pub fn contains_occupied(&self, id: u64) -> bool {
+        self.shared.tree.contains_occupied(id)
     }
 
-    /// Reconstructs the set stored in `filter` (`S ∪ S(B)`), sorted.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BstSystem::query(&filter).reconstruct()`"
-    )]
-    pub fn reconstruct(&self, filter: &BloomFilter) -> Vec<u64> {
-        let mut stats = OpStats::new();
-        BstReconstructor::with_config(self.tree(), self.shared.cfg.reconstruct)
-            .reconstruct(filter, &mut stats)
+    /// Number of occupied namespace ids (the full namespace for a dense
+    /// backend).
+    pub fn occupied_count(&self) -> u64 {
+        self.shared.tree.occupied_count()
     }
 
-    /// `reconstruct` with operation accounting.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BstSystem::query(&filter)` and read `Query::stats()`"
-    )]
-    pub fn reconstruct_counted(&self, filter: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
-        BstReconstructor::with_config(self.tree(), self.shared.cfg.reconstruct)
-            .reconstruct(filter, stats)
+    /// All occupied namespace ids, ascending. `O(M)` on a dense backend —
+    /// intended for pruned backends and small dense systems.
+    pub fn occupied_ids(&self) -> Vec<u64> {
+        self.shared.tree.occupied_ids()
+    }
+
+    /// The backend's current tree generation (0 forever on a dense
+    /// backend; the occupancy-mutation count on a pruned one).
+    pub fn tree_generation(&self) -> u64 {
+        self.shared.tree.generation()
     }
 }
 
@@ -664,20 +651,30 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let sys = BstSystem::builder(10_000).build();
-        let keys: Vec<u64> = (0..100u64).map(|i| i * 7).collect();
-        let f = sys.store(keys.iter().copied());
-        let mut rng = StdRng::seed_from_u64(3);
-        let s = sys.sample(&f, &mut rng).expect("sample");
-        assert!(f.contains(s));
-        let rec = sys.reconstruct(&f);
-        for k in &keys {
-            assert!(rec.binary_search(k).is_ok());
-        }
-        let many = sys.sample_many(&f, 10, &mut rng);
-        assert_eq!(many.len(), 10);
+    fn occupancy_evolves_through_the_facade() {
+        let occ: Vec<u64> = (0..10_000u64).step_by(4).collect();
+        let sys = BstSystem::builder(10_000)
+            .pruned(occ.iter().copied())
+            .build();
+        assert_eq!(sys.occupied_count(), occ.len() as u64);
+        assert_eq!(sys.occupied_ids(), occ);
+        assert_eq!(sys.tree_generation(), 0);
+        assert!(!sys.contains_occupied(3));
+        assert_eq!(sys.insert_occupied(3), Ok(1));
+        assert!(sys.contains_occupied(3));
+        assert_eq!(sys.insert_occupied(3), Ok(1), "no-op insert keeps gen");
+        assert_eq!(sys.remove_occupied(0), Ok(2));
+        assert_eq!(sys.occupied_count(), occ.len() as u64);
+        assert_eq!(
+            sys.insert_occupied(10_000),
+            Err(BstError::KeyOutsideNamespace(10_000))
+        );
+        // Dense backends refuse occupancy mutations with a typed error.
+        let dense = BstSystem::builder(10_000).build();
+        assert_eq!(dense.insert_occupied(3), Err(BstError::ImmutableBackend));
+        assert_eq!(dense.remove_occupied(3), Err(BstError::ImmutableBackend));
+        assert_eq!(dense.occupied_count(), 10_000);
+        assert_eq!(dense.tree_generation(), 0);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! # bst-shard — the sharded, mutable sampling engine
+//!
+//! One [`bst_core::system::BstSystem`] holds one tree and one store; at
+//! "millions of users" scale that single tree becomes the bottleneck —
+//! every descent serializes on one allocation, every occupancy write
+//! blocks every read, and construction cost grows with the whole
+//! namespace. Bloofi (Crainiceanu & Lemire) shows that collections of
+//! Bloom filters scale by splitting them into independently searchable
+//! units; [`ShardedBstSystem`] applies that to the BloomSampleTree.
+//!
+//! ## Shape
+//!
+//! The namespace `[0, M)` is split into `S` contiguous shards; shard `s`
+//! owns `[boundaries[s], boundaries[s+1])` and is a full `BstSystem` of
+//! its own — a pruned [`bst_core::backend::TreeBackend`] materialised
+//! only over the shard's occupied ids, plus its own
+//! [`bst_core::store::BstStore`]. All shards share one `TreePlan`
+//! (namespace, `m`, `k`, hash family, seed), so **one query Bloom filter
+//! is valid against every shard** — no key translation, no re-hashing —
+//! and per-shard answers concatenate into globally sorted results.
+//!
+//! ## Scatter-gather
+//!
+//! * **Sampling** ([`ShardQuery::sample`]): each shard reports its
+//!   **live-leaf weight** for the query filter — the exact number of
+//!   matching candidates over its live leaves
+//!   ([`bst_core::query::Query::live_weight`], memo-amortized). A shard
+//!   is drawn with probability proportional to its weight, then sampled
+//!   internally; with exact weights the merged distribution equals a
+//!   single tree's (chi²-checked in `tests/e2e_shard.rs`).
+//! * **Reconstruction** ([`ShardQuery::reconstruct`]): shard answers are
+//!   disjoint and range-ordered, so gathering is concatenation.
+//! * **Batches** ([`ShardedBstSystem::query_batch`]): filters fan out
+//!   across shards on a crossbeam worker pool; per-(shard, filter) RNG
+//!   seeding keeps results deterministic for a fixed seed regardless of
+//!   thread count.
+//!
+//! ## Mutability
+//!
+//! Both evolution paths of the underlying system work per shard and are
+//! routed automatically: stored-set churn (`insert_keys`/`remove_keys`,
+//! set generations) and namespace-occupancy churn
+//! (`insert_occupied`/`remove_occupied`, tree generations). Open
+//! [`ShardQuery`] handles are built from per-shard
+//! [`bst_core::query::Query`] handles, so both staleness protocols apply
+//! unchanged — a warm sharded handle answers exactly like a cold one.
+//!
+//! **Isolation caveat:** per-shard operations are individually
+//! consistent, but there is no cross-shard snapshot isolation — a
+//! reader racing a multi-shard mutation (`insert_keys` spanning two
+//! shards, say) can observe one shard before the write and another
+//! after it, a torn state a single-tree system cannot produce.
+//! Single-writer or per-span-writer deployments (and everything
+//! single-threaded) are unaffected; readers always see *some* prefix of
+//! each shard's mutation history, never corrupt data.
+//!
+//! ```
+//! use bst_shard::ShardedBstSystem;
+//!
+//! // 4 shards over a 40k namespace, every id occupied.
+//! let system = ShardedBstSystem::builder(40_000).shards(4).build();
+//! let community = system.create((0..400u64).map(|i| i * 97 % 40_000)).unwrap();
+//! let query = system.query_id(community).unwrap();
+//! let mut rng = rand::thread_rng();
+//! let member = query.sample(&mut rng).unwrap();
+//! assert!(system.get(community).unwrap().contains(member));
+//!
+//! // Mutations route to the owning shard; the open handle stays honest.
+//! system.insert_keys(community, [39_999u64]).unwrap();
+//! assert!(query.reconstruct().unwrap().binary_search(&39_999).is_ok());
+//!
+//! // The whole sharded engine snapshots to bytes.
+//! let restored = ShardedBstSystem::from_bytes(&system.to_bytes()).unwrap();
+//! assert_eq!(
+//!     restored.query_id(community).unwrap().reconstruct().unwrap(),
+//!     query.reconstruct().unwrap(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod query;
+pub mod system;
+
+pub use query::ShardQuery;
+pub use system::{shard_boundaries, ShardedBstSystem, ShardedBstSystemBuilder};

@@ -1,0 +1,324 @@
+//! [`ShardQuery`]: the scatter-gather query handle.
+
+use std::ops::Range;
+
+use bst_core::error::BstError;
+use bst_core::metrics::OpStats;
+use bst_core::query::Query;
+use bst_core::store::FilterId;
+use parking_lot::Mutex;
+use rand::Rng;
+
+/// One shard's cached live-leaf weight, stamped with the generations it
+/// was computed at: valid while the shard handle still carries the same
+/// stamps *and* the store/tree have not moved past them.
+#[derive(Clone, Copy)]
+struct CachedWeight {
+    outcome: Result<u64, BstError>,
+    set_generation: u64,
+    tree_generation: u64,
+}
+
+/// A query handle spanning every shard of a
+/// [`crate::system::ShardedBstSystem`]: one per-shard
+/// [`bst_core::query::Query`] each, so descent state accumulates and
+/// invalidates per shard (store generations *and* tree generations), and
+/// the scatter-gather algebra lives here.
+///
+/// Uniformity: [`Self::sample`] draws a shard with probability
+/// proportional to its **live-leaf weight** — the exact count of
+/// elements the shard would reconstruct for this filter — then samples
+/// inside the shard. With exact weights the merged distribution equals a
+/// single tree's over the same positives (chi²-pinned in
+/// `tests/e2e_shard.rs`). Weights come from
+/// [`bst_core::query::Query::live_weight`], so a warm handle re-derives
+/// them from cached leaf match lists with no filter operations, and any
+/// mutation (set churn or occupancy churn) transparently re-weights on
+/// the next call.
+pub struct ShardQuery {
+    /// The sharded id this handle reads (`None` for detached filters).
+    id: Option<FilterId>,
+    /// `S + 1` ascending boundaries (for range clipping).
+    boundaries: Vec<u64>,
+    /// One core handle per shard, shard order.
+    handles: Vec<Query>,
+    /// Per-shard weight cache: a warm sample costs a staleness check per
+    /// shard instead of a per-shard counting walk.
+    weight_cache: Mutex<Vec<Option<CachedWeight>>>,
+}
+
+impl std::fmt::Debug for ShardQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardQuery(id={:?}, shards={})",
+            self.id,
+            self.handles.len()
+        )
+    }
+}
+
+impl ShardQuery {
+    pub(crate) fn new(id: Option<FilterId>, boundaries: Vec<u64>, handles: Vec<Query>) -> Self {
+        let weight_cache = Mutex::new(vec![None; handles.len()]);
+        ShardQuery {
+            id,
+            boundaries,
+            handles,
+            weight_cache,
+        }
+    }
+
+    /// The sharded store id this handle reads, for handles opened with
+    /// [`crate::system::ShardedBstSystem::query_id`]; `None` for
+    /// detached handles.
+    pub fn filter_id(&self) -> Option<FilterId> {
+        self.id
+    }
+
+    /// The per-shard core handles, shard order (for introspection).
+    pub fn shard_handles(&self) -> &[Query] {
+        &self.handles
+    }
+
+    /// Per-shard live-leaf weights for the current filter/tree state,
+    /// with empty per-shard projections and empty shard trees counted as
+    /// 0. The second value is `Some(error)` when **no** shard produced a
+    /// usable evaluation, classified the way a single-tree system would:
+    /// `EmptyTree` only when **every** shard's tree is empty (the engine
+    /// holds no occupancy at all — a single tree would have no root),
+    /// `EmptyFilter` otherwise (some tree exists, so the filter side is
+    /// what failed). This is the one copy of the soft-error merge
+    /// policy: `reconstruct`/`reconstruct_range` delegate to it, and the
+    /// batch gather's `row_error` mirrors it cell-wise.
+    fn weights(&self) -> Result<(Vec<u64>, Option<BstError>), BstError> {
+        let mut cache = self.weight_cache.lock();
+        let mut weights = Vec::with_capacity(self.handles.len());
+        let mut saw_ok = false;
+        let mut empty_trees = 0usize;
+        for (slot, handle) in cache.iter_mut().zip(&self.handles) {
+            // A cached weight is reusable only while the handle still
+            // carries the stamps it was computed at AND nothing has moved
+            // past them (staleness re-checks the store and the tree in
+            // one lock acquisition).
+            let cached = match slot {
+                Some(c) => {
+                    let (set_gen, tree_gen, stale) = handle.staleness()?;
+                    (c.set_generation == set_gen && c.tree_generation == tree_gen && !stale)
+                        .then_some(c.outcome)
+                }
+                None => None,
+            };
+            let outcome = match cached {
+                Some(outcome) => outcome,
+                None => {
+                    // The stamps come from live_weight's own state lock,
+                    // not re-read afterwards: a concurrent operation on
+                    // this handle can advance its stamps between the
+                    // computation and this point, and caching an old
+                    // weight under new stamps would pin it forever.
+                    let (outcome, set_generation, tree_generation) = handle.live_weight_stamped();
+                    match outcome {
+                        Ok(_) | Err(BstError::EmptyFilter) | Err(BstError::EmptyTree) => {
+                            *slot = Some(CachedWeight {
+                                outcome,
+                                set_generation,
+                                tree_generation,
+                            });
+                        }
+                        // Hard errors propagate below and are never
+                        // cached (their stamps are not meaningful).
+                        Err(_) => {}
+                    }
+                    outcome
+                }
+            };
+            match outcome {
+                Ok(w) => {
+                    saw_ok = true;
+                    weights.push(w);
+                }
+                Err(BstError::EmptyFilter) => weights.push(0),
+                Err(BstError::EmptyTree) => {
+                    empty_trees += 1;
+                    weights.push(0);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let merged_error = if saw_ok {
+            None
+        } else if empty_trees == self.handles.len() {
+            Some(BstError::EmptyTree)
+        } else {
+            Some(BstError::EmptyFilter)
+        };
+        Ok((weights, merged_error))
+    }
+
+    /// The total live-leaf weight across shards: exactly the number of
+    /// elements [`Self::reconstruct`] would return.
+    pub fn live_weight(&self) -> Result<u64, BstError> {
+        let (weights, merged_error) = self.weights()?;
+        if let Some(e) = merged_error {
+            return Err(e);
+        }
+        Ok(weights.iter().sum())
+    }
+
+    /// Draws one near-uniform sample from the stored span: a shard
+    /// proportional to its live-leaf weight, then a sample within it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<u64, BstError> {
+        let (weights, merged_error) = self.weights()?;
+        if let Some(e) = merged_error {
+            return Err(e);
+        }
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return Err(BstError::NoLiveLeaf);
+        }
+        let mut pick = rng.gen_range(0..total);
+        for (handle, &w) in self.handles.iter().zip(&weights) {
+            if pick < w {
+                return handle.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("pick < total weight")
+    }
+
+    /// Draws `r` samples, splitting the request across shards with
+    /// successive binomial draws over the live-leaf weights (the §5.3
+    /// multi-path split lifted one level up), then one per-shard
+    /// `sample_many` each. Results are grouped by shard, not shuffled.
+    /// May return fewer than `r` when shard-internal paths die on
+    /// false-positive routes.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        r: usize,
+        rng: &mut R,
+    ) -> Result<Vec<u64>, BstError> {
+        let (weights, merged_error) = self.weights()?;
+        if let Some(e) = merged_error {
+            return Err(e);
+        }
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return Err(BstError::NoLiveLeaf);
+        }
+        let mut out = Vec::with_capacity(r);
+        let mut remaining = r;
+        let mut weight_left = total;
+        for (handle, &w) in self.handles.iter().zip(&weights) {
+            if remaining == 0 || weight_left == 0 {
+                break;
+            }
+            let take = if w == weight_left {
+                remaining
+            } else {
+                bst_stats::binomial::sample_binomial(
+                    rng,
+                    remaining as u64,
+                    w as f64 / weight_left as f64,
+                ) as usize
+            };
+            weight_left -= w;
+            if take > 0 {
+                out.extend(handle.sample_many(take, rng)?);
+                remaining -= take.min(remaining);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the stored span (`S ∪ S(B)` restricted to occupied
+    /// ids), sorted ascending — per-shard answers are disjoint and
+    /// range-ordered, so gathering is concatenation.
+    pub fn reconstruct(&self) -> Result<Vec<u64>, BstError> {
+        let mut out = Vec::new();
+        let mut saw_ok = false;
+        for handle in &self.handles {
+            match handle.reconstruct() {
+                Ok(part) => {
+                    saw_ok = true;
+                    out.extend(part);
+                }
+                Err(BstError::EmptyFilter) | Err(BstError::EmptyTree) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !saw_ok {
+            // No shard contributed: classify through the one merge
+            // policy in `weights` (which also covers the transient case
+            // where a mutation landed between the loops).
+            if let (_, Some(e)) = self.weights()? {
+                return Err(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range-restricted reconstruction: shards disjoint from `window`
+    /// are never consulted. An empty window yields `Ok(vec![])`.
+    pub fn reconstruct_range(&self, window: Range<u64>) -> Result<Vec<u64>, BstError> {
+        if window.start >= window.end {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut saw_ok = false;
+        for (s, handle) in self.handles.iter().enumerate() {
+            let clipped =
+                window.start.max(self.boundaries[s])..window.end.min(self.boundaries[s + 1]);
+            if clipped.start >= clipped.end {
+                continue;
+            }
+            match handle.reconstruct_range(clipped) {
+                Ok(part) => {
+                    saw_ok = true;
+                    out.extend(part);
+                }
+                Err(BstError::EmptyFilter) | Err(BstError::EmptyTree) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !saw_ok {
+            // No consulted shard contributed; classify over the WHOLE
+            // engine via the one merge policy (a window over empty
+            // shards on a live engine is Ok(vec![]), exactly like a
+            // single tree whose root exists elsewhere).
+            if let (_, Some(e)) = self.weights()? {
+                return Err(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether any shard's handle is stale (set churn or occupancy churn
+    /// past its stamps). Errors if the span was dropped.
+    pub fn is_stale(&self) -> Result<bool, BstError> {
+        let mut stale = false;
+        for handle in &self.handles {
+            stale |= handle.is_stale()?;
+        }
+        Ok(stale)
+    }
+
+    /// Operation counts accumulated across every shard handle.
+    pub fn stats(&self) -> OpStats {
+        let mut total = OpStats::new();
+        for handle in &self.handles {
+            total += handle.stats();
+        }
+        total
+    }
+
+    /// Returns the accumulated cross-shard stats and resets all shard
+    /// counters.
+    pub fn take_stats(&self) -> OpStats {
+        let mut total = OpStats::new();
+        for handle in &self.handles {
+            total += handle.take_stats();
+        }
+        total
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for shard routing and scatter-gather soundness:
+//! the boundaries partition `[0, M)` exactly — every key maps to exactly
+//! one shard, no gaps, no overlaps — and a sharded engine reconstructs
+//! exactly what a single pruned system over the same occupancy does.
+
+use bst_core::system::BstSystem;
+use bst_shard::{shard_boundaries, ShardedBstSystem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Boundaries tile the namespace: `S + 1` strictly ascending values
+    /// from 0 to `M`, so consecutive pairs cover `[0, M)` with no gaps
+    /// and no overlaps, and widths stay within one of each other.
+    #[test]
+    fn boundaries_partition_exactly(
+        namespace in 1u64..2_000_000,
+        shards_raw in 1usize..64,
+    ) {
+        let shards = shards_raw.min(namespace as usize);
+        let b = shard_boundaries(namespace, shards);
+        prop_assert_eq!(b.len(), shards + 1);
+        prop_assert_eq!(b[0], 0);
+        prop_assert_eq!(*b.last().unwrap(), namespace);
+        prop_assert!(b.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        // No gaps, no overlaps: consecutive ranges abut by construction,
+        // and total width telescopes to M.
+        let total: u64 = b.windows(2).map(|w| w[1] - w[0]).sum();
+        prop_assert_eq!(total, namespace);
+        // Balance: widths differ by at most one.
+        let widths: Vec<u64> = b.windows(2).map(|w| w[1] - w[0]).collect();
+        let (min, max) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "widths {min}..{max} unbalanced");
+    }
+
+    /// Every key maps to exactly one shard, and the routing rule
+    /// (binary search over the boundaries) lands it in that shard.
+    #[test]
+    fn every_key_maps_to_exactly_one_shard(
+        namespace in 1u64..1_000_000,
+        shards_raw in 1usize..64,
+        keys in prop::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let shards = shards_raw.min(namespace as usize);
+        let b = shard_boundaries(namespace, shards);
+        for key in keys.into_iter().map(|k| k % namespace) {
+            let owners: Vec<usize> = (0..shards)
+                .filter(|&s| b[s] <= key && key < b[s + 1])
+                .collect();
+            prop_assert_eq!(owners.len(), 1, "key {} owned by {:?}", key, owners);
+            let routed = b.partition_point(|&x| x <= key) - 1;
+            prop_assert_eq!(routed, owners[0], "routing disagrees for key {}", key);
+        }
+    }
+
+    /// A sharded engine reconstructs exactly what a single pruned system
+    /// over the same occupancy does — occupancy is partitioned across
+    /// shards, so even Bloom false positives agree.
+    #[test]
+    fn sharded_reconstruct_equals_single_tree(
+        occupied in prop::collection::btree_set(0u64..2_048, 10..200),
+        shards in 1usize..6,
+        member_stride in 1usize..4,
+    ) {
+        let occ: Vec<u64> = occupied.iter().copied().collect();
+        let sharded = ShardedBstSystem::builder(2_048)
+            .shards(shards)
+            .expected_set_size(64)
+            .seed(33)
+            .occupied(occ.iter().copied())
+            .build();
+        let single = BstSystem::builder(2_048)
+            .expected_set_size(64)
+            .seed(33)
+            .pruned(occ.iter().copied())
+            .build();
+        let members: Vec<u64> = occ.iter().copied().step_by(member_stride).collect();
+        let filter = sharded.store(members.iter().copied());
+        let via_shards = sharded.query(&filter).reconstruct().expect("sharded");
+        let via_single = single.query(&filter).reconstruct().expect("single");
+        prop_assert_eq!(via_shards, via_single);
+    }
+
+    /// Scatter-gather sampling returns positives only, and the sharded
+    /// live-leaf weight equals the single system's reconstruction size.
+    #[test]
+    fn sharded_samples_are_positives(
+        occupied in prop::collection::btree_set(0u64..2_048, 20..200),
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let occ: Vec<u64> = occupied.iter().copied().collect();
+        let sharded = ShardedBstSystem::builder(2_048)
+            .shards(shards)
+            .expected_set_size(64)
+            .seed(33)
+            .occupied(occ.iter().copied())
+            .build();
+        let members: Vec<u64> = occ.iter().copied().step_by(3).collect();
+        let filter = sharded.store(members.iter().copied());
+        let q = sharded.query(&filter);
+        let positives = q.reconstruct().expect("reconstruct");
+        prop_assert_eq!(q.live_weight().expect("weight"), positives.len() as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let s = q.sample(&mut rng).expect("sample");
+            prop_assert!(positives.binary_search(&s).is_ok(), "non-positive {}", s);
+        }
+    }
+}

@@ -125,6 +125,35 @@ fn main() {
         ghosts
     );
 
+    // The namespace itself evolves (§5.2): new user ids sign up and old
+    // ones are purged, straight through the facade — the pruned tree
+    // grows/shrinks in place and every open handle re-descends cold via
+    // the tree-generation stamp.
+    let signup = occupied.last().unwrap() / 2 + 1;
+    let was_occupied = system.contains_occupied(signup);
+    let gen_after_signup = system.insert_occupied(signup).expect("signup");
+    system
+        .insert_keys(community, [signup])
+        .expect("new user joins the community");
+    let visible = query
+        .reconstruct()
+        .expect("reconstruct")
+        .binary_search(&signup)
+        .is_ok();
+    println!(
+        "\nsignup of id {signup} (previously occupied: {was_occupied}): tree generation {} \
+         -> visible through the open handle: {visible}",
+        gen_after_signup,
+    );
+    let purged = occupied[0];
+    system.remove_occupied(purged).expect("purge");
+    println!(
+        "purged id {purged}: occupancy {} -> {}, tree generation {}",
+        occupied.len(),
+        system.occupied_count(),
+        system.tree_generation(),
+    );
+
     // Accounts get deleted too: whole stored sets drop from the store,
     // and their ids are retired (open handles fail typed, not silently).
     let doomed = system
@@ -141,6 +170,7 @@ fn main() {
 
     // Nightly ops: snapshot the whole system — plan, pruned tree, store
     // (counting filters + generations) — and restore it elsewhere.
+    let final_rec = query.reconstruct().expect("reconstruct before snapshot");
     let snapshot = system.to_bytes();
     let restored = BstSystem::from_bytes(&snapshot).expect("restore snapshot");
     let restored_rec = restored
@@ -152,11 +182,11 @@ fn main() {
         "\nsnapshot: {:.2} MB; restored system answers identically: {} \
          (community still at generation {})",
         snapshot.len() as f64 / 1e6,
-        restored_rec == rebuilt,
+        restored_rec == final_rec,
         restored
             .filters()
             .generation(community)
             .expect("generation"),
     );
-    assert_eq!(restored_rec, rebuilt);
+    assert_eq!(restored_rec, final_rec);
 }

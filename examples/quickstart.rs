@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bloomsampletree::core::sampler::SamplerConfig;
-use bloomsampletree::{BstSystem, SampleTree};
+use bloomsampletree::BstSystem;
 use bst_stats::chi2_uniform_test;
 use bst_stats::histogram::Histogram;
 use rand::rngs::StdRng;
@@ -88,8 +88,8 @@ fn main() {
     let subset: Vec<u64> = secret_set.iter().copied().take(50).collect();
     // A different sampler config on the *same* shared tree: drop to the
     // sampler layer with a persistent memo (no second tree build).
-    let sampler =
-        bloomsampletree::BstSampler::with_config(system.tree(), SamplerConfig::corrected());
+    let view = system.tree().read();
+    let sampler = bloomsampletree::BstSampler::with_config(&view, SamplerConfig::corrected());
     let small = system.store(subset.iter().copied());
     let mut memo = bloomsampletree::QueryMemo::new();
     let mut stats = bloomsampletree::OpStats::new();
@@ -149,15 +149,16 @@ fn main() {
         .hash_count(2)
         .seed(1)
         .build();
-    let tree = mini.tree();
-    for level in 0..=tree.depth() {
+    use bloomsampletree::SampleTree;
+    let tree = mini.tree().read();
+    for level in 0..=mini.tree().depth() {
         let start = (1usize << level) - 1;
         let mut line = String::new();
         for i in start..start + (1 << level) {
             let r = tree.range(i as u32);
             line.push_str(&format!("[{:>2}..{:>2}) ", r.start, r.end));
         }
-        let pad = " ".repeat((tree.depth() - level) as usize * 5);
+        let pad = " ".repeat((mini.tree().depth() - level) as usize * 5);
         println!("  {pad}{line}");
     }
     let s = mini.store([4u64, 6]);

@@ -167,7 +167,7 @@ fn remote_filter_scenario() {
 
     // Local consumer: decode and sample/reconstruct through a handle.
     let received = codec::decode(&wire).expect("decode");
-    assert!(received.compatible_with(system.tree().filter(0)));
+    assert!(received.compatible_with(system.tree().read().filter(0)));
     let query = system.query(&received);
     let mut rng = StdRng::seed_from_u64(89);
     let s = query.sample(&mut rng).expect("sample");

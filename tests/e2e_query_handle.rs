@@ -204,13 +204,14 @@ fn error_invalid_config() {
     // old API for direct BstSampler users.
     let sys = system();
     let result = std::panic::catch_unwind(|| {
-        BstSampler::with_config(
-            sys.tree(),
+        let view = sys.tree().read();
+        let _ = BstSampler::with_config(
+            &view,
             SamplerConfig {
                 correction: Correction::Rejection { gamma: 0.5 },
                 ..SamplerConfig::default()
             },
-        )
+        );
     });
     assert!(result.is_err(), "gamma < 1 must be rejected");
 }

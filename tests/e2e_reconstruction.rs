@@ -25,7 +25,7 @@ fn three_methods_agree_exactly() {
     ] {
         let q = system.store(keys.iter().copied());
         let mut s = OpStats::new();
-        let bst = BstReconstructor::new(system.tree()).reconstruct(&q, &mut s);
+        let bst = BstReconstructor::new(&system.tree().read()).reconstruct(&q, &mut s);
         let hi = hashinvert::hi_reconstruct(&q, &mut s);
         let da = dictionary::da_reconstruct(&q, NAMESPACE, &mut s);
         assert_eq!(bst, da, "sound BST != DictionaryAttack");
@@ -65,9 +65,9 @@ fn paper_pruning_trades_recall_for_work() {
     let q = system.store(keys.iter().copied());
 
     let mut sound_stats = OpStats::new();
-    let sound = BstReconstructor::new(system.tree()).reconstruct(&q, &mut sound_stats);
+    let sound = BstReconstructor::new(&system.tree().read()).reconstruct(&q, &mut sound_stats);
     let mut paper_stats = OpStats::new();
-    let paper = BstReconstructor::with_config(system.tree(), ReconstructConfig::paper())
+    let paper = BstReconstructor::with_config(&system.tree().read(), ReconstructConfig::paper())
         .reconstruct(&q, &mut paper_stats);
 
     // Sound mode recovers everything.

@@ -20,7 +20,8 @@ fn corrected_sampling_is_uniform_on_uniform_sets() {
     let mut rng = StdRng::seed_from_u64(2);
     let keys = uniform_set(&mut rng, 100_000, 200);
     let q = system.store(keys.iter().copied());
-    let sampler = BstSampler::with_config(system.tree(), SamplerConfig::corrected());
+    let view = system.tree().read();
+    let sampler = BstSampler::with_config(&view, SamplerConfig::corrected());
     let mut counts = vec![0u64; keys.len()];
     let mut stats = OpStats::new();
     for _ in 0..130 * keys.len() {
@@ -52,7 +53,8 @@ fn corrected_sampling_is_uniform_on_clustered_sets() {
     let mut rng = StdRng::seed_from_u64(4);
     let keys = clustered_set(&mut rng, 100_000, 200, 10.0);
     let q = system.store(keys.iter().copied());
-    let sampler = BstSampler::with_config(system.tree(), SamplerConfig::corrected());
+    let view = system.tree().read();
+    let sampler = BstSampler::with_config(&view, SamplerConfig::corrected());
     let mut counts = vec![0u64; keys.len()];
     let mut stats = OpStats::new();
     for _ in 0..130 * keys.len() {
@@ -111,7 +113,13 @@ fn batch_sampling_agrees_with_sequential() {
             system.store(keys)
         })
         .collect();
-    let (results, stats) = sample_each(system.tree(), &filters, SamplerConfig::default(), 11, 4);
+    let (results, stats) = sample_each(
+        &system.tree().read(),
+        &filters,
+        SamplerConfig::default(),
+        11,
+        4,
+    );
     assert_eq!(results.len(), filters.len());
     for (filter, r) in filters.iter().zip(&results) {
         let s = r.expect("every filter yields a sample");

@@ -1,0 +1,306 @@
+//! End-to-end coverage of the sharded engine and the tree-generation
+//! mechanism behind it:
+//!
+//! * scatter-gather sampling is statistically indistinguishable from
+//!   single-tree sampling (chi² goodness-of-fit via `bst-stats`);
+//! * warm handles equal cold handles across `insert_occupied` /
+//!   `remove_occupied` mutations on the pruned backend — single system
+//!   and sharded engine both;
+//! * `ShardedBstSystem` round-trips through `to_bytes`/`from_bytes`
+//!   deterministically.
+
+use bloomsampletree::stats::chi2_uniform_test;
+use bloomsampletree::{BstConfig, BstError, BstSystem, ShardedBstSystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's Table 5 protocol (130 draws per element), asserted at 1%
+/// like the core uniformity tests: a correct sampler's p-values are
+/// Uniform(0,1), so the paper's 0.08 level would flake by construction.
+const ROUNDS_PER_ELEMENT: usize = 130;
+const ALPHA: f64 = 0.01;
+
+fn sample_counts<F: FnMut(&mut StdRng) -> u64>(
+    keys: &[u64],
+    rounds: usize,
+    seed: u64,
+    mut draw: F,
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; keys.len()];
+    for _ in 0..rounds {
+        let s = draw(&mut rng);
+        let idx = keys.binary_search(&s).expect("true element");
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Sharded scatter-gather sampling and single-tree sampling over the
+/// same key set must both pass the chi² uniformity bar — the merged
+/// shard distribution is statistically indistinguishable from one tree.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow: run under --release")]
+fn sharded_sampling_matches_single_tree_chi2() {
+    let namespace = 40_000u64;
+    let n = 40usize;
+    // Keys spread across all four shards' ranges.
+    let keys: Vec<u64> = (0..n as u64)
+        .map(|i| i * 997 % namespace)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let n = keys.len();
+    let rounds = ROUNDS_PER_ELEMENT * n;
+
+    // Sparse occupancy containing the keys: the pruned path on both
+    // sides, so leaf candidate sets agree exactly.
+    let mut occupied: Vec<u64> = (0..namespace).step_by(5).collect();
+    occupied.extend(keys.iter().copied());
+    occupied.sort_unstable();
+    occupied.dedup();
+
+    let sharded = ShardedBstSystem::builder(namespace)
+        .shards(4)
+        .expected_set_size(200)
+        .seed(42)
+        .config(BstConfig::corrected())
+        .occupied(occupied.iter().copied())
+        .build();
+    let single = BstSystem::builder(namespace)
+        .expected_set_size(200)
+        .seed(42)
+        .config(BstConfig::corrected())
+        .pruned(occupied.iter().copied())
+        .build();
+
+    let filter = sharded.store(keys.iter().copied());
+    // Both engines must agree on the positive set before distributions
+    // are compared (otherwise the counts index different supports).
+    let positives = sharded.query(&filter).reconstruct().expect("sharded rec");
+    assert_eq!(
+        positives,
+        single.query(&filter).reconstruct().expect("single rec")
+    );
+    assert_eq!(
+        positives, keys,
+        "no false positives at this m for the test seed"
+    );
+
+    let sharded_query = sharded.query(&filter);
+    let sharded_counts = sample_counts(&keys, rounds, 7, |rng| {
+        sharded_query.sample(rng).expect("sharded sample")
+    });
+    let single_query = single.query(&filter);
+    let single_counts = sample_counts(&keys, rounds, 7, |rng| {
+        single_query.sample(rng).expect("single sample")
+    });
+
+    let sharded_chi2 = chi2_uniform_test(&sharded_counts);
+    let single_chi2 = chi2_uniform_test(&single_counts);
+    assert!(
+        sharded_chi2.is_uniform_at(ALPHA),
+        "sharded sampling rejected uniformity: p = {}",
+        sharded_chi2.p_value
+    );
+    assert!(
+        single_chi2.is_uniform_at(ALPHA),
+        "single-tree sampling rejected uniformity: p = {}",
+        single_chi2.p_value
+    );
+    // Every shard with keys actually serves samples (the weighted pick
+    // is not collapsing onto one shard).
+    let boundaries = sharded.boundaries().to_vec();
+    for s in 0..sharded.shard_count() {
+        let in_shard: u64 = keys
+            .iter()
+            .zip(&sharded_counts)
+            .filter(|(k, _)| (boundaries[s]..boundaries[s + 1]).contains(*k))
+            .map(|(_, c)| *c)
+            .sum();
+        let keys_in_shard = keys
+            .iter()
+            .filter(|k| (boundaries[s]..boundaries[s + 1]).contains(*k))
+            .count();
+        if keys_in_shard > 0 {
+            assert!(
+                in_shard > 0,
+                "shard {s} with {keys_in_shard} keys never sampled"
+            );
+        }
+    }
+}
+
+/// Warm handles equal freshly opened handles across occupancy mutations
+/// (`insert_occupied`/`remove_occupied`) on the pruned backend, for both
+/// configurations — the tree-generation invalidation path end to end.
+#[test]
+fn warm_equals_cold_across_occupancy_mutations() {
+    for cfg in [BstConfig::default(), BstConfig::corrected()] {
+        let namespace = 30_000u64;
+        let occupied: Vec<u64> = (0..namespace).step_by(2).collect();
+        let sys = BstSystem::builder(namespace)
+            .expected_set_size(300)
+            .seed(91)
+            .config(cfg)
+            .pruned(occupied.iter().copied())
+            .build();
+        // The filter stores both occupied and (currently) unoccupied
+        // ids, so occupancy churn changes the answer set.
+        let keys: Vec<u64> = (0..300u64).map(|i| i * 97 % namespace).collect();
+        let id = sys.create(keys.iter().copied()).expect("create");
+        let reused = sys.query_id(id).expect("open");
+        let detached = sys.query(&sys.get(id).expect("get"));
+        let mut rng_warm = StdRng::seed_from_u64(17);
+        let mut rng_cold = StdRng::seed_from_u64(17);
+        let mut rng_det_warm = StdRng::seed_from_u64(18);
+        let mut rng_det_cold = StdRng::seed_from_u64(18);
+        for round in 0..8u64 {
+            // Occupancy churn: ids enter and leave the namespace.
+            let newcomer = (round * 2 + 1) * 97 % namespace;
+            if round % 2 == 0 {
+                sys.insert_occupied(newcomer).expect("insert_occupied");
+            } else {
+                sys.remove_occupied(newcomer | 1).ok();
+                sys.remove_occupied((round * 194) % namespace).ok();
+            }
+            assert_eq!(reused.is_stale(), Ok(true), "round {round}");
+            for draw in 0..6 {
+                let warm = reused.sample(&mut rng_warm);
+                let cold = sys.query_id(id).expect("open").sample(&mut rng_cold);
+                assert_eq!(warm, cold, "stored handle, round {round} draw {draw}");
+                let warm_det = detached.sample(&mut rng_det_warm);
+                let cold_det = sys
+                    .query(&sys.get(id).expect("get"))
+                    .sample(&mut rng_det_cold);
+                assert_eq!(
+                    warm_det, cold_det,
+                    "detached handle, round {round} draw {draw}"
+                );
+            }
+            assert_eq!(
+                reused.reconstruct(),
+                sys.query_id(id).expect("open").reconstruct(),
+                "round {round}"
+            );
+            assert_eq!(reused.tree_generation(), sys.tree_generation());
+        }
+    }
+}
+
+/// The same warm-equals-cold bar on the sharded engine, with both
+/// mutation paths (set churn + occupancy churn) interleaved.
+#[test]
+fn sharded_warm_equals_cold_across_mutations() {
+    let namespace = 16_384u64;
+    let sharded = ShardedBstSystem::builder(namespace)
+        .shards(4)
+        .expected_set_size(200)
+        .seed(5)
+        .occupied((0..namespace).step_by(2))
+        .build();
+    let keys: Vec<u64> = (0..200u64).map(|i| i * 81 % namespace).collect();
+    let id = sharded.create(keys.iter().copied()).expect("create");
+    let reused = sharded.query_id(id).expect("open");
+    let mut rng_warm = StdRng::seed_from_u64(23);
+    let mut rng_cold = StdRng::seed_from_u64(23);
+    for round in 0..6u64 {
+        match round % 3 {
+            0 => sharded
+                .insert_keys(id, [(round * 1_237 + 1) % namespace])
+                .expect("insert_keys"),
+            1 => {
+                sharded
+                    .insert_occupied((round * 2_467 + 1) % namespace)
+                    .ok();
+            }
+            _ => sharded
+                .remove_keys(id, [(round * 81) % namespace])
+                .expect("remove_keys"),
+        };
+        for draw in 0..6 {
+            let warm = reused.sample(&mut rng_warm);
+            let cold = sharded.query_id(id).expect("open").sample(&mut rng_cold);
+            assert_eq!(warm, cold, "round {round} draw {draw}");
+        }
+        assert_eq!(
+            reused.reconstruct(),
+            sharded.query_id(id).expect("open").reconstruct(),
+            "round {round}"
+        );
+    }
+}
+
+/// The sharded engine snapshots and restores deterministically through
+/// the facade, preserving scatter-gather behaviour exactly.
+#[test]
+fn sharded_snapshot_roundtrips_end_to_end() {
+    let sharded = ShardedBstSystem::builder(20_000)
+        .shards(4)
+        .expected_set_size(300)
+        .seed(77)
+        .config(BstConfig::corrected())
+        .occupied((0..20_000u64).step_by(3))
+        .build();
+    let a = sharded
+        .create((0..250u64).map(|i| i * 333 % 20_000))
+        .expect("create");
+    let b = sharded.create((0..60u64).map(|i| i * 41)).expect("create");
+    sharded.insert_keys(a, [19_999u64]).expect("insert");
+    sharded.remove_keys(a, [0u64]).expect("remove");
+    sharded.drop_set(b).expect("drop");
+    sharded.insert_occupied(1).expect("insert_occupied");
+    sharded.remove_occupied(3).expect("remove_occupied");
+
+    let bytes = sharded.to_bytes();
+    let restored = ShardedBstSystem::from_bytes(&bytes).expect("restore");
+    assert_eq!(restored.boundaries(), sharded.boundaries());
+    assert_eq!(restored.ids(), sharded.ids());
+    assert_eq!(restored.occupied_count(), sharded.occupied_count());
+    assert_eq!(bytes, restored.to_bytes(), "byte-deterministic");
+    assert_eq!(
+        restored.get(b).unwrap_err(),
+        BstError::UnknownFilterId(b),
+        "dropped spans stay dropped"
+    );
+
+    let q1 = sharded.query_id(a).expect("open");
+    let q2 = restored.query_id(a).expect("open");
+    let mut r1 = StdRng::seed_from_u64(29);
+    let mut r2 = StdRng::seed_from_u64(29);
+    for _ in 0..25 {
+        assert_eq!(q1.sample(&mut r1), q2.sample(&mut r2));
+    }
+    assert_eq!(q1.reconstruct(), q2.reconstruct());
+    let (batch1, _) = sharded.query_batch_ids(&[a], 3, 2);
+    let (batch2, _) = restored.query_batch_ids(&[a], 3, 2);
+    assert_eq!(batch1, batch2);
+}
+
+/// Batch scatter-gather serves a mixed bag of filters, deterministic
+/// across thread counts, with typed per-slot failures.
+#[test]
+fn sharded_batches_fan_out_with_typed_errors() {
+    let sharded = ShardedBstSystem::builder(20_000)
+        .shards(4)
+        .expected_set_size(200)
+        .seed(13)
+        .build();
+    let mut filters: Vec<_> = (0..10)
+        .map(|i| sharded.store((0..50u64).map(|j| (i * 911 + j * 23) % 20_000)))
+        .collect();
+    filters.insert(4, sharded.store(std::iter::empty()));
+    let (results, stats) = sharded.query_batch(&filters, 21, 3);
+    assert_eq!(results.len(), filters.len());
+    assert_eq!(results[4], Err(BstError::EmptyFilter));
+    for (i, (f, r)) in filters.iter().zip(&results).enumerate() {
+        if i != 4 {
+            assert!(f.contains(r.expect("sample")), "slot {i}");
+        }
+    }
+    assert!(stats.total_ops() > 0);
+    for threads in [1, 2, 8] {
+        let (again, _) = sharded.query_batch(&filters, 21, threads);
+        assert_eq!(results, again, "threads = {threads}");
+    }
+}

@@ -3,6 +3,15 @@
 
 #![warn(missing_docs)]
 
+/// Guard type returned by [`Mutex::lock`] (std-backed in this stand-in).
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Guard type returned by [`RwLock::read`] (std-backed in this stand-in).
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Guard type returned by [`RwLock::write`] (std-backed in this stand-in).
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
 /// A mutual-exclusion lock whose `lock` never returns a poison error
 /// (a poisoned std lock is recovered into its inner guard).
 #[derive(Debug, Default)]
