@@ -1,14 +1,20 @@
 //! The sharded engine: scatter-gather sample/reconstruct latency at
 //! S ∈ {1, 4, 16} shards against the single-tree baseline, batch fan-out
-//! across the crossbeam pool, and the occupancy-mutation invalidation
-//! round-trip (insert_occupied → stale sharded handle → cold re-descend).
+//! across the crossbeam pool, the occupancy-mutation invalidation
+//! round-trip (insert_occupied → stale sharded handle → journal-repaired
+//! re-weight), the weight-delta refresh vs the PR 3 full-recount
+//! behaviour, and the two-phase batch scatter vs a one-phase emulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bst_bench::common::rng_for;
+use bst_bloom::filter::BloomFilter;
+use bst_core::error::BstError;
 use bst_core::system::BstSystem;
 use bst_shard::ShardedBstSystem;
 use bst_workloads::querysets::uniform_set;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const NAMESPACE: u64 = 262_144;
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
@@ -162,11 +168,159 @@ fn bench_occupancy_invalidation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The weight-delta mutation round-trip in isolation: mutate, then
+/// refresh `live_weight` on a **warm** handle (journal repair + O(k)
+/// count delta) vs a **fresh** handle per call (the PR 3 behaviour — a
+/// full cold recount of the mutated shard).
+fn bench_weight_delta(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(15);
+    let keys: Vec<u64> = uniform_set(&mut rng, occ.len() as u64, 1000)
+        .into_iter()
+        .map(|i| occ[i as usize])
+        .collect();
+
+    let mut group = c.benchmark_group("weight-delta");
+    group.sample_size(20);
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        let filter = engine.store(keys.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::new("mutate+delta-refresh", shards),
+            &shards,
+            |b, _| {
+                let query = engine.query(&filter);
+                query.live_weight().expect("prime");
+                let mut key = 1u64;
+                b.iter(|| {
+                    engine.insert_occupied(key).expect("insert");
+                    engine.remove_occupied(key).expect("remove");
+                    key = (key + 4) % NAMESPACE;
+                    query.live_weight().expect("weight")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutate+full-recount", shards),
+            &shards,
+            |b, _| {
+                let mut key = 1u64;
+                b.iter(|| {
+                    engine.insert_occupied(key).expect("insert");
+                    engine.remove_occupied(key).expect("remove");
+                    key = (key + 4) % NAMESPACE;
+                    // A fresh handle has no memo: its weight is the cold
+                    // counting walk every time — PR 3's refresh cost.
+                    engine.query(&filter).live_weight().expect("weight")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The PR 3 one-phase scatter, reproduced for comparison: every
+/// (shard, slot) cell computes its weight **and** a speculative sample,
+/// workers chunk whole shards (capped at the shard count), and the
+/// gather keeps one candidate per slot.
+type OnePhaseCell = (u64, Result<u64, BstError>);
+
+fn one_phase_batch(
+    engine: &ShardedBstSystem,
+    filters: &[BloomFilter],
+    seed: u64,
+) -> Vec<Result<u64, BstError>> {
+    fn cell_seed(seed: u64, shard: u64, slot: u64) -> u64 {
+        seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ slot.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+    }
+    let shards = engine.shard_systems();
+    let slots = filters.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(shards.len());
+    let chunk = shards.len().div_ceil(workers);
+    let mut rows: Vec<(usize, Vec<Vec<OnePhaseCell>>)> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, systems) in shards.chunks(chunk).enumerate() {
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::with_capacity(systems.len());
+                for (offset, sys) in systems.iter().enumerate() {
+                    let shard = w * chunk + offset;
+                    let mut row = Vec::with_capacity(slots);
+                    for (slot, filter) in filters.iter().enumerate() {
+                        let q = sys.query(filter);
+                        let weight = q.live_weight().unwrap_or(0);
+                        let mut rng =
+                            StdRng::seed_from_u64(cell_seed(seed, shard as u64, slot as u64));
+                        row.push((weight, q.sample(&mut rng)));
+                    }
+                    out.push(row);
+                }
+                (w, out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    })
+    .expect("scope");
+    rows.sort_by_key(|(w, _)| *w);
+    let grid: Vec<Vec<OnePhaseCell>> = rows.into_iter().flat_map(|(_, r)| r).collect();
+    (0..slots)
+        .map(|slot| {
+            let total: u64 = grid.iter().map(|row| row[slot].0).sum();
+            if total == 0 {
+                return Err(BstError::NoLiveLeaf);
+            }
+            let mut rng = StdRng::seed_from_u64(cell_seed(seed, u64::MAX, slot as u64));
+            let mut pick = rng.gen_range(0..total);
+            for row in &grid {
+                let (weight, result) = &row[slot];
+                if pick < *weight {
+                    return *result;
+                }
+                pick -= weight;
+            }
+            unreachable!()
+        })
+        .collect()
+}
+
+/// Two-phase batch scatter (weights first, sample only chosen cells,
+/// cell-grid chunking) vs the PR 3 one-phase emulation above.
+fn bench_batch_two_phase(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(19);
+    let mut group = c.benchmark_group("batch-two-phase-32");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        let filters: Vec<_> = (0..32)
+            .map(|_| {
+                let keys = uniform_set(&mut rng, occ.len() as u64, 200);
+                engine.store(keys.into_iter().map(|i| occ[i as usize]))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("two-phase", shards), &shards, |b, _| {
+            b.iter(|| engine.query_batch(&filters, 17, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("one-phase", shards), &shards, |b, _| {
+            b.iter(|| one_phase_batch(&engine, &filters, 17))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sample_scaling,
     bench_reconstruct_scaling,
     bench_batch_fanout,
-    bench_occupancy_invalidation
+    bench_occupancy_invalidation,
+    bench_weight_delta,
+    bench_batch_two_phase
 );
 criterion_main!(benches);

@@ -163,6 +163,13 @@ impl BitVec {
         );
     }
 
+    /// `self = other`, reusing this vector's allocation (the allocation-
+    /// free sibling of `clone`, for hot rebuild paths).
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.check_same_len(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// `self |= other`.
     pub fn union_with(&mut self, other: &BitVec) {
         self.check_same_len(other);

@@ -142,6 +142,20 @@ impl BloomFilter {
         );
     }
 
+    /// Whether `x` probes `k` **distinct** bit positions under this
+    /// filter's hash family (see [`BloomHasher::probes_distinct_bits`]).
+    pub fn probes_distinct_bits(&self, x: u64) -> bool {
+        self.hasher.probes_distinct_bits(x)
+    }
+
+    /// Overwrites this filter's bit array with `other`'s, reusing the
+    /// existing allocation — the hot-path sibling of `clone` for exact
+    /// filter rebuilds (e.g. pruned-tree removals).
+    pub fn copy_bits_from(&mut self, other: &BloomFilter) {
+        self.assert_compatible(other);
+        self.bits.copy_from(&other.bits);
+    }
+
     /// `self ∪= other`: `B(A ∪ B) = B(A) | B(B)` (§3.1).
     pub fn union_with(&mut self, other: &BloomFilter) {
         self.assert_compatible(other);

@@ -194,6 +194,34 @@ impl BloomHasher {
         }
     }
 
+    /// Whether `x` probes `k` **distinct** bit positions. Double hashing
+    /// (`h1 + i·h2 mod m`) can collide within one key's probes (e.g.
+    /// `h2 ≡ 0 (mod m)`); such a key sets fewer than `k` bits in any
+    /// filter holding it, which weakens `t∧ ≥ k` soundness arguments
+    /// for that key. Allocation-free for `k ≤ 16` (the practical range;
+    /// the paper uses `k = 3`).
+    pub fn probes_distinct_bits(&self, x: u64) -> bool {
+        let k = self.k();
+        if k <= 16 {
+            let mut buf = [0usize; 16];
+            let pos = &mut buf[..k];
+            self.positions(x, pos);
+            // O(k²) pairwise scan over the stack buffer: cheaper than a
+            // sort at these sizes and allocation-free.
+            for i in 1..k {
+                if pos[..i].contains(&pos[i]) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            let mut pos = vec![0usize; k];
+            self.positions(x, &mut pos);
+            pos.sort_unstable();
+            pos.windows(2).all(|w| w[0] != w[1])
+        }
+    }
+
     /// The seed the family was derived from.
     #[inline]
     pub fn seed(&self) -> u64 {

@@ -89,12 +89,15 @@ impl TreeBackend {
         TreeBackend::Dense(tree)
     }
 
-    /// Wraps a pruned tree, starting at tree generation 0.
+    /// Wraps a pruned tree. The tree generation mirrors the tree's own
+    /// mutation [`PrunedBloomSampleTree::version`] exactly (0 for a
+    /// freshly built or decoded tree), so generation gaps index directly
+    /// into the tree's mutation journal for cache repair.
     pub fn pruned(tree: PrunedBloomSampleTree) -> Self {
         TreeBackend::Pruned(PrunedBackend {
             plan: tree.plan().clone(),
             hasher: Arc::clone(tree.hasher()),
-            generation: AtomicU64::new(0),
+            generation: AtomicU64::new(tree.version()),
             tree: RwLock::new(tree),
         })
     }
@@ -240,14 +243,24 @@ impl TreeBackend {
             return Err(BstError::KeyOutsideNamespace(id));
         }
         let mut tree = p.tree.write();
-        let generation = if op(&mut tree, id) {
-            // Bumped under the write lock: a reader holding a view can
-            // never observe a generation older than the tree it reads.
-            p.generation.fetch_add(1, Ordering::AcqRel) + 1
-        } else {
-            p.generation.load(Ordering::Acquire)
-        };
+        op(&mut tree, id);
+        // Republish the tree's own mutation version (unchanged on a
+        // no-op) under the write lock: a reader holding a view can never
+        // observe a generation older than the tree it reads, and the
+        // generation stays aligned with the mutation journal.
+        let generation = tree.version();
+        p.generation.store(generation, Ordering::Release);
         Ok(generation)
+    }
+
+    /// Recounts every subtree from scratch and compares against the
+    /// maintained weights (always true for a dense backend). Test-suite
+    /// ground truth — `O(nodes)`.
+    pub fn weights_consistent(&self) -> bool {
+        match self {
+            TreeBackend::Dense(_) => true,
+            TreeBackend::Pruned(p) => p.tree.read().verify_weights(),
+        }
     }
 
     /// Serializes the backend as `tag u8 | len u64 | tree bytes`, appended
@@ -308,6 +321,82 @@ impl TreeView<'_> {
         match self {
             TreeView::Dense(_) => 0,
             TreeView::Pruned { generation, .. } => *generation,
+        }
+    }
+
+    /// Repairs a [`crate::sampler::QueryMemo`] last synchronised at tree generation
+    /// `since` up to this view's generation by replaying the mutation
+    /// journal: each mutated id invalidates cached state along its
+    /// root-to-leaf path only (`O(depth)` per mutation). Returns `false`
+    /// when the journal no longer reaches back to `since` — the caller
+    /// must discard the memo wholesale instead.
+    ///
+    /// The cached live-leaf weight is **delta-maintained** when
+    /// `exact_count` holds (sound `BitOverlap` reconstruction, where the
+    /// weight is exactly `|{x occupied : filter(x)}|`): inserting an
+    /// occupied id adds `filter.contains(id)`, removing one subtracts
+    /// it — O(k) per mutation, no counting walk. Under estimate-
+    /// threshold pruning the weight is walk-dependent, so the cache is
+    /// dropped and recounted lazily instead.
+    ///
+    /// The delta is *provably* exact only when the sound walk's
+    /// positives-equal-count identity holds, and the one way that
+    /// identity can break is a resident occupied id with **degenerate
+    /// probes** (fewer than `k` distinct bit positions) that is also a
+    /// filter positive — only such an id can sit in a subtree whose
+    /// `t∧ < k` prunes it, and only revealing/hiding such an id makes a
+    /// mutation's true delta differ from `±filter.contains(id)`. The
+    /// tree maintains a census of degenerate-probe residents, so the
+    /// fast path simply verifies none of them is a filter positive (the
+    /// census is empty in the overwhelmingly common case); otherwise —
+    /// and for a degenerate mutated id itself — the cache is dropped
+    /// and the next call recounts through the repaired memo.
+    pub fn repair_memo(
+        &self,
+        since: u64,
+        memo: &mut crate::sampler::QueryMemo,
+        filter: &BloomFilter,
+        exact_count: bool,
+    ) -> bool {
+        match self {
+            // Dense generation is constant 0: there is never a gap.
+            TreeView::Dense(_) => true,
+            TreeView::Pruned { guard, .. } => {
+                let Some(mutations) = guard.mutations_since(since) else {
+                    return false;
+                };
+                // Delta exactness precondition (see the method docs): no
+                // degenerate-probe resident may be a filter positive.
+                // Checked once per sync against the census — which is
+                // empty in the common case.
+                let deltas_exact = exact_count
+                    && memo.cached_count().is_some()
+                    && guard.colliding_ids().iter().all(|&c| !filter.contains(c));
+                let mut count = memo.cached_count();
+                for (id, inserted) in mutations {
+                    memo.repair_after_mutation(self, id);
+                    count = match count {
+                        // An inserted id was not occupied before (so not
+                        // counted); a removed id was, and was counted
+                        // iff the filter holds it. The mutated id's own
+                        // probes are checked directly (a degenerate
+                        // removal is not in the post-removal census);
+                        // checked arithmetic is belt-and-braces against
+                        // wrap.
+                        Some(c) if deltas_exact && filter.probes_distinct_bits(id) => {
+                            let delta = u64::from(filter.contains(id));
+                            if inserted {
+                                c.checked_add(delta)
+                            } else {
+                                c.checked_sub(delta)
+                            }
+                        }
+                        _ => None,
+                    };
+                }
+                memo.cached_count = count;
+                true
+            }
         }
     }
 }

@@ -13,7 +13,31 @@
 //! its root-to-leaf path and materialises missing nodes ("either we need
 //! to insert this new element into already existing nodes in the tree, or
 //! we need to create a new node (and potentially its subtree)").
+//!
+//! ## Incremental weight accounting
+//!
+//! Every node carries the **maintained weight** of its subtree — the
+//! exact number of occupied ids below it. `insert`/`remove` apply an
+//! `O(depth)` ±1 delta along the mutated root-to-leaf path, so the count
+//! never needs a reconstruction walk;
+//! [`PrunedBloomSampleTree::verify_weights`] recounts from scratch for
+//! the test suites. Underflow is impossible by
+//! construction: `remove` decrements only after the id was found at its
+//! leaf, and every ancestor of that leaf counted the id when it was
+//! inserted. Overflow is impossible because a weight never exceeds the
+//! namespace size.
+//!
+//! ## The mutation journal
+//!
+//! Each successful mutation bumps [`PrunedBloomSampleTree::version`] and
+//! records the mutated id in a bounded journal. A reader that last
+//! synchronised at version `v` can ask for
+//! [`PrunedBloomSampleTree::mutations_since`]`(v)` and repair its
+//! cached per-node state along just the mutated paths (`O(depth)` per
+//! mutation) instead of discarding it wholesale; when the journal no
+//! longer reaches back to `v` the caller falls back to a full reset.
 
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -31,7 +55,13 @@ struct PrunedNode {
     /// Sorted occupied ids — populated for leaves only.
     occupied: Vec<u64>,
     level: u32,
+    /// Maintained weight: occupied ids in this subtree (see module docs).
+    weight: u64,
 }
+
+/// Mutations remembered by the journal; older history forces readers
+/// through a full cache reset, so this bounds repair work per sync.
+const JOURNAL_CAP: usize = 256;
 
 /// An occupancy-aware BloomSampleTree.
 pub struct PrunedBloomSampleTree {
@@ -39,7 +69,17 @@ pub struct PrunedBloomSampleTree {
     hasher: Arc<BloomHasher>,
     nodes: Vec<PrunedNode>,
     root: Option<NodeId>,
-    occupied_count: u64,
+    /// Count of successful mutations since construction (decode resets it).
+    version: u64,
+    /// The last `JOURNAL_CAP` mutations as `(id, inserted)`, oldest
+    /// first (`inserted` false = removal).
+    journal: VecDeque<(u64, bool)>,
+    /// The collision census: occupied ids probing fewer than `k`
+    /// distinct bit positions, sorted ascending. Such ids weaken the
+    /// `t∧ ≥ k` soundness argument, so exact-count fast paths consult
+    /// this list before trusting a delta (expected size ≈ `n·k²/2m` — a
+    /// handful).
+    colliding: Vec<u64>,
 }
 
 impl std::fmt::Debug for PrunedBloomSampleTree {
@@ -51,7 +91,7 @@ impl std::fmt::Debug for PrunedBloomSampleTree {
             self.plan.m,
             self.plan.depth,
             self.node_count(),
-            self.occupied_count
+            self.occupied_count()
         )
     }
 }
@@ -76,12 +116,19 @@ impl PrunedBloomSampleTree {
             assert!(last < plan.namespace, "occupied id outside namespace");
         }
         let hasher = Arc::new(plan.build_hasher());
+        let colliding = occupied
+            .iter()
+            .copied()
+            .filter(|&x| !hasher.probes_distinct_bits(x))
+            .collect();
         let mut tree = PrunedBloomSampleTree {
             plan: plan.clone(),
             hasher,
             nodes: Vec::new(),
             root: None,
-            occupied_count: occupied.len() as u64,
+            version: 0,
+            journal: VecDeque::new(),
+            colliding,
         };
         tree.root = tree.build_node(0..plan.namespace, occupied, 0);
         tree
@@ -107,6 +154,7 @@ impl PrunedBloomSampleTree {
                 right: None,
                 occupied: occ.to_vec(),
                 level,
+                weight: occ.len() as u64,
             });
             return Some(id);
         }
@@ -131,6 +179,7 @@ impl PrunedBloomSampleTree {
             right,
             occupied: Vec::new(),
             level,
+            weight: occ.len() as u64,
         });
         Some(id)
     }
@@ -157,13 +206,16 @@ impl PrunedBloomSampleTree {
         };
         let mut cur = root;
         loop {
-            self.nodes[cur as usize].filter.insert(id);
-            let level = self.nodes[cur as usize].level;
+            // Presence was ruled out above, so the insertion definitely
+            // lands: the O(depth) weight delta applies along the path.
+            let node = &mut self.nodes[cur as usize];
+            node.filter.insert(id);
+            node.weight += 1;
+            let level = node.level;
             if level == self.plan.depth {
-                let node = &mut self.nodes[cur as usize];
                 let pos = node.occupied.partition_point(|&x| x < id);
                 node.occupied.insert(pos, id);
-                self.occupied_count += 1;
+                self.log_mutation(id, true);
                 return true;
             }
             let (lr, rr) = split(&self.nodes[cur as usize].range);
@@ -205,7 +257,7 @@ impl PrunedBloomSampleTree {
         };
         let (removed, now_empty) = self.remove_rec(root, id);
         if removed {
-            self.occupied_count -= 1;
+            self.log_mutation(id, false);
             if now_empty {
                 self.root = None;
             }
@@ -222,11 +274,15 @@ impl PrunedBloomSampleTree {
                 return (false, false);
             };
             n.occupied.remove(pos);
-            // Rebuild the leaf filter exactly from the survivors.
-            let ids = n.occupied.clone();
-            let filter = BloomFilter::from_keys(Arc::clone(&self.hasher), ids);
-            self.nodes[node as usize].filter = filter;
-            let empty = self.nodes[node as usize].occupied.is_empty();
+            n.weight -= 1;
+            // Rebuild the leaf filter exactly from the survivors, in
+            // place (clearing beats reallocating `m` bits per removal).
+            n.filter.clear();
+            for i in 0..n.occupied.len() {
+                let x = n.occupied[i];
+                n.filter.insert(x);
+            }
+            let empty = n.occupied.is_empty();
             return (true, empty);
         }
         let (lr, _) = split(&self.nodes[node as usize].range);
@@ -243,6 +299,9 @@ impl PrunedBloomSampleTree {
         if !removed {
             return (false, false);
         }
+        // The id was below this node, so it was counted here: the weight
+        // delta walks back up the same path the insertion walked down.
+        self.nodes[node as usize].weight -= 1;
         if child_empty {
             let n = &mut self.nodes[node as usize];
             if go_left {
@@ -251,27 +310,45 @@ impl PrunedBloomSampleTree {
                 n.right = None;
             }
         }
-        // Rebuild this node's filter as the union of surviving children.
+        // Rebuild this node's filter as the union of surviving children,
+        // reusing its allocation (copy + OR instead of clone + OR).
         let (l, r) = {
             let n = &self.nodes[node as usize];
             (n.left, n.right)
         };
-        let mut filter: Option<BloomFilter> = None;
-        for c in [l, r].into_iter().flatten() {
-            match &mut filter {
-                None => filter = Some(self.nodes[c as usize].filter.clone()),
-                Some(f) => f.union_with(&self.nodes[c as usize].filter),
-            }
-        }
-        match filter {
-            Some(f) => {
-                self.nodes[node as usize].filter = f;
-                (true, false)
-            }
-            None => {
+        match (l, r) {
+            (None, None) => {
                 self.nodes[node as usize].filter.clear();
                 (true, true)
             }
+            (Some(c), None) | (None, Some(c)) => {
+                self.with_filter_pair(node, c, |dst, src| dst.copy_bits_from(src));
+                (true, false)
+            }
+            (Some(a), Some(b)) => {
+                self.with_filter_pair(node, a, |dst, src| dst.copy_bits_from(src));
+                self.with_filter_pair(node, b, |dst, src| dst.union_with(src));
+                (true, false)
+            }
+        }
+    }
+
+    /// Runs `f(&mut filter(dst), &filter(src))` via a disjoint arena
+    /// split (parent/child indices are never equal).
+    fn with_filter_pair(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        f: impl FnOnce(&mut BloomFilter, &BloomFilter),
+    ) {
+        let (d, s) = (dst as usize, src as usize);
+        debug_assert_ne!(d, s, "a node cannot be its own child");
+        if d < s {
+            let (lo, hi) = self.nodes.split_at_mut(s);
+            f(&mut lo[d].filter, &hi[0].filter);
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(d);
+            f(&mut hi[0].filter, &lo[s].filter);
         }
     }
 
@@ -284,8 +361,60 @@ impl PrunedBloomSampleTree {
             right: None,
             occupied: Vec::new(),
             level,
+            // Materialised mid-insert: the insert loop applies the +1
+            // delta when it steps onto this node.
+            weight: 0,
         });
         id
+    }
+
+    /// Records a successful mutation: bumps the version, remembers the
+    /// mutated id and direction for bounded-history cache repair, and
+    /// keeps the collision census in step with the occupancy.
+    fn log_mutation(&mut self, id: u64, inserted: bool) {
+        self.version += 1;
+        if self.journal.len() == JOURNAL_CAP {
+            self.journal.pop_front();
+        }
+        self.journal.push_back((id, inserted));
+        if !self.hasher.probes_distinct_bits(id) {
+            if inserted {
+                let pos = self.colliding.partition_point(|&x| x < id);
+                self.colliding.insert(pos, id);
+            } else if let Ok(pos) = self.colliding.binary_search(&id) {
+                self.colliding.remove(pos);
+            }
+        }
+    }
+
+    /// The collision census: occupied ids probing fewer than `k`
+    /// distinct bit positions, ascending. The `t∧ ≥ k` pruning rule can
+    /// hide exactly these ids (and only these) from a sound walk, so
+    /// exact-count maintenance trusts an O(k) weight delta only when no
+    /// census member is a positive of the filter in question.
+    pub fn colliding_ids(&self) -> &[u64] {
+        &self.colliding
+    }
+
+    /// Count of successful mutations since this tree value was built or
+    /// decoded. The facade's tree generation mirrors this exactly.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The `(id, inserted)` mutations in `(since, version]`, oldest
+    /// first, when the journal still reaches back that far — `None` once
+    /// the history has been truncated (or `since` is from the future),
+    /// in which case the caller must fall back to a full cache reset.
+    pub fn mutations_since(&self, since: u64) -> Option<impl Iterator<Item = (u64, bool)> + '_> {
+        let delta = self.version.checked_sub(since)?;
+        let len = self.journal.len();
+        // Compare in u64: `delta as usize` could wrap a huge gap into a
+        // tiny one on 32-bit targets and skip billions of mutations.
+        if delta > len as u64 {
+            return None;
+        }
+        Some(self.journal.iter().skip(len - delta as usize).copied())
     }
 
     /// Whether `id` is an occupied namespace element (exact, via the leaf's
@@ -319,9 +448,43 @@ impl PrunedBloomSampleTree {
         self.nodes.len()
     }
 
-    /// Number of occupied ids.
+    /// Number of occupied ids — the root's maintained weight, kept exact
+    /// by O(depth) deltas on every mutation.
     pub fn occupied_count(&self) -> u64 {
-        self.occupied_count
+        match self.root {
+            Some(root) => self.nodes[root as usize].weight,
+            None => 0,
+        }
+    }
+
+    /// The maintained weight of `node`'s subtree: the exact number of
+    /// occupied ids in its range.
+    pub fn subtree_weight(&self, node: NodeId) -> u64 {
+        self.nodes[node as usize].weight
+    }
+
+    /// Recounts every reachable subtree from scratch and compares against
+    /// the maintained weights (the test suites' ground truth; `O(nodes)`).
+    pub fn verify_weights(&self) -> bool {
+        fn recount(tree: &PrunedBloomSampleTree, node: NodeId, ok: &mut bool) -> u64 {
+            let n = &tree.nodes[node as usize];
+            let actual = if n.level == tree.plan.depth {
+                n.occupied.len() as u64
+            } else {
+                [n.left, n.right]
+                    .into_iter()
+                    .flatten()
+                    .map(|c| recount(tree, c, ok))
+                    .sum()
+            };
+            *ok &= actual == n.weight;
+            actual
+        }
+        let mut ok = true;
+        if let Some(root) = self.root {
+            recount(self, root, &mut ok);
+        }
+        ok
     }
 
     /// Heap bytes of all node bit arrays (the Figure 14 metric).
@@ -416,7 +579,6 @@ impl PrunedBloomSampleTree {
         let hasher = Arc::new(plan.build_hasher());
         let words_per_node = plan.m.div_ceil(64);
         let mut nodes = Vec::with_capacity(node_count);
-        let mut occupied_count = 0u64;
         let link = |raw: u32| -> Result<Option<NodeId>, PersistError> {
             if raw == u32::MAX {
                 Ok(None)
@@ -446,9 +608,6 @@ impl PrunedBloomSampleTree {
             for _ in 0..occ_len {
                 occupied.push(input.get_u64_le());
             }
-            if level == plan.depth {
-                occupied_count += occ_len as u64;
-            }
             let words = get_words(&mut input, words_per_node)?;
             let bits = bst_bloom::bitvec::BitVec::from_words(words, plan.m);
             nodes.push(PrunedNode {
@@ -458,6 +617,7 @@ impl PrunedBloomSampleTree {
                 right,
                 occupied,
                 level,
+                weight: 0, // rebuilt below once the links are in place
             });
         }
         let root = if root_raw == u32::MAX {
@@ -467,18 +627,76 @@ impl PrunedBloomSampleTree {
         } else {
             return Err(PersistError::Corrupt("root link out of range"));
         };
-        Ok(PrunedBloomSampleTree {
+        let mut tree = PrunedBloomSampleTree {
             plan,
             hasher,
             nodes,
             root,
-            occupied_count,
-        })
+            version: 0,
+            journal: VecDeque::new(),
+            colliding: Vec::new(),
+        };
+        // Maintained weights and the collision census are derivable
+        // state (leaf = its id count, internal = sum of children;
+        // census = occupied ids with degenerate probes), so the
+        // snapshot format omits them and the decoder reconstructs them
+        // here — by construction they match a from-scratch recount.
+        if let Some(root) = tree.root {
+            tree.rebuild_weights(root)?;
+        }
+        let hasher = Arc::clone(&tree.hasher);
+        tree.colliding = tree
+            .occupied_ids()
+            .into_iter()
+            .filter(|&x| !hasher.probes_distinct_bits(x))
+            .collect();
+        Ok(tree)
+    }
+
+    /// Recomputes the maintained weight of every node in `root`'s subtree
+    /// from the decoded leaves upward. Links come from untrusted bytes,
+    /// so the walk is iterative (no stack overflow on adversarial depth)
+    /// and rejects structures that revisit a node — cycles or shared
+    /// children are not trees and would loop or double-count.
+    fn rebuild_weights(&mut self, root: NodeId) -> Result<(), crate::persistence::PersistError> {
+        let mut visited = vec![false; self.nodes.len()];
+        // Explicit post-order: the first pop schedules the children, the
+        // second (ready) pop sums them.
+        let mut stack = vec![(root, false)];
+        while let Some((node, ready)) = stack.pop() {
+            let n = &self.nodes[node as usize];
+            if ready {
+                let weight = if n.level == self.plan.depth {
+                    n.occupied.len() as u64
+                } else {
+                    [n.left, n.right]
+                        .into_iter()
+                        .flatten()
+                        .map(|c| self.nodes[c as usize].weight)
+                        .sum()
+                };
+                self.nodes[node as usize].weight = weight;
+                continue;
+            }
+            if visited[node as usize] {
+                return Err(crate::persistence::PersistError::Corrupt(
+                    "node links revisit a node",
+                ));
+            }
+            visited[node as usize] = true;
+            stack.push((node, true));
+            if n.level != self.plan.depth {
+                for child in [n.left, n.right].into_iter().flatten() {
+                    stack.push((child, false));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// All occupied ids, ascending (walks the leaves).
     pub fn occupied_ids(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.occupied_count as usize);
+        let mut out = Vec::with_capacity(self.occupied_count() as usize);
         if let Some(root) = self.root {
             self.collect_ids(root, &mut out);
         }
@@ -837,6 +1055,140 @@ mod removal_tests {
             BstReconstructor::new(&back).reconstruct(&q, &mut s1),
             BstReconstructor::new(&t).reconstruct(&q, &mut s2),
         );
+    }
+
+    #[test]
+    fn snapshot_rebuilds_maintained_weights() {
+        // Weights are derivable state: the snapshot omits them and
+        // from_bytes reconstructs them — matching a fresh recount, with
+        // byte-deterministic round-trips.
+        let occ: Vec<u64> = (0..300u64)
+            .map(|i| i * 41 % (1 << 14))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut t = PrunedBloomSampleTree::build(&plan(), &occ);
+        for id in occ.iter().filter(|x| *x % 5 == 0) {
+            assert!(t.remove(*id));
+        }
+        assert!(t.insert(3));
+        assert!(t.verify_weights());
+        let bytes = t.to_bytes();
+        let back = PrunedBloomSampleTree::from_bytes(&bytes).expect("decode");
+        assert!(back.verify_weights(), "decoded weights must pass a recount");
+        assert_eq!(back.occupied_count(), t.occupied_count());
+        assert_eq!(back.occupied_ids(), t.occupied_ids());
+        // Decode resets the mutation journal: version restarts at 0.
+        assert_eq!(back.version(), 0);
+        assert_eq!(back.to_bytes(), bytes, "byte-deterministic round-trip");
+    }
+
+    #[test]
+    fn collision_census_tracks_degenerate_probe_ids() {
+        // Small m makes within-key probe collisions likely; the census
+        // must equal a brute-force scan and follow every mutation, and
+        // warm delta-maintained weights must match cold recounts even
+        // when colliding ids are filter positives (the fallback path).
+        let p = TreePlan {
+            namespace: 1 << 14,
+            m: 512,
+            k: 3,
+            kind: HashKind::Murmur3,
+            seed: 7,
+            depth: 5,
+            leaf_capacity: 1 << 9,
+            target_accuracy: 0.9,
+        };
+        let occ: Vec<u64> = (0..(1 << 14)).step_by(3).collect();
+        let mut t = PrunedBloomSampleTree::build(&p, &occ);
+        let expect: Vec<u64> = occ
+            .iter()
+            .copied()
+            .filter(|&x| !t.hasher().probes_distinct_bits(x))
+            .collect();
+        assert!(
+            !expect.is_empty(),
+            "m=512 must yield some degenerate-probe ids"
+        );
+        assert_eq!(t.colliding_ids(), expect.as_slice());
+        // Mutations keep the census exact.
+        let victim = expect[0];
+        assert!(t.remove(victim));
+        assert!(!t.colliding_ids().contains(&victim));
+        assert!(t.insert(victim));
+        assert_eq!(t.colliding_ids(), expect.as_slice());
+        // The census survives a snapshot round-trip (rebuilt on decode).
+        let back = PrunedBloomSampleTree::from_bytes(&t.to_bytes()).expect("decode");
+        assert_eq!(back.colliding_ids(), expect.as_slice());
+    }
+
+    #[test]
+    fn cyclic_snapshot_links_rejected_not_looped() {
+        // A corrupt snapshot whose child links form a cycle must fail
+        // decode with `Corrupt` — the weight rebuild walks untrusted
+        // links and would otherwise loop or overflow the stack.
+        let occ: Vec<u64> = (0..200u64).collect();
+        let p = plan();
+        let tree = PrunedBloomSampleTree::build(&p, &occ);
+        let mut bytes = tree.to_bytes();
+        // Layout: "BSTP" v(1) | plan(47) | live u32 | root u32 | nodes.
+        // Node: start u64 | end u64 | level u32 | left u32 | right u32 |
+        // occ_len u32 | occ ids | m/64 filter words.
+        let words = p.m.div_ceil(64);
+        let live = u32::from_le_bytes(bytes[52..56].try_into().unwrap()) as usize;
+        let mut off = 60usize;
+        let mut patched = false;
+        for i in 0..live {
+            let level = u32::from_le_bytes(bytes[off + 16..off + 20].try_into().unwrap());
+            let occ_len =
+                u32::from_le_bytes(bytes[off + 28..off + 32].try_into().unwrap()) as usize;
+            if level != p.depth {
+                // First internal node (on the left spine, reachable from
+                // the root): point its left link at itself.
+                bytes[off + 20..off + 24].copy_from_slice(&(i as u32).to_le_bytes());
+                patched = true;
+                break;
+            }
+            off += 32 + occ_len * 8 + words * 8;
+        }
+        assert!(patched, "tree must have an internal node");
+        assert_eq!(
+            PrunedBloomSampleTree::from_bytes(&bytes).err(),
+            Some(crate::persistence::PersistError::Corrupt(
+                "node links revisit a node"
+            ))
+        );
+    }
+
+    #[test]
+    fn journal_replays_bounded_history() {
+        let mut t = PrunedBloomSampleTree::empty(&plan());
+        assert_eq!(t.version(), 0);
+        assert!(t.mutations_since(0).is_some_and(|mut m| m.next().is_none()));
+        assert!(t.insert(10));
+        assert!(t.insert(20));
+        assert!(t.remove(10));
+        assert_eq!(t.version(), 3);
+        let tail: Vec<(u64, bool)> = t.mutations_since(1).expect("covered").collect();
+        assert_eq!(tail, vec![(20, true), (10, false)]);
+        assert!(
+            t.mutations_since(4).is_none(),
+            "future stamps are not covered"
+        );
+        // Overflow the journal: history older than the cap is gone.
+        for i in 0..JOURNAL_CAP as u64 {
+            let id = (i * 2 + 100) % (1 << 14);
+            let _ = t.insert(id);
+            let _ = t.remove(id);
+        }
+        assert!(t.mutations_since(0).is_none(), "truncated history");
+        assert!(t
+            .mutations_since(t.version() - JOURNAL_CAP as u64)
+            .is_some());
+        // No-ops do not advance the version or the journal.
+        let v = t.version();
+        assert!(!t.remove(12_345));
+        assert_eq!(t.version(), v);
     }
 
     #[test]

@@ -30,11 +30,16 @@
 //! * **The tree's occupancy** (pruned backends):
 //!   [`crate::system::BstSystem::insert_occupied`] /
 //!   [`crate::system::BstSystem::remove_occupied`] bump the backend's
-//!   *tree generation* (see [`crate::backend::TreeBackend`]). Every memo
-//!   entry is keyed by `NodeId` into a tree that just changed shape, so a
-//!   stale handle discards the memo wholesale (the filter itself is still
-//!   valid — it never depended on the tree) and re-descends cold. This
-//!   applies to *detached* handles too.
+//!   *tree generation* (see [`crate::backend::TreeBackend`]). A stale
+//!   handle replays the tree's bounded mutation journal and **repairs**
+//!   its memo along just the mutated root-to-leaf paths (`O(depth)` per
+//!   mutation) — the filter itself is still valid, it never depended on
+//!   the tree — so occupancy churn costs a path re-evaluation, not a
+//!   full cold re-descent. Only when the journal no longer covers the
+//!   generation gap is the memo discarded wholesale. Either way the
+//!   repaired state is bit-identical to a cold walk's, so
+//!   warm-equals-cold holds across occupancy churn. This applies to
+//!   *detached* handles too.
 //!
 //! Every operation acquires the tree view first, then checks both stamps
 //! under the state lock, so results are never computed against a
@@ -261,13 +266,11 @@ impl Query {
     /// operation will run against — the view holds the tree read lock, so
     /// neither stamp can move between this check and the operation.
     fn sync(&self, state: &mut QueryState, view: &TreeView<'_>) -> Result<(), BstError> {
-        if view.generation() != state.tree_generation {
-            // The tree changed shape: every memo entry is keyed by NodeId
-            // into the old tree. The filter itself is unaffected.
-            state.memo = QueryMemo::new();
-            state.tree_generation = view.generation();
-            state.compatible = Self::compatible(view, &state.filter);
-        }
+        // Store staleness first: a re-projection replaces the filter and
+        // discards the memo wholesale, which also covers any pending
+        // tree-generation gap — running the journal repair before would
+        // be work thrown straight away.
+        let mut reprojected = false;
         if let QuerySource::Stored(id) = self.source {
             if let Some((filter, generation)) = self
                 .system
@@ -278,7 +281,31 @@ impl Query {
                 state.filter = filter;
                 state.generation = generation;
                 state.memo = QueryMemo::new();
+                state.tree_generation = view.generation();
+                reprojected = true;
             }
+        }
+        if !reprojected && view.generation() != state.tree_generation {
+            // The tree's occupancy changed. Replay the mutation journal
+            // to repair the memo along just the mutated root-to-leaf
+            // paths (O(depth) per mutation) and delta-update the
+            // maintained live weight (O(k) per mutation under sound
+            // reconstruction); only when the handle is so stale that the
+            // journal no longer covers the gap is the memo discarded
+            // wholesale. The filter itself is unaffected either way (it
+            // never depended on the tree).
+            let exact_count =
+                self.system.config().reconstruct.liveness == crate::sampler::Liveness::BitOverlap;
+            if !view.repair_memo(
+                state.tree_generation,
+                &mut state.memo,
+                &state.filter,
+                exact_count,
+            ) {
+                state.memo = QueryMemo::new();
+            }
+            state.tree_generation = view.generation();
+            state.compatible = Self::compatible(view, &state.filter);
         }
         if state.compatible {
             Ok(())

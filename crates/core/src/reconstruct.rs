@@ -118,14 +118,20 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
         let full = self.tree.range(root);
         let mut out = Vec::new();
         self.range_walk(query, full, memo, stats, &mut |x| out.push(x));
+        // A full-range walk determines the live-leaf weight for free.
+        memo.cached_count = Some(out.len() as u64);
         Ok(out)
     }
 
     /// The number of elements [`Self::try_reconstruct_memo`] would return,
     /// without materialising the set: the query's **live-leaf weight** —
-    /// matching candidates summed over every live leaf. Runs the same
-    /// memoized walk as reconstruction, so a warm memo answers from
-    /// cached leaf match lists with no filter operations.
+    /// matching candidates summed over every live leaf. The weight is
+    /// maintained in the memo: the first call runs the memoized
+    /// reconstruction walk and caches the count, and later calls answer
+    /// in O(1) until a mutation invalidates the cache (the
+    /// [`crate::query::Query`] handle repairs the memo along mutated
+    /// paths, so even the refresh after occupancy churn re-evaluates only
+    /// O(depth) nodes).
     pub fn try_count_memo(
         &self,
         query: &BloomFilter,
@@ -136,8 +142,13 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
         if query.is_empty() {
             return Err(BstError::EmptyFilter);
         }
+        if let Some(count) = memo.cached_count {
+            return Ok(count);
+        }
         let full = self.tree.range(root);
-        Ok(self.range_walk(query, full, memo, stats, &mut |_| {}) as u64)
+        let count = self.range_walk(query, full, memo, stats, &mut |_| {}) as u64;
+        memo.cached_count = Some(count);
+        Ok(count)
     }
 
     /// Visitor variant: calls `visit` for each reconstructed element in

@@ -240,6 +240,10 @@ pub struct QueryMemo {
     /// Reconstruction liveness per node (the reconstructor's pruning rule
     /// can differ from the sampler's, so it gets its own map).
     pub(crate) recon_live: HashMap<NodeId, bool>,
+    /// The full-range live-leaf weight of the last counting/reconstruction
+    /// walk — the maintained per-filter weight: repeated `live_weight`
+    /// calls are O(1) until a mutation invalidates it.
+    pub(crate) cached_count: Option<u64>,
     prepared: Option<PreparedState>,
 }
 
@@ -268,6 +272,66 @@ impl QueryMemo {
     /// state has been built.
     pub fn estimated_cardinality(&self) -> Option<f64> {
         self.prepared.as_ref().map(|p| p.n_hat)
+    }
+
+    /// The cached full-range live-leaf weight, if a counting or full
+    /// reconstruction walk has run since the last invalidation.
+    pub fn cached_count(&self) -> Option<u64> {
+        self.cached_count
+    }
+
+    /// Repairs the memo's node-keyed state after one occupancy mutation
+    /// at `id`: every entry whose inputs could have changed is dropped,
+    /// everything else is kept, so the next operation re-evaluates
+    /// `O(depth)` nodes instead of the whole live frontier. The cached
+    /// live-leaf count is handled separately by the caller (it can often
+    /// be delta-updated instead of dropped — see
+    /// [`crate::backend::TreeView::repair_memo`]).
+    ///
+    /// What changes when `id` is inserted/removed: the filters of the
+    /// nodes on `id`'s root-to-leaf path, and that leaf's candidate list.
+    /// Node filters are laminar (each child ⊆ its parent), so a
+    /// non-path node's liveness/weight — a function of `query ∧ own
+    /// filter` — is untouched; the only cross-contamination is through
+    /// the *carried* filter, which (again by laminarity) equals
+    /// `query ∧ filter(parent)`: it changes exactly for children of path
+    /// nodes. Dropping each path node's entry **and its children's**
+    /// therefore restores cold-walk equivalence bit-for-bit. The
+    /// corrected sampler's frontier cache aggregates weights across the
+    /// whole upper tree, so it is rebuilt wholesale.
+    ///
+    /// Nodes unlinked by removals keep stale entries, but they are
+    /// unreachable (their parent's entry is dropped and recomputed
+    /// against the new links), so the walk never consults them.
+    pub fn repair_after_mutation<T: SampleTree>(&mut self, tree: &T, id: u64) {
+        self.prepared = None;
+        let Some(mut node) = tree.root() else {
+            return;
+        };
+        loop {
+            self.evals.remove(&node);
+            self.recon_live.remove(&node);
+            if tree.is_leaf(node) {
+                self.leaves.remove(&node);
+                return;
+            }
+            let (l, r) = tree.children(node);
+            for child in [l, r].into_iter().flatten() {
+                self.evals.remove(&child);
+                self.recon_live.remove(&child);
+            }
+            // Descend toward the mutated id; a missing child means the
+            // (sub)path was never materialised or has been unlinked —
+            // nothing below it can be cached under a reachable key.
+            match [l, r]
+                .into_iter()
+                .flatten()
+                .find(|&c| tree.range(c).contains(&id))
+            {
+                Some(next) => node = next,
+                None => return,
+            }
+        }
     }
 }
 

@@ -137,6 +137,66 @@ proptest! {
         );
     }
 
+    /// Under arbitrary interleaved `insert`/`remove` sequences, the
+    /// maintained subtree weights exactly equal a from-scratch recount
+    /// at every node, and the root weight equals the surviving id count.
+    #[test]
+    fn maintained_weights_equal_recount(
+        initial in prop::collection::btree_set(0u64..4096, 0..120),
+        ops in prop::collection::vec((any::<bool>(), 0u64..4096), 1..150),
+    ) {
+        let p = plan(4096, 2048, 5, HashKind::Murmur3);
+        let occ: Vec<u64> = initial.iter().copied().collect();
+        let mut tree = PrunedBloomSampleTree::build(&p, &occ);
+        let mut live = initial.clone();
+        let mut mutations = 0u64;
+        for (insert, id) in ops {
+            let expected = if insert { live.insert(id) } else { live.remove(&id) };
+            let changed = if insert { tree.insert(id) } else { tree.remove(id) };
+            prop_assert_eq!(changed, expected);
+            mutations += u64::from(changed);
+            prop_assert!(tree.verify_weights(), "weights drifted after mutation");
+        }
+        prop_assert_eq!(tree.occupied_count(), live.len() as u64);
+        prop_assert_eq!(tree.occupied_ids(), live.into_iter().collect::<Vec<u64>>());
+        // Every successful mutation bumped the journal version once.
+        prop_assert_eq!(tree.version(), mutations);
+    }
+
+    /// A warm `Query` handle repaired through the mutation journal
+    /// reports exactly the live weight (and reconstruction) a cold
+    /// handle computes, under arbitrary interleaved occupancy churn.
+    #[test]
+    fn repaired_live_weight_equals_cold(
+        initial in prop::collection::btree_set(0u64..2048, 1..100),
+        member_stride in 1usize..4,
+        ops in prop::collection::vec((any::<bool>(), 0u64..2048), 1..40),
+    ) {
+        use bst_core::system::BstSystem;
+        let occ: Vec<u64> = initial.iter().copied().collect();
+        let sys = BstSystem::builder(2048)
+            .expected_set_size(64)
+            .seed(17)
+            .pruned(occ.iter().copied())
+            .build();
+        let members: Vec<u64> = (0..2048u64).step_by(member_stride * 7).collect();
+        let filter = sys.store(members.iter().copied());
+        let warm = sys.query(&filter);
+        // Prime the memo so every mutation exercises the repair path.
+        let _ = warm.live_weight();
+        for (insert, id) in ops {
+            if insert {
+                sys.insert_occupied(id).unwrap();
+            } else {
+                sys.remove_occupied(id).unwrap();
+            }
+            let cold = sys.query(&filter);
+            prop_assert_eq!(warm.live_weight(), cold.live_weight());
+            prop_assert_eq!(warm.reconstruct(), cold.reconstruct());
+            prop_assert!(sys.weights_consistent());
+        }
+    }
+
     /// The one-pass multi-sampler returns only positives and at most r.
     #[test]
     fn sample_many_sound(

@@ -29,12 +29,14 @@ struct CachedWeight {
 /// proportional to its **live-leaf weight** — the exact count of
 /// elements the shard would reconstruct for this filter — then samples
 /// inside the shard. With exact weights the merged distribution equals a
-/// single tree's over the same positives (chi²-pinned in
-/// `tests/e2e_shard.rs`). Weights come from
-/// [`bst_core::query::Query::live_weight`], so a warm handle re-derives
-/// them from cached leaf match lists with no filter operations, and any
-/// mutation (set churn or occupancy churn) transparently re-weights on
-/// the next call.
+/// single tree's over the same positives (pinned by the `bst-stats`
+/// conformance harness in `tests/e2e_shard.rs`). Weights come from
+/// [`bst_core::query::Query::live_weight`], which is **maintained** in
+/// the handle's memo: O(1) when warm, and after occupancy churn the
+/// handle replays the tree's mutation journal — O(depth) memo repair
+/// plus an O(k) count delta per mutation under sound reconstruction —
+/// instead of recounting the shard; set churn still re-projects and
+/// recounts on the next call.
 pub struct ShardQuery {
     /// The sharded id this handle reads (`None` for detached filters).
     id: Option<FilterId>,

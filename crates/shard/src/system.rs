@@ -482,13 +482,18 @@ impl ShardedBstSystem {
         ))
     }
 
-    /// Draws one sample per query filter via scatter-gather over a
-    /// crossbeam worker pool (`threads` workers; 0 = one per CPU, capped
-    /// at the shard count). Every shard evaluates its live-leaf weight
-    /// and a candidate sample for every filter; the gather phase picks a
-    /// shard per filter proportionally to the weights. Results align
-    /// with `filters`; deterministic for a fixed `seed` regardless of
-    /// `threads`.
+    /// Draws one sample per query filter via a **two-phase** scatter over
+    /// a crossbeam worker pool (`threads` workers; 0 = one per CPU,
+    /// capped at the `shards × filters` cell count — so a low-shard
+    /// engine still spreads a wide batch across every requested worker).
+    /// Phase 1 gathers each (shard, filter) cell's live-leaf weight only;
+    /// the gather step picks one shard per filter proportionally to the
+    /// weights; phase 2 then samples **only the chosen cells**, reusing
+    /// the handles phase 1 already warmed — ~S× less sampling work than
+    /// sampling speculatively on every shard. Results align with
+    /// `filters`; per-cell RNG seeding keeps the output deterministic for
+    /// a fixed `seed` regardless of `threads` (and identical to the
+    /// one-phase scatter this replaces).
     pub fn query_batch(
         &self,
         filters: &[BloomFilter],
@@ -534,11 +539,21 @@ impl ShardedBstSystem {
         (results, stats)
     }
 
-    /// The shared scatter-gather engine behind both batch entry points:
-    /// `open(shard, sys, slot)` yields the per-shard handle for a slot:
-    /// `Ok(None)` marks the slot dead on every shard (the caller patches
-    /// its error in), `Err(e)` is a hard per-slot failure the gather
-    /// phase propagates.
+    /// The shared **two-phase** scatter engine behind both batch entry
+    /// points: `open(shard, sys, slot)` yields the per-shard handle for a
+    /// slot: `Ok(None)` marks the slot dead on every shard (the caller
+    /// patches its error in), `Err(e)` is a hard per-slot failure the
+    /// gather step propagates.
+    ///
+    /// Phase 1 weighs every (shard, slot) cell — no sampling — with the
+    /// worker pool chunked over the *flattened cell grid* rather than
+    /// whole shards, so even an S=1 engine parallelises a wide batch.
+    /// The gather step merges errors and picks one shard per slot from
+    /// the weights; phase 2 samples only the chosen cells, reusing the
+    /// handles phase 1 warmed (the weight walk populated their memos, so
+    /// the sample is a warm descent). Per-cell seeding makes the result
+    /// identical to the old one-phase scatter for the same `seed`,
+    /// independent of worker placement.
     fn scatter_gather(
         &self,
         slots: usize,
@@ -551,6 +566,7 @@ impl ShardedBstSystem {
         if slots == 0 {
             return (Vec::new(), OpStats::new());
         }
+        let cells = shard_count * slots;
         let workers = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -558,93 +574,137 @@ impl ShardedBstSystem {
         } else {
             threads
         }
-        .min(shard_count);
+        .clamp(1, cells);
 
-        // Scatter: per (shard, slot), the shard's live-leaf weight and a
-        // candidate sample, computed on a pool of `workers` threads each
-        // owning a contiguous chunk of shards.
-        let chunk = shard_count.div_ceil(workers);
-        let mut collected: Vec<(usize, Vec<Vec<Cell>>, OpStats)> = crossbeam::scope(|scope| {
+        // Phase 1: weigh every cell. Cell index c = shard * slots + slot,
+        // chunked contiguously across the pool.
+        let chunk = cells.div_ceil(workers);
+        let shards = &self.shared.shards;
+        let mut weighed: Vec<(usize, Vec<WeighedCell>, OpStats)> = crossbeam::scope(|scope| {
             let mut handles = Vec::new();
-            for (w, systems) in self.shared.shards.chunks(chunk).enumerate() {
+            for w in 0..workers {
                 let open = &open;
+                let lo = w * chunk;
+                let hi = cells.min(lo + chunk);
+                if lo >= hi {
+                    break;
+                }
                 handles.push(scope.spawn(move |_| {
                     let mut stats = OpStats::new();
-                    let mut rows = Vec::with_capacity(systems.len());
-                    for (offset, sys) in systems.iter().enumerate() {
-                        let shard = w * chunk + offset;
-                        let mut row = Vec::with_capacity(slots);
-                        for slot in 0..slots {
-                            row.push(evaluate_cell(
-                                open(shard, sys, slot),
-                                cell_seed(seed, shard as u64, slot as u64),
-                                &mut stats,
-                            ));
-                        }
-                        rows.push(row);
+                    let mut part = Vec::with_capacity(hi - lo);
+                    for cell in lo..hi {
+                        let (shard, slot) = (cell / slots, cell % slots);
+                        part.push(weigh_cell(open(shard, &shards[shard], slot), &mut stats));
                     }
-                    (w, rows, stats)
+                    (w, part, stats)
                 }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().expect("cell worker panicked"))
                 .collect()
         })
         .expect("crossbeam scope failed");
-        collected.sort_by_key(|(w, _, _)| *w);
+        weighed.sort_by_key(|(w, _, _)| *w);
         let mut stats = OpStats::new();
-        let mut shard_results: Vec<Vec<Cell>> = Vec::with_capacity(shard_count);
-        for (_, rows, worker_stats) in collected {
-            shard_results.extend(rows);
+        let mut grid: Vec<WeighedCell> = Vec::with_capacity(cells);
+        for (_, part, worker_stats) in weighed {
+            grid.extend(part);
             stats += worker_stats;
         }
 
-        // Gather: per slot, total the weights and pick a shard.
-        let results = (0..slots)
-            .map(|slot| {
-                let mut total = 0u64;
-                let mut any_filter = false;
-                for row in &shard_results {
-                    let (weight, result) = &row[slot];
-                    // A weightless cell's error is its *evaluation*
-                    // verdict. Hard verdicts (incompatible filter,
-                    // dropped backing set, ...) propagate exactly like
-                    // the ShardQuery handle path; Empty*/NoLiveLeaf are
-                    // soft and merge below.
-                    if *weight == 0 {
-                        match result {
-                            Ok(_)
-                            | Err(BstError::EmptyFilter)
-                            | Err(BstError::EmptyTree)
-                            | Err(BstError::NoLiveLeaf) => {}
-                            Err(e) => return Err(*e),
+        // Gather: per slot, merge verdicts, total the weights and pick a
+        // shard. Chosen cells surrender their warm handle to phase 2.
+        let mut results: Vec<Result<u64, BstError>> = Vec::with_capacity(slots);
+        let mut chosen: Vec<(usize, usize, bst_core::query::Query)> = Vec::new();
+        'slots: for slot in 0..slots {
+            let mut total = 0u64;
+            let mut any_filter = false;
+            for shard in 0..shard_count {
+                let cell = &grid[shard * slots + slot];
+                // A weightless cell's verdict is its *evaluation*
+                // verdict. Hard verdicts (incompatible filter, dropped
+                // backing set, ...) propagate exactly like the
+                // ShardQuery handle path; Empty*/NoLiveLeaf are soft
+                // and merge below.
+                if cell.weight == 0 {
+                    match cell.verdict {
+                        Ok(())
+                        | Err(BstError::EmptyFilter)
+                        | Err(BstError::EmptyTree)
+                        | Err(BstError::NoLiveLeaf) => {}
+                        Err(e) => {
+                            results.push(Err(e));
+                            continue 'slots;
                         }
                     }
-                    match result {
-                        Err(BstError::EmptyFilter) | Err(BstError::EmptyTree) => {}
-                        _ => any_filter = true,
-                    }
-                    total += weight;
                 }
-                if !any_filter {
-                    return row_error(&shard_results, slot);
+                match cell.verdict {
+                    Err(BstError::EmptyFilter) | Err(BstError::EmptyTree) => {}
+                    _ => any_filter = true,
                 }
-                if total == 0 {
-                    return Err(BstError::NoLiveLeaf);
+                total += cell.weight;
+            }
+            if !any_filter {
+                results.push(column_error(&grid, slots, shard_count, slot));
+                continue;
+            }
+            if total == 0 {
+                results.push(Err(BstError::NoLiveLeaf));
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(cell_seed(seed, u64::MAX, slot as u64));
+            let mut pick = rng.gen_range(0..total);
+            for shard in 0..shard_count {
+                let cell = &mut grid[shard * slots + slot];
+                if pick < cell.weight {
+                    let handle = cell.handle.take().expect("weighted cell keeps its handle");
+                    chosen.push((slot, shard, handle));
+                    // Placeholder; phase 2 overwrites it.
+                    results.push(Err(BstError::NoLiveLeaf));
+                    continue 'slots;
                 }
-                let mut rng = StdRng::seed_from_u64(cell_seed(seed, u64::MAX, slot as u64));
-                let mut pick = rng.gen_range(0..total);
-                for row in &shard_results {
-                    let (weight, result) = &row[slot];
-                    if pick < *weight {
-                        return *result;
-                    }
-                    pick -= weight;
+                pick -= cell.weight;
+            }
+            unreachable!("pick < total weight")
+        }
+        drop(grid); // non-chosen handles are done after weighing
+
+        // Phase 2: sample only the chosen cells, on the pool again. Each
+        // cell's RNG stream depends on its (shard, slot) coordinates
+        // alone, so placement cannot change a draw.
+        if !chosen.is_empty() {
+            let workers = workers.min(chosen.len());
+            let chunk = chosen.len().div_ceil(workers);
+            let sampled: Vec<Vec<SampledSlot>> = crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for batch in chosen.chunks(chunk) {
+                    handles.push(scope.spawn(move |_| {
+                        batch
+                            .iter()
+                            .map(|(slot, shard, handle)| {
+                                let mut rng = StdRng::seed_from_u64(cell_seed(
+                                    seed,
+                                    *shard as u64,
+                                    *slot as u64,
+                                ));
+                                let out = handle.sample(&mut rng);
+                                (*slot, out, handle.take_stats())
+                            })
+                            .collect()
+                    }));
                 }
-                unreachable!("pick < total weight")
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sample worker panicked"))
+                    .collect()
             })
-            .collect();
+            .expect("crossbeam scope failed");
+            for (slot, out, sample_stats) in sampled.into_iter().flatten() {
+                results[slot] = out;
+                stats += sample_stats;
+            }
+        }
         (results, stats)
     }
 
@@ -689,6 +749,13 @@ impl ShardedBstSystem {
             out.extend(sys.occupied_ids());
         }
         out
+    }
+
+    /// Whether every shard's maintained subtree weights match a
+    /// from-scratch recount (the property suites' ground truth;
+    /// `O(total nodes)`).
+    pub fn weights_consistent(&self) -> bool {
+        self.shared.shards.iter().all(|s| s.weights_consistent())
     }
 
     // ------------------------------------------------------------------
@@ -804,55 +871,73 @@ impl ShardedBstSystem {
     }
 }
 
-/// One (shard, slot) evaluation: the shard's live-leaf weight for the
-/// slot plus a candidate sample (or the shard's failure reason).
-type Cell = (u64, Result<u64, BstError>);
+/// One phase-2 outcome: `(slot, sample, stats drained from the handle)`.
+type SampledSlot = (usize, Result<u64, BstError>, OpStats);
 
-/// Evaluates one (shard, slot) cell: live-leaf weight plus a candidate
-/// sample drawn from the already-warm handle. Weightless shards carry
-/// `NoLiveLeaf` (never chosen by the gather phase); empty per-shard
-/// projections and empty shard trees count as weight 0.
-fn evaluate_cell(
+/// One phase-1 (shard, slot) evaluation: the shard's live-leaf weight
+/// for the slot, the evaluation verdict, and — for weighted cells — the
+/// warmed handle phase 2 samples from.
+struct WeighedCell {
+    weight: u64,
+    verdict: Result<(), BstError>,
+    handle: Option<bst_core::query::Query>,
+}
+
+impl WeighedCell {
+    fn dead(err: BstError) -> Self {
+        WeighedCell {
+            weight: 0,
+            verdict: Err(err),
+            handle: None,
+        }
+    }
+}
+
+/// Weighs one (shard, slot) cell — phase 1 does **no** sampling.
+/// Weightless shards carry `NoLiveLeaf` (never chosen by the gather
+/// step); empty per-shard projections and empty shard trees count as
+/// weight 0.
+fn weigh_cell(
     handle: Result<Option<bst_core::query::Query>, BstError>,
-    seed: u64,
     stats: &mut OpStats,
-) -> Cell {
+) -> WeighedCell {
     let handle = match handle {
-        // A hard per-shard open failure: the gather phase propagates it.
-        Err(e) => return (0, Err(e)),
+        // A hard per-shard open failure: the gather step propagates it.
+        Err(e) => return WeighedCell::dead(e),
         // Dead slot on this shard; slot-level errors are patched in by
         // the caller (e.g. unknown sharded ids).
-        Ok(None) => return (0, Err(BstError::NoLiveLeaf)),
+        Ok(None) => return WeighedCell::dead(BstError::NoLiveLeaf),
         Ok(Some(handle)) => handle,
     };
-    let weight = match handle.live_weight() {
-        Ok(w) => w,
-        // EmptyTree/EmptyFilter stay as the cell's error (weight 0): the
-        // gather phase classifies them exactly like ShardQuery::weights,
-        // so batch slots and handle calls report the same typed error.
-        Err(e) => {
-            *stats += handle.take_stats();
-            return (0, Err(e));
-        }
-    };
-    if weight == 0 {
-        *stats += handle.take_stats();
-        return (0, Err(BstError::NoLiveLeaf));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sample = handle.sample(&mut rng);
+    let outcome = handle.live_weight();
     *stats += handle.take_stats();
-    (weight, sample)
+    match outcome {
+        Ok(0) => WeighedCell::dead(BstError::NoLiveLeaf),
+        Ok(weight) => WeighedCell {
+            weight,
+            verdict: Ok(()),
+            handle: Some(handle),
+        },
+        // EmptyTree/EmptyFilter stay as the cell's verdict (weight 0):
+        // the gather step classifies them exactly like
+        // ShardQuery::weights, so batch slots and handle calls report
+        // the same typed error.
+        Err(e) => WeighedCell::dead(e),
+    }
 }
 
 /// The slot error when no shard saw a usable filter — the same merge
 /// policy as `ShardQuery::weights`: `EmptyTree` only when **every**
 /// shard's tree is empty (the engine holds no occupancy, like a rootless
 /// single tree), `EmptyFilter` otherwise.
-fn row_error(shard_results: &[Vec<Cell>], slot: usize) -> Result<u64, BstError> {
-    let all_empty_trees = shard_results
-        .iter()
-        .all(|row| matches!(row[slot].1, Err(BstError::EmptyTree)));
+fn column_error(
+    grid: &[WeighedCell],
+    slots: usize,
+    shard_count: usize,
+    slot: usize,
+) -> Result<u64, BstError> {
+    let all_empty_trees = (0..shard_count)
+        .all(|shard| matches!(grid[shard * slots + slot].verdict, Err(BstError::EmptyTree)));
     Err(if all_empty_trees {
         BstError::EmptyTree
     } else {

@@ -82,6 +82,55 @@ proptest! {
         prop_assert_eq!(via_shards, via_single);
     }
 
+    /// Under arbitrary interleaved `insert_occupied`/`remove_occupied`
+    /// routed through the engine, every shard's maintained subtree
+    /// weights exactly equal a from-scratch recount, per shard and in
+    /// total — and a warm scatter-gather handle repaired through the
+    /// mutation journals reports exactly what a cold handle computes.
+    #[test]
+    fn sharded_maintained_weights_equal_recount(
+        occupied in prop::collection::btree_set(0u64..2_048, 5..150),
+        shards in 1usize..6,
+        ops in prop::collection::vec((any::<bool>(), 0u64..2_048), 1..60),
+    ) {
+        let occ: Vec<u64> = occupied.iter().copied().collect();
+        let engine = ShardedBstSystem::builder(2_048)
+            .shards(shards)
+            .expected_set_size(64)
+            .seed(41)
+            .occupied(occ.iter().copied())
+            .build();
+        let members: Vec<u64> = (0..2_048u64).step_by(5).collect();
+        let filter = engine.store(members.iter().copied());
+        let warm = engine.query(&filter);
+        let _ = warm.live_weight();
+        let mut live = occupied.clone();
+        for (insert, id) in ops {
+            if insert {
+                engine.insert_occupied(id).unwrap();
+                live.insert(id);
+            } else {
+                engine.remove_occupied(id).unwrap();
+                live.remove(&id);
+            }
+        }
+        // Per shard and in total: maintained == recount.
+        prop_assert!(engine.weights_consistent());
+        let mut total = 0u64;
+        for sys in engine.shard_systems() {
+            let ids = sys.occupied_ids();
+            prop_assert_eq!(sys.occupied_count(), ids.len() as u64);
+            total += ids.len() as u64;
+        }
+        prop_assert_eq!(total, live.len() as u64);
+        prop_assert_eq!(engine.occupied_count(), live.len() as u64);
+        prop_assert_eq!(engine.occupied_ids(), live.into_iter().collect::<Vec<u64>>());
+        // Warm handle ≡ cold handle after journal repair.
+        let cold = engine.query(&filter);
+        prop_assert_eq!(warm.live_weight(), cold.live_weight());
+        prop_assert_eq!(warm.reconstruct(), cold.reconstruct());
+    }
+
     /// Scatter-gather sampling returns positives only, and the sharded
     /// live-leaf weight equals the single system's reconstruction size.
     #[test]

@@ -1,0 +1,253 @@
+//! Statistical conformance harness: fixed-seed sample collection plus
+//! the two-sample tests the end-to-end suites pin distributions with.
+//!
+//! The repo's exactness bars (warm-equals-cold, sharded-equals-single
+//! under one RNG stream) are deterministic; this module covers the
+//! *statistical* bars — "these two samplers draw from the same
+//! distribution" — with two complementary tests:
+//!
+//! * [`chi2_homogeneity`]: Pearson's two-sample chi-squared test over
+//!   per-category counts (sensitive to any per-element frequency skew);
+//! * [`ks_two_sample`]: the two-sample Kolmogorov–Smirnov test over raw
+//!   draws (sensitive to distributional shifts the binned test dilutes).
+//!
+//! Everything is seed-deterministic: [`sample_counts`] threads one
+//! `StdRng` through the caller's draw closure, so a failing run replays
+//! bit-for-bit. Significance levels follow the core uniformity tests:
+//! assert at [`DEFAULT_ALPHA`] (1%) — a correct sampler's p-values are
+//! Uniform(0,1), so asserting at the paper's 0.08 would flake by
+//! construction, while genuine mismatches land at p < 1e-10.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::chi2::{chi2_survival, Chi2Result};
+
+/// Significance level the conformance suites assert at.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Draws `rounds` samples from `draw` with a fixed-seed `StdRng` and
+/// counts occurrences per key. `keys` must be sorted ascending; panics
+/// if a draw is not one of `keys` (conformance suites compare
+/// distributions over an agreed support).
+pub fn sample_counts<F: FnMut(&mut StdRng) -> u64>(
+    keys: &[u64],
+    rounds: usize,
+    seed: u64,
+    mut draw: F,
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; keys.len()];
+    for _ in 0..rounds {
+        let s = draw(&mut rng);
+        let idx = keys.binary_search(&s).expect("draw outside the support");
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Pearson's chi-squared test of homogeneity for two count vectors over
+/// the same categories: `H₀` = both samples come from one distribution.
+/// The statistic sums `(o - e)²/e` over both rows of the 2×K
+/// contingency table with `e[g][k] = rowtotal[g]·coltotal[k]/grand`;
+/// categories observed by neither sample drop out (reducing the degrees
+/// of freedom accordingly).
+///
+/// # Panics
+/// Panics if the lengths differ, fewer than two categories were
+/// observed at all, or either sample is empty.
+pub fn chi2_homogeneity(a: &[u64], b: &[u64]) -> Chi2Result {
+    assert_eq!(a.len(), b.len(), "count vectors must share categories");
+    let row_a: u64 = a.iter().sum();
+    let row_b: u64 = b.iter().sum();
+    assert!(row_a > 0 && row_b > 0, "both samples must be non-empty");
+    let grand = (row_a + row_b) as f64;
+    let mut statistic = 0.0;
+    let mut observed_categories = 0usize;
+    for (&oa, &ob) in a.iter().zip(b) {
+        let col = oa + ob;
+        if col == 0 {
+            continue; // unobserved category: contributes nothing
+        }
+        observed_categories += 1;
+        for (o, row) in [(oa, row_a), (ob, row_b)] {
+            let e = row as f64 * col as f64 / grand;
+            let d = o as f64 - e;
+            statistic += d * d / e;
+        }
+    }
+    assert!(
+        observed_categories >= 2,
+        "need at least two observed categories"
+    );
+    let dof = observed_categories - 1;
+    Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_survival(statistic, dof),
+    }
+}
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_a(x) − F_b(x)|`.
+    pub statistic: f64,
+    /// Asymptotic `P(D ≥ d)` under `H₀` (same distribution).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether `H₀` (one common distribution) survives at `alpha`.
+    pub fn is_same_distribution_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test: the supremum distance between
+/// the two empirical CDFs, with the asymptotic Kolmogorov p-value
+/// (Numerical Recipes' small-sample correction applied to the effective
+/// sample size).
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let mut a: Vec<f64> = a.to_vec();
+    let mut b: Vec<f64> = b.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    let (na, nb) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < na && j < nb {
+        let (xa, xb) = (a[i], b[j]);
+        let x = xa.min(xb);
+        while i < na && a[i] <= x {
+            i += 1;
+        }
+        while j < nb && b[j] <= x {
+            j += 1;
+        }
+        let diff = (i as f64 / na as f64 - j as f64 / nb as f64).abs();
+        if diff > d {
+            d = diff;
+        }
+    }
+    let n_eff = (na as f64 * nb as f64) / (na + nb) as f64;
+    let sqrt_n = n_eff.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// [`ks_two_sample`] over integer draws (namespace ids).
+pub fn ks_two_sample_ids(a: &[u64], b: &[u64]) -> KsResult {
+    let fa: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+    let fb: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+    ks_two_sample(&fa, &fb)
+}
+
+/// The Kolmogorov survival function
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`, clamped to `[0, 1]`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    let exp = -2.0 * lambda * lambda;
+    for j in 1..=100 {
+        let term = sign * (exp * (j * j) as f64).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn identical_counts_are_homogeneous() {
+        let r = chi2_homogeneity(&[50, 60, 70, 80], &[50, 60, 70, 80]);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.dof, 3);
+        assert!(r.is_uniform_at(DEFAULT_ALPHA));
+    }
+
+    #[test]
+    fn skewed_counts_reject_homogeneity() {
+        let r = chi2_homogeneity(&[500, 10, 10, 10], &[10, 10, 10, 500]);
+        assert!(r.p_value < 1e-10, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn unobserved_categories_drop_out() {
+        let r = chi2_homogeneity(&[50, 0, 60], &[55, 0, 58]);
+        assert_eq!(r.dof, 1, "the dead middle category reduces dof");
+        assert!(r.is_uniform_at(DEFAULT_ALPHA));
+    }
+
+    #[test]
+    fn same_rng_streams_are_ks_indistinguishable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(
+            r.is_same_distribution_at(DEFAULT_ALPHA),
+            "p = {}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn shifted_distributions_are_ks_distinguishable() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>() + 0.2).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 1e-10, "p = {}", r.p_value);
+        assert!(r.statistic > 0.15);
+    }
+
+    #[test]
+    fn ks_statistic_matches_hand_example() {
+        // a = {1,2,3}, b = {2,3,4}: max CDF gap is 1/3 (at x=1 and x=3).
+        let r = ks_two_sample(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]);
+        assert!((r.statistic - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_q_endpoints() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.3) > 0.999);
+        // Textbook: Q(1.36) ≈ 0.049 (the classic 5% critical value).
+        assert!((kolmogorov_q(1.36) - 0.049).abs() < 5e-3);
+        assert!(kolmogorov_q(4.0) < 1e-10);
+    }
+
+    #[test]
+    fn sample_counts_is_seed_deterministic() {
+        let keys = [10u64, 20, 30];
+        let draw = |rng: &mut StdRng| keys[rng.gen_range(0..3usize)];
+        let a = sample_counts(&keys, 500, 42, draw);
+        let b = sample_counts(&keys, 500, 42, draw);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the support")]
+    fn draws_outside_support_panic() {
+        let _ = sample_counts(&[1u64, 2], 1, 0, |_| 99);
+    }
+}

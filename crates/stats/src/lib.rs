@@ -5,6 +5,9 @@
 //! * [`gamma`] — `ln Γ`, regularized incomplete gamma (`P`, `Q`);
 //! * [`chi2`] — Pearson's chi-squared uniformity test with p-values
 //!   (Table 5's methodology, §7.2);
+//! * [`conformance`] — the fixed-seed conformance harness (two-sample
+//!   chi-squared homogeneity + Kolmogorov–Smirnov) the end-to-end suites
+//!   pin sampler distributions with;
 //! * [`summary`] — Welford mean/variance and percentiles for timing rows;
 //! * [`binomial`] — binomial sampling for the one-pass multi-sampler's
 //!   path splitting (§5.3);
@@ -14,9 +17,11 @@
 
 pub mod binomial;
 pub mod chi2;
+pub mod conformance;
 pub mod gamma;
 pub mod histogram;
 pub mod summary;
 
 pub use chi2::{chi2_test, chi2_uniform_test, Chi2Result};
+pub use conformance::{chi2_homogeneity, ks_two_sample, ks_two_sample_ids, KsResult};
 pub use summary::Welford;

@@ -1,0 +1,143 @@
+//! Thread-based stress: concurrent occupancy mutators against warm
+//! `Query`/`ShardQuery` handles. The bar — a reader must **never
+//! observe a superseded weight**: any weight returned after a mutation
+//! was published carries a tree-generation stamp at least as new as
+//! every generation the reader saw before asking (the stamps force the
+//! repair/re-descent path; a stale cached weight slipping through would
+//! surface here as a stamp regression). Runs in release in CI (the
+//! `test` job runs `cargo test --release`); ignored under debug builds.
+
+use bloomsampletree::{BstSystem, ShardedBstSystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MUTATIONS_PER_THREAD: u64 = 400;
+const READS_PER_THREAD: u64 = 800;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
+fn concurrent_mutators_never_yield_superseded_weights_single() {
+    let namespace = 16_384u64;
+    let sys = BstSystem::builder(namespace)
+        .expected_set_size(200)
+        .seed(3)
+        .pruned((0..namespace).step_by(2))
+        .build();
+    let keys: Vec<u64> = (0..400u64).map(|i| i * 41 % namespace).collect();
+    let filter = sys.store(keys.iter().copied());
+    let warm = sys.query(&filter);
+    warm.live_weight().expect("prime");
+
+    std::thread::scope(|scope| {
+        for m in 0..2u64 {
+            let sys = sys.clone();
+            scope.spawn(move || {
+                // Disjoint odd ids per mutator: every op really mutates.
+                for i in 0..MUTATIONS_PER_THREAD {
+                    let id = (((i * 4 + m * 2 + 1) * 7) % namespace) | 1;
+                    sys.insert_occupied(id).expect("insert");
+                    sys.remove_occupied(id).expect("remove");
+                }
+            });
+        }
+        for r in 0..2u64 {
+            let sys = sys.clone();
+            let warm = &warm;
+            let filter = &filter;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + r);
+                let mut last_stamp = 0u64;
+                for i in 0..READS_PER_THREAD {
+                    let gen_before = sys.tree_generation();
+                    let (outcome, _set_gen, tree_gen) = warm.live_weight_stamped();
+                    let weight = outcome.expect("weight");
+                    assert!(
+                        tree_gen >= gen_before,
+                        "superseded weight: stamped {tree_gen} < observed {gen_before}"
+                    );
+                    assert!(tree_gen >= last_stamp, "stamps must be monotonic");
+                    last_stamp = tree_gen;
+                    assert!(weight >= 1, "the even ids never leave the tree");
+                    if i % 8 == 0 {
+                        let s = warm.sample(&mut rng).expect("sample");
+                        assert!(filter.contains(s), "non-positive sample {s}");
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiescent: the warm handle, a cold handle, and the maintained
+    // weights must all agree exactly.
+    let cold = sys.query(&filter);
+    assert_eq!(warm.live_weight(), cold.live_weight());
+    assert_eq!(warm.reconstruct(), cold.reconstruct());
+    assert!(sys.weights_consistent());
+    assert_eq!(sys.occupied_count(), namespace / 2, "all churn was toggles");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
+fn concurrent_mutators_never_yield_superseded_weights_sharded() {
+    let namespace = 16_384u64;
+    let engine = ShardedBstSystem::builder(namespace)
+        .shards(4)
+        .expected_set_size(200)
+        .seed(5)
+        .occupied((0..namespace).step_by(2))
+        .build();
+    let keys: Vec<u64> = (0..400u64).map(|i| i * 37 % namespace).collect();
+    let filter = engine.store(keys.iter().copied());
+    let warm = engine.query(&filter);
+    warm.live_weight().expect("prime");
+
+    std::thread::scope(|scope| {
+        for m in 0..2u64 {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                for i in 0..MUTATIONS_PER_THREAD {
+                    let id = (((i * 4 + m * 2 + 1) * 11) % namespace) | 1;
+                    engine.insert_occupied(id).expect("insert");
+                    engine.remove_occupied(id).expect("remove");
+                }
+            });
+        }
+        for r in 0..2u64 {
+            let engine = engine.clone();
+            let warm = &warm;
+            let filter = &filter;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(200 + r);
+                for i in 0..READS_PER_THREAD {
+                    let before: Vec<u64> = engine
+                        .shard_systems()
+                        .iter()
+                        .map(|s| s.tree_generation())
+                        .collect();
+                    let weight = warm.live_weight().expect("weight");
+                    assert!(weight >= 1, "the even ids never leave the engine");
+                    // Every per-shard stamp the weight was served under
+                    // must be at least as new as the generations observed
+                    // before the call.
+                    for (handle, b) in warm.shard_handles().iter().zip(&before) {
+                        let stamp = handle.tree_generation();
+                        assert!(
+                            stamp >= *b,
+                            "superseded shard weight: stamped {stamp} < observed {b}"
+                        );
+                    }
+                    if i % 8 == 0 {
+                        let s = warm.sample(&mut rng).expect("sample");
+                        assert!(filter.contains(s), "non-positive sample {s}");
+                    }
+                }
+            });
+        }
+    });
+
+    let cold = engine.query(&filter);
+    assert_eq!(warm.live_weight(), cold.live_weight());
+    assert_eq!(warm.reconstruct(), cold.reconstruct());
+    assert!(engine.weights_consistent());
+    assert_eq!(engine.occupied_count(), namespace / 2);
+}

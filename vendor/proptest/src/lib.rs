@@ -167,6 +167,24 @@ impl<T> Strategy for OneOf<T> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (S0 / 0, S1 / 1),
+    (S0 / 0, S1 / 1, S2 / 2),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3),
+);
+
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
 
