@@ -3,7 +3,9 @@
 //! across the crossbeam pool, the occupancy-mutation invalidation
 //! round-trip (insert_occupied → stale sharded handle → journal-repaired
 //! re-weight), the weight-delta refresh vs the PR 3 full-recount
-//! behaviour, and the two-phase batch scatter vs a one-phase emulation.
+//! behaviour, the two-phase batch scatter vs a one-phase emulation, and
+//! warm repeated batches against the engine's persistent weight cache vs
+//! the cold (cache-bypassed) two-phase path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -97,7 +99,9 @@ fn bench_reconstruct_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// Batch fan-out across the crossbeam worker pool.
+/// Batch fan-out across the crossbeam worker pool (weight cache
+/// bypassed: this group tracks the cold scatter cost itself — the
+/// cached path has its own `batch-warm-cache` group).
 fn bench_batch_fanout(c: &mut Criterion) {
     let occ = occupancy();
     let mut rng = rng_for(9);
@@ -105,6 +109,7 @@ fn bench_batch_fanout(c: &mut Criterion) {
     group.sample_size(10);
     for shards in SHARD_COUNTS {
         let engine = build_sharded(shards);
+        engine.set_weight_cache(false);
         let filters: Vec<_> = (0..32)
             .map(|_| {
                 let keys = uniform_set(&mut rng, occ.len() as u64, 200);
@@ -290,7 +295,9 @@ fn one_phase_batch(
 }
 
 /// Two-phase batch scatter (weights first, sample only chosen cells,
-/// cell-grid chunking) vs the PR 3 one-phase emulation above.
+/// cell-grid chunking) vs the PR 3 one-phase emulation above. Weight
+/// cache bypassed on both arms: this group compares the scatter
+/// *structures* at equal (cold) weighing cost.
 fn bench_batch_two_phase(c: &mut Criterion) {
     let occ = occupancy();
     let mut rng = rng_for(19);
@@ -298,6 +305,7 @@ fn bench_batch_two_phase(c: &mut Criterion) {
     group.sample_size(10);
     for shards in SHARD_COUNTS {
         let engine = build_sharded(shards);
+        engine.set_weight_cache(false);
         let filters: Vec<_> = (0..32)
             .map(|_| {
                 let keys = uniform_set(&mut rng, occ.len() as u64, 200);
@@ -314,6 +322,59 @@ fn bench_batch_two_phase(c: &mut Criterion) {
     group.finish();
 }
 
+/// Repeated 32-slot batches against the engine-level persistent weight
+/// cache vs the PR 4 cold two-phase path (cache bypassed): a warm batch
+/// revalidates `S × 32` stamp pairs and samples the 32 chosen cells,
+/// instead of re-walking every (shard, slot) weighing from scratch —
+/// the near-pure-phase-2 floor. A third variant mutates the occupancy
+/// between batches, so every warm entry must repair through the
+/// mutation journal before serving (the stale-repair path).
+fn bench_batch_warm_cache(c: &mut Criterion) {
+    let occ = occupancy();
+    let mut rng = rng_for(23);
+    let mut group = c.benchmark_group("batch-warm-cache");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let engine = build_sharded(shards);
+        let filters: Vec<_> = (0..32)
+            .map(|_| {
+                let keys = uniform_set(&mut rng, occ.len() as u64, 200);
+                engine.store(keys.into_iter().map(|i| occ[i as usize]))
+            })
+            .collect();
+        // Cold: exactly the PR 4 two-phase path (cache bypassed).
+        engine.set_weight_cache(false);
+        group.bench_with_input(
+            BenchmarkId::new("cold-two-phase", shards),
+            &shards,
+            |b, _| b.iter(|| engine.query_batch(&filters, 17, 0)),
+        );
+        // Warm: cache enabled and primed — repeated identical batches
+        // skip phase 1 entirely.
+        engine.set_weight_cache(true);
+        engine.query_batch(&filters, 17, 0);
+        group.bench_with_input(BenchmarkId::new("warm-cached", shards), &shards, |b, _| {
+            b.iter(|| engine.query_batch(&filters, 17, 0))
+        });
+        // Warm + churn: an occupancy toggle between batches forces the
+        // journal-repair path on the mutated shard's 32 cells.
+        group.bench_with_input(
+            BenchmarkId::new("warm-repaired", shards),
+            &shards,
+            |b, _| {
+                let mut key = 1u64;
+                b.iter(|| {
+                    engine.insert_occupied(key).expect("insert");
+                    engine.remove_occupied(key).expect("remove");
+                    key = (key + 4) % NAMESPACE;
+                    engine.query_batch(&filters, 17, 0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sample_scaling,
@@ -321,6 +382,7 @@ criterion_group!(
     bench_batch_fanout,
     bench_occupancy_invalidation,
     bench_weight_delta,
-    bench_batch_two_phase
+    bench_batch_two_phase,
+    bench_batch_warm_cache
 );
 criterion_main!(benches);

@@ -10,6 +10,24 @@
 //! `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13` (covers 13–15),
 //! plus `ablate-threshold`, `ablate-estimator`, `ablate-depth`,
 //! `ablate-multisample`, `ablate-correction`.
+//!
+//! ## Example
+//!
+//! The shared plumbing every experiment builds on — deterministic RNG
+//! streams and §7.1 query-set generation:
+//!
+//! ```
+//! use bst_bench::common::{gen_set, rng_for, SetKind};
+//!
+//! let mut rng = rng_for(42);
+//! let queries = gen_set(&mut rng, SetKind::Uniform, 100_000, 1_000);
+//! assert_eq!(queries.len(), 1_000);
+//! assert_eq!(SetKind::Clustered.name(), "clustered");
+//!
+//! // The same stream id always reproduces the same set.
+//! let again = gen_set(&mut rng_for(42), SetKind::Uniform, 100_000, 1_000);
+//! assert_eq!(queries, again);
+//! ```
 
 #![warn(missing_docs)]
 

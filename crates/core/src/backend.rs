@@ -399,6 +399,51 @@ impl TreeView<'_> {
             }
         }
     }
+
+    /// Journal-replay hook for **external** weight memos — live-leaf
+    /// weights cached outside any [`crate::query::Query`] handle, such as
+    /// the sharded engine's persistent batch weight cache. Brings an
+    /// exact weight computed at tree generation `since` up to this view's
+    /// generation by replaying the mutation journal with the O(k) delta
+    /// `±filter.contains(id)` per mutation, instead of a counting walk.
+    ///
+    /// Returns `None` whenever the delta cannot be *proven* exact — the
+    /// journal no longer reaches back to `since`, a degenerate-probe
+    /// resident is a positive of `filter` (the collision census), a
+    /// mutated id itself probes fewer than `k` distinct bits, or the
+    /// arithmetic would wrap — in which case the caller must discard the
+    /// cached weight and recount. The delta is sound only when the
+    /// weight is the exact positives count, i.e. under `BitOverlap`
+    /// reconstruction; callers gate on the configuration, as
+    /// [`crate::system::BstSystem::repair_live_weight`] does.
+    pub fn replay_count(&self, since: u64, filter: &BloomFilter, count: u64) -> Option<u64> {
+        match self {
+            // Dense generation is constant 0: a zero gap is a no-op and
+            // anything else is a caller bug treated as "cannot repair".
+            TreeView::Dense(_) => (since == 0).then_some(count),
+            TreeView::Pruned { guard, .. } => {
+                let mutations = guard.mutations_since(since)?;
+                // Same exactness precondition as `repair_memo`: no
+                // degenerate-probe resident may be a filter positive.
+                if guard.colliding_ids().iter().any(|&c| filter.contains(c)) {
+                    return None;
+                }
+                let mut count = count;
+                for (id, inserted) in mutations {
+                    if !filter.probes_distinct_bits(id) {
+                        return None;
+                    }
+                    let delta = u64::from(filter.contains(id));
+                    count = if inserted {
+                        count.checked_add(delta)?
+                    } else {
+                        count.checked_sub(delta)?
+                    };
+                }
+                Some(count)
+            }
+        }
+    }
 }
 
 impl SampleTree for TreeView<'_> {

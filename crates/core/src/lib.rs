@@ -24,6 +24,33 @@
 //! * [`query::Query`] — the per-filter handle with amortized descent
 //!   state, opened via [`system::BstSystem::query`] or (generation-
 //!   stamped, mutation-safe) [`system::BstSystem::query_id`].
+//!
+//! ## Example
+//!
+//! One tree serves a mutable database of filter-backed sets; per-filter
+//! work goes through generation-stamped [`query::Query`] handles and
+//! batches fan out over worker threads:
+//!
+//! ```
+//! use bst_core::system::BstSystem;
+//!
+//! let system = BstSystem::builder(50_000).accuracy(0.9).build();
+//!
+//! // A mutable stored set, addressed by id; its handle tracks churn.
+//! let community = system.create((0..300u64).map(|i| i * 11)).unwrap();
+//! let query = system.query_id(community).unwrap();
+//! system.insert_keys(community, [49_999u64]).unwrap();
+//! assert!(query.reconstruct().unwrap().binary_search(&49_999).is_ok());
+//!
+//! // Batch sampling across many detached filters at once.
+//! let filters: Vec<_> = (0..4)
+//!     .map(|i| system.store((0..40u64).map(|j| (i * 997 + j * 13) % 50_000)))
+//!     .collect();
+//! let (picks, _stats) = system.query_batch(&filters, 7, 0);
+//! for (filter, pick) in filters.iter().zip(&picks) {
+//!     assert!(filter.contains(pick.unwrap()));
+//! }
+//! ```
 
 #![warn(missing_docs)]
 

@@ -53,10 +53,11 @@ use crate::multiquery;
 use crate::persistence::{self, PersistError};
 use crate::pruned::PrunedBloomSampleTree;
 use crate::query::Query;
-use crate::reconstruct::ReconstructConfig;
-use crate::sampler::SamplerConfig;
+use crate::reconstruct::{BstReconstructor, ReconstructConfig};
+use crate::sampler::{Liveness, QueryMemo, SamplerConfig};
 use crate::store::{BstStore, FilterId};
 use crate::tree::BloomSampleTree;
+use crate::tree::SampleTree;
 
 /// Magic bytes of a whole-system snapshot.
 const SYSTEM_MAGIC: &[u8; 4] = b"BSTS";
@@ -350,6 +351,73 @@ impl BstSystem {
     /// [`Self::query`] taking ownership of the filter (no clone).
     pub fn query_owned(&self, filter: BloomFilter) -> Query {
         Query::new(self.clone(), filter)
+    }
+
+    /// The live-leaf weight of `filter` — exactly the count
+    /// [`Query::live_weight`] reports, i.e. the number of elements
+    /// [`Query::reconstruct`] would return — computed in one shot,
+    /// without opening (and paying for) a full handle. Useful for
+    /// weighing many filters whose descent state is not worth keeping,
+    /// e.g. when filling an external weight cache such as the sharded
+    /// engine's.
+    pub fn live_weight(&self, filter: &BloomFilter) -> Result<u64, BstError> {
+        self.live_weight_stamped(filter).0
+    }
+
+    /// [`Self::live_weight`] plus the tree generation it was computed at,
+    /// read under the same tree view as the walk — so a caller caching
+    /// the weight can key it to exactly the occupancy state it reflects.
+    /// On hard errors the generation is still the view's and should not
+    /// be used for caching.
+    pub fn live_weight_stamped(&self, filter: &BloomFilter) -> (Result<u64, BstError>, u64) {
+        let view = self.shared.tree.read();
+        let generation = view.generation();
+        if let Some(root) = view.root() {
+            if !filter.compatible_with(view.filter(root)) {
+                return (Err(BstError::IncompatibleFilter), generation);
+            }
+        }
+        let recon = BstReconstructor::with_config(&view, self.shared.cfg.reconstruct);
+        let mut memo = QueryMemo::new();
+        let mut stats = OpStats::new();
+        (
+            recon.try_count_memo(filter, &mut memo, &mut stats),
+            generation,
+        )
+    }
+
+    /// Journal-replay hook for **external** weight memos: brings a
+    /// live-leaf `weight` for `filter`, computed at tree generation
+    /// `since` (by [`Self::live_weight_stamped`] or a handle's
+    /// [`Query::live_weight`]), up to the current generation by replaying
+    /// the tree's bounded mutation journal — an O(k) delta per mutation
+    /// instead of a counting walk. Returns the repaired weight and the
+    /// generation it is now valid at.
+    ///
+    /// Returns `None` whenever the delta is not provably exact: the
+    /// reconstruction liveness is not the sound `BitOverlap` rule, the
+    /// journal no longer covers the generation gap, or the collision
+    /// census blocks the positives-equal-count identity (see
+    /// [`crate::backend::TreeView::replay_count`]) — the caller must
+    /// then recompute. Set churn is *not* covered: this hook repairs
+    /// across occupancy mutations only, so callers tracking a stored set
+    /// must separately discard on set-generation movement.
+    pub fn repair_live_weight(
+        &self,
+        filter: &BloomFilter,
+        since: u64,
+        weight: u64,
+    ) -> Option<(u64, u64)> {
+        if self.shared.cfg.reconstruct.liveness != Liveness::BitOverlap {
+            return None;
+        }
+        let view = self.shared.tree.read();
+        let generation = view.generation();
+        if generation == since {
+            return Some((weight, generation));
+        }
+        view.replay_count(since, filter, weight)
+            .map(|w| (w, generation))
     }
 
     /// Draws one sample per query filter, in parallel over `threads`

@@ -30,10 +30,16 @@
 //!   single tree's (chi²-checked in `tests/e2e_shard.rs`).
 //! * **Reconstruction** ([`ShardQuery::reconstruct`]): shard answers are
 //!   disjoint and range-ordered, so gathering is concatenation.
-//! * **Batches** ([`ShardedBstSystem::query_batch`]): filters fan out
-//!   across shards on a crossbeam worker pool; per-(shard, filter) RNG
+//! * **Batches** ([`ShardedBstSystem::query_batch`]): a two-phase
+//!   scatter over a crossbeam worker pool — weigh every (shard, filter)
+//!   cell, pick one shard per filter ∝ the weights, sample only the
+//!   chosen cells. Phase 1 is backed by a **persistent engine-level
+//!   weight cache** ([`weight_cache`]): repeated batches over an
+//!   unchanged filter population skip the weighing entirely, and
+//!   occupancy churn repairs cached weights through the mutation
+//!   journal instead of discarding them. Per-(shard, filter) RNG
 //!   seeding keeps results deterministic for a fixed seed regardless of
-//!   thread count.
+//!   thread count — and bit-identical with the cache on or bypassed.
 //!
 //! ## Mutability
 //!
@@ -81,6 +87,8 @@
 
 pub mod query;
 pub mod system;
+pub mod weight_cache;
 
 pub use query::ShardQuery;
 pub use system::{shard_boundaries, ShardedBstSystem, ShardedBstSystemBuilder};
+pub use weight_cache::{CachedWeight, WeightCacheStats};

@@ -16,6 +16,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::query::ShardQuery;
+use crate::weight_cache::{
+    filter_content_hash, CachedWeight, SlotKey, WeightCache, WeightCacheStats,
+};
 
 /// Magic bytes of a sharded-system snapshot.
 const SHARD_MAGIC: &[u8; 4] = b"BSTH";
@@ -61,6 +64,7 @@ pub struct ShardedBstSystemBuilder {
     cfg: BstConfig,
     depth_override: Option<u32>,
     occupied: Option<Vec<u64>>,
+    weight_cache: bool,
 }
 
 impl ShardedBstSystemBuilder {
@@ -76,6 +80,7 @@ impl ShardedBstSystemBuilder {
             cfg: BstConfig::default(),
             depth_override: None,
             occupied: None,
+            weight_cache: true,
         }
     }
 
@@ -124,6 +129,16 @@ impl ShardedBstSystemBuilder {
     /// Pins the tree depth instead of deriving it from the cost model.
     pub fn depth(mut self, depth: u32) -> Self {
         self.depth_override = Some(depth);
+        self
+    }
+
+    /// Enables or bypasses the engine-level persistent weight cache the
+    /// batch entry points consult (default: enabled). Bypass exists for
+    /// A/B measurement and for pinning cached ≡ uncached outputs in
+    /// tests; it can also be toggled later with
+    /// [`ShardedBstSystem::set_weight_cache`].
+    pub fn weight_cache(mut self, enabled: bool) -> Self {
+        self.weight_cache = enabled;
         self
     }
 
@@ -194,6 +209,7 @@ impl ShardedBstSystemBuilder {
             }
             shards.push(builder.try_build()?);
         }
+        let shard_count = shards.len();
         Ok(ShardedBstSystem {
             shared: Arc::new(Shared {
                 boundaries,
@@ -202,6 +218,7 @@ impl ShardedBstSystemBuilder {
                     next_id: 0,
                     map: BTreeMap::new(),
                 }),
+                weight_cache: WeightCache::new(shard_count, self.weight_cache),
             }),
         })
     }
@@ -218,6 +235,9 @@ struct Shared {
     boundaries: Vec<u64>,
     shards: Vec<BstSystem>,
     registry: RwLock<Registry>,
+    /// Engine-level persistent per-(filter, shard) weight cache for the
+    /// batch entry points (see [`crate::weight_cache`]).
+    weight_cache: WeightCache,
 }
 
 /// A sharded BloomSampleTree engine over one namespace: `S` contiguous
@@ -422,6 +442,9 @@ impl ShardedBstSystem {
                 first_error.get_or_insert(e);
             }
         }
+        // Garbage-collect the retired id's weight-cache entry (sharded
+        // ids are never reused, so this is hygiene, not invalidation).
+        self.shared.weight_cache.remove_stored(id.raw());
         match first_error {
             Some(e) => Err(e),
             None => Ok(()),
@@ -447,6 +470,54 @@ impl ShardedBstSystem {
             .keys()
             .map(|&raw| FilterId::from_raw(raw))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // The persistent weight cache (batch phase-1 amortization).
+    // ------------------------------------------------------------------
+
+    /// Whether the engine-level persistent weight cache is enabled (the
+    /// builder default; see
+    /// [`ShardedBstSystemBuilder::weight_cache`]).
+    pub fn weight_cache_enabled(&self) -> bool {
+        self.shared.weight_cache.enabled()
+    }
+
+    /// Enables or bypasses the persistent weight cache at runtime.
+    /// Disabling also clears it, so batches after a later re-enable
+    /// start cold — and bypassed batches always produce exactly what
+    /// cached ones would, since cached weights equal recomputed ones
+    /// (pinned in `tests/e2e_shard.rs`).
+    pub fn set_weight_cache(&self, enabled: bool) {
+        self.shared.weight_cache.set_enabled(enabled);
+    }
+
+    /// Drops every cached weight and resets the effectiveness counters;
+    /// the next batch re-weighs all its cells. Never required for
+    /// correctness (staleness is stamp-checked on every probe) — this
+    /// exists for measurement and tests.
+    pub fn clear_weight_cache(&self) {
+        self.shared.weight_cache.clear();
+    }
+
+    /// Hit/miss/repair counters of the persistent weight cache since
+    /// construction or the last clear — a warm repeated batch shows
+    /// `S × slots` new hits and no new misses.
+    pub fn weight_cache_stats(&self) -> WeightCacheStats {
+        self.shared.weight_cache.stats()
+    }
+
+    /// Introspection/test hook: the cached per-shard weight cells for a
+    /// stored sharded id, in shard order, if the cache holds an entry
+    /// for it. Cells may be stale (lazy invalidation); their stamps say
+    /// which state they reflect.
+    pub fn cached_weights(&self, id: FilterId) -> Option<Vec<Option<CachedWeight>>> {
+        self.shared.weight_cache.stored_cells(id.raw())
+    }
+
+    /// [`Self::cached_weights`] for an interned ad-hoc filter.
+    pub fn cached_weights_for(&self, filter: &BloomFilter) -> Option<Vec<Option<CachedWeight>>> {
+        self.shared.weight_cache.adhoc_cells(filter)
     }
 
     // ------------------------------------------------------------------
@@ -486,26 +557,39 @@ impl ShardedBstSystem {
     /// a crossbeam worker pool (`threads` workers; 0 = one per CPU,
     /// capped at the `shards × filters` cell count — so a low-shard
     /// engine still spreads a wide batch across every requested worker).
-    /// Phase 1 gathers each (shard, filter) cell's live-leaf weight only;
-    /// the gather step picks one shard per filter proportionally to the
-    /// weights; phase 2 then samples **only the chosen cells**, reusing
-    /// the handles phase 1 already warmed — ~S× less sampling work than
-    /// sampling speculatively on every shard. Results align with
-    /// `filters`; per-cell RNG seeding keeps the output deterministic for
-    /// a fixed `seed` regardless of `threads` (and identical to the
-    /// one-phase scatter this replaces).
+    /// Phase 1 consults the engine's **persistent weight cache** first
+    /// (each filter interned by content hash) and dispatches weighing
+    /// work only for missing or stale (shard, filter) cells — a warm
+    /// repeated batch over an unchanged filter population skips phase 1
+    /// entirely; the gather step picks one shard per filter
+    /// proportionally to the weights; phase 2 then samples **only the
+    /// chosen cells**, reusing any handles phase 1 warmed — ~S× less
+    /// sampling work than sampling speculatively on every shard. Results
+    /// align with `filters`; per-cell RNG seeding keeps the output
+    /// deterministic for a fixed `seed` regardless of `threads`, and
+    /// bit-identical whether weights came from the cache or a fresh walk.
     pub fn query_batch(
         &self,
         filters: &[BloomFilter],
         seed: u64,
         threads: usize,
     ) -> (Vec<Result<u64, BstError>>, OpStats) {
-        self.scatter_gather(filters.len(), seed, threads, |_, sys, slot| {
+        let keys: Vec<Option<SlotKey<'_>>> = filters
+            .iter()
+            .map(|f| {
+                Some(SlotKey::Adhoc {
+                    hash: filter_content_hash(f),
+                    filter: f,
+                })
+            })
+            .collect();
+        self.scatter_gather(filters.len(), seed, threads, &keys, |_, sys, slot| {
             Ok(Some(sys.query(&filters[slot])))
         })
     }
 
-    /// [`Self::query_batch`] addressed by sharded store id. An
+    /// [`Self::query_batch`] addressed by sharded store id (weight-cache
+    /// entries are keyed by the id itself — no filter hashing). An
     /// unknown/dropped id yields `Err(UnknownFilterId)` for its slot
     /// without failing the rest of the batch.
     pub fn query_batch_ids(
@@ -521,8 +605,18 @@ impl ShardedBstSystem {
                 .map(|id| registry.map.get(&id.raw()).cloned())
                 .collect()
         };
+        let keys: Vec<Option<SlotKey<'_>>> = ids
+            .iter()
+            .zip(&backing)
+            .map(|(id, fids)| {
+                fids.as_ref().map(|fids| SlotKey::Stored {
+                    raw: id.raw(),
+                    fids,
+                })
+            })
+            .collect();
         let (mut results, stats) =
-            self.scatter_gather(ids.len(), seed, threads, |shard, sys, slot| {
+            self.scatter_gather(ids.len(), seed, threads, &keys, |shard, sys, slot| {
                 match backing[slot].as_ref() {
                     None => Ok(None),
                     // A per-shard open failure (e.g. the backing set was
@@ -543,22 +637,30 @@ impl ShardedBstSystem {
     /// points: `open(shard, sys, slot)` yields the per-shard handle for a
     /// slot: `Ok(None)` marks the slot dead on every shard (the caller
     /// patches its error in), `Err(e)` is a hard per-slot failure the
-    /// gather step propagates.
+    /// gather step propagates. `keys[slot]` names the slot in the
+    /// persistent weight cache (`None` = uncacheable, e.g. an unknown
+    /// id).
     ///
-    /// Phase 1 weighs every (shard, slot) cell — no sampling — with the
-    /// worker pool chunked over the *flattened cell grid* rather than
-    /// whole shards, so even an S=1 engine parallelises a wide batch.
-    /// The gather step merges errors and picks one shard per slot from
-    /// the weights; phase 2 samples only the chosen cells, reusing the
-    /// handles phase 1 warmed (the weight walk populated their memos, so
-    /// the sample is a warm descent). Per-cell seeding makes the result
-    /// identical to the old one-phase scatter for the same `seed`,
-    /// independent of worker placement.
+    /// Phase 0 probes the weight cache for every (shard, slot) cell;
+    /// hits (stamps current, possibly after a journal-repair delta) fill
+    /// their grid cell with no filter work at all. Phase 1 weighs only
+    /// the missing cells — no sampling — with the worker pool chunked
+    /// over the *miss list* of the flattened cell grid, so even an S=1
+    /// engine parallelises a wide cold batch, and a fully warm batch
+    /// spawns no weighing workers at all; fresh weights are written back
+    /// to the cache. The gather step merges errors and picks one shard
+    /// per slot from the weights; phase 2 samples only the chosen cells,
+    /// reusing the handles phase 1 warmed (cache-hit cells open theirs
+    /// cold — warm-equals-cold keeps the draw identical). Per-cell
+    /// seeding makes the result identical to the old one-phase scatter
+    /// for the same `seed`, independent of worker placement and of the
+    /// cache state.
     fn scatter_gather(
         &self,
         slots: usize,
         seed: u64,
         threads: usize,
+        keys: &[Option<SlotKey<'_>>],
         open: impl Fn(usize, &BstSystem, usize) -> Result<Option<bst_core::query::Query>, BstError>
             + Sync,
     ) -> (Vec<Result<u64, BstError>>, OpStats) {
@@ -576,47 +678,76 @@ impl ShardedBstSystem {
         }
         .clamp(1, cells);
 
-        // Phase 1: weigh every cell. Cell index c = shard * slots + slot,
-        // chunked contiguously across the pool.
-        let chunk = cells.div_ceil(workers);
+        // Phase 0: probe the persistent cache, one slot (= all S of its
+        // cells) per call so the entry lookup and the ad-hoc collision
+        // guard are paid once per slot. Cell index c = shard * slots +
+        // slot. Hits carry no handle (phase 2 opens one if the cell is
+        // chosen); misses are collected for weighing.
+        let cache = &self.shared.weight_cache;
         let shards = &self.shared.shards;
-        let mut weighed: Vec<(usize, Vec<WeighedCell>, OpStats)> = crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let open = &open;
-                let lo = w * chunk;
-                let hi = cells.min(lo + chunk);
-                if lo >= hi {
-                    break;
+        let mut grid: Vec<WeighedCell> = (0..cells)
+            .map(|_| WeighedCell::dead(BstError::NoLiveLeaf))
+            .collect();
+        let mut missing: Vec<usize> = Vec::new();
+        for (slot, key) in keys.iter().enumerate() {
+            let served = key.as_ref().map(|key| cache.probe_slot(shards, key));
+            for shard in 0..shard_count {
+                let cell = shard * slots + slot;
+                match served.as_ref().and_then(|row| row[shard]) {
+                    Some(outcome) => grid[cell] = WeighedCell::cached(outcome),
+                    None => missing.push(cell),
                 }
-                handles.push(scope.spawn(move |_| {
-                    let mut stats = OpStats::new();
-                    let mut part = Vec::with_capacity(hi - lo);
-                    for cell in lo..hi {
-                        let (shard, slot) = (cell / slots, cell % slots);
-                        part.push(weigh_cell(open(shard, &shards[shard], slot), &mut stats));
-                    }
-                    (w, part, stats)
-                }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("cell worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
-        weighed.sort_by_key(|(w, _, _)| *w);
+        }
         let mut stats = OpStats::new();
-        let mut grid: Vec<WeighedCell> = Vec::with_capacity(cells);
-        for (_, part, worker_stats) in weighed {
-            grid.extend(part);
-            stats += worker_stats;
+
+        // Phase 1: weigh only the missing cells, chunked across the pool.
+        if !missing.is_empty() {
+            let weigh_workers = workers.min(missing.len());
+            let chunk = missing.len().div_ceil(weigh_workers);
+            type WeighedPart = Vec<(usize, WeighedCell, Option<CachedWeight>)>;
+            let mut weighed: Vec<(usize, WeighedPart, OpStats)> = crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for (w, batch) in missing.chunks(chunk).enumerate() {
+                    let open = &open;
+                    handles.push(scope.spawn(move |_| {
+                        let mut stats = OpStats::new();
+                        let mut part = Vec::with_capacity(batch.len());
+                        for &cell in batch {
+                            let (shard, slot) = (cell / slots, cell % slots);
+                            let (weighed, stamped) =
+                                weigh_cell(open(shard, &shards[shard], slot), &mut stats);
+                            part.push((cell, weighed, stamped));
+                        }
+                        (w, part, stats)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cell worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+            weighed.sort_by_key(|(w, _, _)| *w);
+            for (_, part, worker_stats) in weighed {
+                stats += worker_stats;
+                for (cell, weighed_cell, stamped) in part {
+                    let (shard, slot) = (cell / slots, cell % slots);
+                    // Write-back happens on the gather thread, keeping
+                    // the weighing workers free of cache-lock traffic.
+                    if let (Some(key), Some(stamped)) = (keys[slot].as_ref(), stamped) {
+                        cache.fill(shard, key, stamped);
+                    }
+                    grid[cell] = weighed_cell;
+                }
+            }
         }
 
         // Gather: per slot, merge verdicts, total the weights and pick a
-        // shard. Chosen cells surrender their warm handle to phase 2.
+        // shard. Chosen cells surrender their warm handle to phase 2
+        // (cache-hit cells have none; phase 2 opens one on demand).
         let mut results: Vec<Result<u64, BstError>> = Vec::with_capacity(slots);
-        let mut chosen: Vec<(usize, usize, bst_core::query::Query)> = Vec::new();
+        let mut chosen: Vec<(usize, usize, Option<bst_core::query::Query>)> = Vec::new();
         'slots: for slot in 0..slots {
             let mut total = 0u64;
             let mut any_filter = false;
@@ -658,8 +789,7 @@ impl ShardedBstSystem {
             for shard in 0..shard_count {
                 let cell = &mut grid[shard * slots + slot];
                 if pick < cell.weight {
-                    let handle = cell.handle.take().expect("weighted cell keeps its handle");
-                    chosen.push((slot, shard, handle));
+                    chosen.push((slot, shard, cell.handle.take()));
                     // Placeholder; phase 2 overwrites it.
                     results.push(Err(BstError::NoLiveLeaf));
                     continue 'slots;
@@ -672,13 +802,16 @@ impl ShardedBstSystem {
 
         // Phase 2: sample only the chosen cells, on the pool again. Each
         // cell's RNG stream depends on its (shard, slot) coordinates
-        // alone, so placement cannot change a draw.
+        // alone, so placement cannot change a draw — and a cache-hit
+        // cell's freshly opened handle draws exactly what a phase-1-
+        // warmed one would (warm-equals-cold).
         if !chosen.is_empty() {
             let workers = workers.min(chosen.len());
             let chunk = chosen.len().div_ceil(workers);
             let sampled: Vec<Vec<SampledSlot>> = crossbeam::scope(|scope| {
                 let mut handles = Vec::new();
                 for batch in chosen.chunks(chunk) {
+                    let open = &open;
                     handles.push(scope.spawn(move |_| {
                         batch
                             .iter()
@@ -688,8 +821,25 @@ impl ShardedBstSystem {
                                     *shard as u64,
                                     *slot as u64,
                                 ));
-                                let out = handle.sample(&mut rng);
-                                (*slot, out, handle.take_stats())
+                                let mut sample_from = |handle: &bst_core::query::Query| {
+                                    let out = handle.sample(&mut rng);
+                                    (*slot, out, handle.take_stats())
+                                };
+                                match handle {
+                                    Some(handle) => sample_from(handle),
+                                    // Cache hit: open the handle now. A
+                                    // hard open failure (the backing set
+                                    // vanished mid-batch) is the slot's
+                                    // typed error, exactly as phase 1
+                                    // would have reported it.
+                                    None => match open(*shard, &shards[*shard], *slot) {
+                                        Ok(Some(handle)) => sample_from(&handle),
+                                        Ok(None) => {
+                                            (*slot, Err(BstError::NoLiveLeaf), OpStats::new())
+                                        }
+                                        Err(e) => (*slot, Err(e), OpStats::new()),
+                                    },
+                                }
                             })
                             .collect()
                     }));
@@ -858,6 +1008,7 @@ impl ShardedBstSystem {
             }
             map.insert(id, fids);
         }
+        let shard_count = shards.len();
         Ok(ShardedBstSystem {
             shared: Arc::new(Shared {
                 boundaries: manifest.boundaries,
@@ -866,6 +1017,9 @@ impl ShardedBstSystem {
                     next_id: manifest.next_id,
                     map,
                 }),
+                // The cache is derived state and never persisted; a
+                // restored engine starts cold with the default policy.
+                weight_cache: WeightCache::new(shard_count, true),
             }),
         })
     }
@@ -875,8 +1029,9 @@ impl ShardedBstSystem {
 type SampledSlot = (usize, Result<u64, BstError>, OpStats);
 
 /// One phase-1 (shard, slot) evaluation: the shard's live-leaf weight
-/// for the slot, the evaluation verdict, and — for weighted cells — the
-/// warmed handle phase 2 samples from.
+/// for the slot, the evaluation verdict, and — for freshly weighed
+/// cells — the warmed handle phase 2 samples from (cache-hit cells
+/// carry none and open one lazily if chosen).
 struct WeighedCell {
     weight: u64,
     verdict: Result<(), BstError>,
@@ -891,27 +1046,52 @@ impl WeighedCell {
             handle: None,
         }
     }
+
+    /// A cell served from the persistent weight cache: the same
+    /// weight/verdict classification as a fresh weigh, minus the handle.
+    fn cached(outcome: Result<u64, BstError>) -> Self {
+        match outcome {
+            Ok(0) => WeighedCell::dead(BstError::NoLiveLeaf),
+            Ok(weight) => WeighedCell {
+                weight,
+                verdict: Ok(()),
+                handle: None,
+            },
+            Err(e) => WeighedCell::dead(e),
+        }
+    }
 }
 
 /// Weighs one (shard, slot) cell — phase 1 does **no** sampling.
 /// Weightless shards carry `NoLiveLeaf` (never chosen by the gather
 /// step); empty per-shard projections and empty shard trees count as
-/// weight 0.
+/// weight 0. The second value is the stamped outcome for the weight
+/// cache: soft outcomes only (hard errors carry no meaningful stamps),
+/// read under the computation's own state lock so the stamps name
+/// exactly the state the weight reflects.
 fn weigh_cell(
     handle: Result<Option<bst_core::query::Query>, BstError>,
     stats: &mut OpStats,
-) -> WeighedCell {
+) -> (WeighedCell, Option<CachedWeight>) {
     let handle = match handle {
         // A hard per-shard open failure: the gather step propagates it.
-        Err(e) => return WeighedCell::dead(e),
+        Err(e) => return (WeighedCell::dead(e), None),
         // Dead slot on this shard; slot-level errors are patched in by
         // the caller (e.g. unknown sharded ids).
-        Ok(None) => return WeighedCell::dead(BstError::NoLiveLeaf),
+        Ok(None) => return (WeighedCell::dead(BstError::NoLiveLeaf), None),
         Ok(Some(handle)) => handle,
     };
-    let outcome = handle.live_weight();
+    let (outcome, set_generation, tree_generation) = handle.live_weight_stamped();
     *stats += handle.take_stats();
-    match outcome {
+    let stamped = match outcome {
+        Ok(_) | Err(BstError::EmptyFilter) | Err(BstError::EmptyTree) => Some(CachedWeight {
+            outcome,
+            set_generation,
+            tree_generation,
+        }),
+        Err(_) => None,
+    };
+    let cell = match outcome {
         Ok(0) => WeighedCell::dead(BstError::NoLiveLeaf),
         Ok(weight) => WeighedCell {
             weight,
@@ -923,7 +1103,8 @@ fn weigh_cell(
         // ShardQuery::weights, so batch slots and handle calls report
         // the same typed error.
         Err(e) => WeighedCell::dead(e),
-    }
+    };
+    (cell, stamped)
 }
 
 /// The slot error when no shard saw a usable filter — the same merge
@@ -1358,6 +1539,170 @@ mod tests {
         );
         // The untouched snapshot still restores.
         assert!(ShardedBstSystem::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn warm_repeated_batch_skips_phase_one() {
+        let sys = engine(4);
+        let filters: Vec<BloomFilter> = (0..8)
+            .map(|i| sys.store((0..60u64).map(|j| (i * 997 + j * 13) % 8_192)))
+            .collect();
+        let cells = (sys.shard_count() * filters.len()) as u64;
+        let (r1, cold_stats) = sys.query_batch(&filters, 11, 2);
+        let after_cold = sys.weight_cache_stats();
+        assert_eq!(after_cold.hits, 0, "first batch is all misses");
+        assert_eq!(after_cold.misses, cells);
+        let (r2, warm_stats) = sys.query_batch(&filters, 11, 2);
+        let after_warm = sys.weight_cache_stats();
+        assert_eq!(r1, r2, "cached weights must not change results");
+        assert_eq!(after_warm.misses, after_cold.misses, "no new misses");
+        assert_eq!(after_warm.hits, cells, "every cell served from cache");
+        assert!(
+            warm_stats.total_ops() < cold_stats.total_ops() / 2,
+            "a warm batch skips the phase-1 weighing walks ({} vs {})",
+            warm_stats.total_ops(),
+            cold_stats.total_ops()
+        );
+    }
+
+    #[test]
+    fn batch_results_identical_with_cache_bypassed() {
+        let sys = engine(4);
+        let ids: Vec<FilterId> = (0..5)
+            .map(|i| {
+                sys.create((0..50u64).map(|j| (i * 911 + j * 17) % 8_192))
+                    .expect("create")
+            })
+            .collect();
+        let filters: Vec<BloomFilter> = (0..6)
+            .map(|i| sys.store((0..40u64).map(|j| (i * 389 + j * 23) % 8_192)))
+            .collect();
+        // Warm the cache, then compare against the bypass path on the
+        // same engine — outputs must be bit-identical.
+        let (warm_f, _) = sys.query_batch(&filters, 7, 2);
+        let (warm_f2, _) = sys.query_batch(&filters, 7, 2);
+        let (warm_i, _) = sys.query_batch_ids(&ids, 9, 2);
+        let (warm_i2, _) = sys.query_batch_ids(&ids, 9, 2);
+        sys.set_weight_cache(false);
+        assert!(!sys.weight_cache_enabled());
+        let (bypass_f, _) = sys.query_batch(&filters, 7, 2);
+        let (bypass_i, _) = sys.query_batch_ids(&ids, 9, 2);
+        assert_eq!(warm_f, bypass_f);
+        assert_eq!(warm_f2, bypass_f);
+        assert_eq!(warm_i, bypass_i);
+        assert_eq!(warm_i2, bypass_i);
+        sys.set_weight_cache(true);
+    }
+
+    #[test]
+    fn store_churn_invalidates_only_the_mutated_cells() {
+        let sys = engine(4);
+        let ids: Vec<FilterId> = (0..3)
+            .map(|i| {
+                sys.create((0..60u64).map(|j| (i * 701 + j * 29) % 8_192))
+                    .expect("create")
+            })
+            .collect();
+        sys.query_batch_ids(&ids, 3, 2);
+        let primed = sys.weight_cache_stats();
+        // Mutate one set with a key landing in exactly one shard: only
+        // that (set, shard) cell's set generation moves.
+        sys.insert_keys(ids[1], [10u64]).expect("insert");
+        let owner = sys.shard_of(10);
+        let (results, _) = sys.query_batch_ids(&ids, 3, 2);
+        let after = sys.weight_cache_stats();
+        assert_eq!(
+            after.misses - primed.misses,
+            1,
+            "exactly the mutated (set, shard) cell re-weighs"
+        );
+        assert_eq!(
+            after.hits - primed.hits,
+            (sys.shard_count() * ids.len()) as u64 - 1
+        );
+        // The refilled cell reflects the new membership.
+        let cells = sys.cached_weights(ids[1]).expect("entry");
+        let cell = cells[owner].expect("cell");
+        assert_eq!(
+            cell.set_generation,
+            sys.shard_systems()[owner]
+                .filters()
+                .generation(
+                    sys.query_id(ids[1]).expect("open").shard_handles()[owner]
+                        .filter_id()
+                        .expect("stored")
+                )
+                .expect("generation")
+        );
+        for r in &results {
+            r.expect("all slots live");
+        }
+    }
+
+    #[test]
+    fn occupancy_churn_repairs_cached_weights_by_delta() {
+        let sys = ShardedBstSystem::builder(8_192)
+            .shards(4)
+            .expected_set_size(200)
+            .seed(9)
+            .occupied((0..8_192u64).step_by(2))
+            .build();
+        let filters: Vec<BloomFilter> = (0..4)
+            .map(|i| sys.store((0..60u64).map(|j| (i * 997 + j * 26) % 8_192)))
+            .collect();
+        sys.query_batch(&filters, 13, 2);
+        let primed = sys.weight_cache_stats();
+        // Toggle an odd id: the owning shard's tree generation moves by
+        // 2 and the journal covers the gap, so cached weights repair
+        // instead of re-weighing.
+        sys.insert_occupied(4_097).expect("insert");
+        sys.remove_occupied(4_097).expect("remove");
+        let (r, _) = sys.query_batch(&filters, 13, 2);
+        let after = sys.weight_cache_stats();
+        assert_eq!(after.misses, primed.misses, "no cell re-weighs");
+        assert!(
+            after.repairs > primed.repairs,
+            "the mutated shard's cells repair through the journal"
+        );
+        // Repaired weights must equal recomputed ones.
+        sys.set_weight_cache(false);
+        let (bypass, _) = sys.query_batch(&filters, 13, 2);
+        assert_eq!(r, bypass);
+    }
+
+    #[test]
+    fn cached_weights_match_recomputation() {
+        let sys = engine(4);
+        let id = sys
+            .create((0..200u64).map(|i| i * 37 % 8_192))
+            .expect("create");
+        let filter = sys.store((0..80u64).map(|i| i * 53 % 8_192));
+        sys.query_batch_ids(&[id], 5, 2);
+        sys.query_batch(std::slice::from_ref(&filter), 5, 2);
+        let stored = sys.cached_weights(id).expect("stored entry");
+        let q = sys.query_id(id).expect("open");
+        for (shard, cell) in stored.iter().enumerate() {
+            let cell = cell.expect("every shard weighed");
+            let expect = q.shard_handles()[shard].live_weight();
+            match (cell.outcome, expect) {
+                (Ok(w), Ok(e)) => assert_eq!(w, e, "shard {shard}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "shard {shard}"),
+                (a, b) => panic!("shard {shard}: cached {a:?} vs recomputed {b:?}"),
+            }
+        }
+        let adhoc = sys.cached_weights_for(&filter).expect("interned entry");
+        for (shard, cell) in adhoc.iter().enumerate() {
+            let cell = cell.expect("every shard weighed");
+            assert_eq!(
+                cell.outcome,
+                sys.shard_systems()[shard].live_weight_stamped(&filter).0,
+                "shard {shard}"
+            );
+            assert_eq!(cell.set_generation, 0, "ad-hoc filters have no set");
+        }
+        // Dropping the set garbage-collects its entry.
+        sys.drop_set(id).expect("drop");
+        assert!(sys.cached_weights(id).is_none());
     }
 
     #[test]

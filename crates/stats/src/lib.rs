@@ -12,6 +12,21 @@
 //! * [`binomial`] — binomial sampling for the one-pass multi-sampler's
 //!   path splitting (§5.3);
 //! * [`histogram`] — ASCII histograms for the examples.
+//!
+//! ## Example
+//!
+//! The chi-squared uniformity test behind the sampling conformance
+//! suites (a fair die passes, a loaded one fails):
+//!
+//! ```
+//! use bst_stats::chi2_uniform_test;
+//!
+//! let fair = chi2_uniform_test(&[95, 105, 99, 101, 103, 97]);
+//! assert!(fair.is_uniform_at(0.01), "p = {}", fair.p_value);
+//!
+//! let loaded = chi2_uniform_test(&[10, 10, 10, 10, 10, 550]);
+//! assert!(!loaded.is_uniform_at(0.01));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -12,6 +12,26 @@
 //! * [`fenwick`], [`skipset`], [`sampling`] — the data-structure substrate
 //!   (prefix-sum trees, nearest-free-neighbour skips, distinct sampling,
 //!   alias tables).
+//!
+//! ## Example
+//!
+//! Deterministic query-set generation, the input side of every
+//! experiment (§7.1):
+//!
+//! ```
+//! use bst_workloads::querysets::{clustered_set, uniform_set};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let uniform = uniform_set(&mut rng, 10_000, 50);
+//! assert_eq!(uniform.len(), 50);
+//! assert!(uniform.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+//!
+//! // The pdf-splitting clustered process at the paper's p = 10%.
+//! let clustered = clustered_set(&mut rng, 10_000, 50, 10.0);
+//! assert!(clustered.iter().all(|&x| x < 10_000));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -126,8 +126,9 @@
 //! | [`workloads`] (re-export of `bst-workloads`) | uniform/clustered query sets, namespace occupancy, the synthetic social stream |
 //! | [`stats`] (re-export of `bst-stats`) | chi-squared testing, summaries, binomial sampling |
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! See `README.md` for the workspace tour, `DESIGN.md` for the system
+//! inventory, and `results/` for the measured performance record of
+//! every growth step.
 
 #![warn(missing_docs)]
 
@@ -144,4 +145,10 @@ pub use bst_core::{
     FilterId, OpStats, PersistError, PrunedBloomSampleTree, Query, QueryMemo, ReconstructConfig,
     SampleTree, SamplerConfig, TreeBackend, TreeView,
 };
-pub use bst_shard::{ShardQuery, ShardedBstSystem};
+pub use bst_shard::{CachedWeight, ShardQuery, ShardedBstSystem, WeightCacheStats};
+
+/// The README's quickstart snippet, compiled and executed by
+/// `cargo test --doc` so the front-page example can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

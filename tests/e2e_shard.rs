@@ -526,3 +526,81 @@ fn sharded_batches_fan_out_with_typed_errors() {
         assert_eq!(results, again, "threads = {threads}");
     }
 }
+
+/// The engine-level persistent weight cache is invisible in batch
+/// output: across a schedule of store churn and occupancy churn, every
+/// `query_batch` / `query_batch_ids` result on a cache-enabled engine is
+/// byte-identical to the cache-bypass path — warm (repeated), repaired
+/// (post-churn) and cold alike — while the cache measurably serves hits.
+#[test]
+fn batch_outputs_identical_with_weight_cache_on_and_off() {
+    let namespace = 20_000u64;
+    let build = || {
+        ShardedBstSystem::builder(namespace)
+            .shards(4)
+            .expected_set_size(200)
+            .seed(17)
+            .occupied((0..namespace).step_by(2))
+            .build()
+    };
+    let cached = build();
+    let bypass = build();
+    bypass.set_weight_cache(false);
+
+    let filters: Vec<_> = (0..12)
+        .map(|i| cached.store((0..80u64).map(|j| (i * 1_213 + j * 37) % namespace)))
+        .collect();
+    let keysets: Vec<Vec<u64>> = (0..4u64)
+        .map(|i| (0..60u64).map(|j| (i * 773 + j * 41) % namespace).collect())
+        .collect();
+    let ids_cached: Vec<_> = keysets
+        .iter()
+        .map(|k| cached.create(k.iter().copied()).expect("create"))
+        .collect();
+    let ids_bypass: Vec<_> = keysets
+        .iter()
+        .map(|k| bypass.create(k.iter().copied()).expect("create"))
+        .collect();
+
+    // Mutation schedule: (occupancy toggle, set churn) between batches.
+    type Round = (Option<u64>, Option<(usize, u64)>);
+    let schedule: &[Round] = &[
+        (None, None),                  // repeat: pure warm hits
+        (Some(4_001), None),           // occupancy churn: journal repair
+        (None, Some((1, 9_999))),      // set churn: targeted re-weigh
+        (Some(4_001), Some((2, 123))), // both at once
+        (None, None),                  // warm again
+    ];
+    for (round, (occ, churn)) in schedule.iter().enumerate() {
+        if let Some(id) = occ {
+            cached.insert_occupied(*id).expect("insert");
+            cached.remove_occupied(*id).expect("remove");
+            bypass.insert_occupied(*id).expect("insert");
+            bypass.remove_occupied(*id).expect("remove");
+        }
+        if let Some((set, key)) = churn {
+            cached.insert_keys(ids_cached[*set], [*key]).expect("keys");
+            bypass.insert_keys(ids_bypass[*set], [*key]).expect("keys");
+        }
+        for threads in [1, 3] {
+            let seed = 31 + round as u64;
+            let (rc, _) = cached.query_batch(&filters, seed, threads);
+            let (rb, _) = bypass.query_batch(&filters, seed, threads);
+            assert_eq!(rc, rb, "detached batch, round {round}, threads {threads}");
+            let (rc, _) = cached.query_batch_ids(&ids_cached, seed, threads);
+            let (rb, _) = bypass.query_batch_ids(&ids_bypass, seed, threads);
+            assert_eq!(rc, rb, "stored batch, round {round}, threads {threads}");
+        }
+    }
+    let stats = cached.weight_cache_stats();
+    assert!(stats.hits > 0, "the schedule must exercise warm serving");
+    assert!(
+        stats.repairs > 0,
+        "the schedule must exercise journal repair"
+    );
+    assert_eq!(
+        bypass.weight_cache_stats(),
+        Default::default(),
+        "the bypass engine never touches its cache"
+    );
+}

@@ -1,11 +1,13 @@
 //! Thread-based stress: concurrent occupancy mutators against warm
-//! `Query`/`ShardQuery` handles. The bar — a reader must **never
-//! observe a superseded weight**: any weight returned after a mutation
-//! was published carries a tree-generation stamp at least as new as
-//! every generation the reader saw before asking (the stamps force the
-//! repair/re-descent path; a stale cached weight slipping through would
-//! surface here as a stamp regression). Runs in release in CI (the
-//! `test` job runs `cargo test --release`); ignored under debug builds.
+//! `Query`/`ShardQuery` handles **and the engine-level persistent
+//! weight cache**. The bar — a reader must **never observe a superseded
+//! weight**: any weight returned after a mutation was published carries
+//! a tree-generation stamp at least as new as every generation the
+//! reader saw before asking (the stamps force the repair/re-descend
+//! path; a stale cached weight slipping through would surface here as a
+//! stamp regression), and the engine cache's cells only ever move
+//! forward in stamp order. Runs in release in CI (the `test` job runs
+//! `cargo test --release`); ignored under debug builds.
 
 use bloomsampletree::{BstSystem, ShardedBstSystem};
 use rand::rngs::StdRng;
@@ -140,4 +142,119 @@ fn concurrent_mutators_never_yield_superseded_weights_sharded() {
     assert_eq!(warm.reconstruct(), cold.reconstruct());
     assert!(engine.weights_consistent());
     assert_eq!(engine.occupied_count(), namespace / 2);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
+fn engine_weight_cache_never_serves_superseded_weights() {
+    let namespace = 16_384u64;
+    let engine = ShardedBstSystem::builder(namespace)
+        .shards(4)
+        .expected_set_size(200)
+        .seed(7)
+        .occupied((0..namespace).step_by(2))
+        .build();
+    let ids: Vec<_> = (0..3u64)
+        .map(|i| {
+            engine
+                .create((0..300u64).map(|j| ((i * 1_009 + j * 53) % namespace) & !1))
+                .expect("create")
+        })
+        .collect();
+    let filters: Vec<_> = (0..3u64)
+        .map(|i| engine.store((0..200u64).map(|j| ((i * 733 + j * 59) % namespace) & !1)))
+        .collect();
+    // Prime the cache so readers start from warm entries.
+    engine.query_batch_ids(&ids, 1, 2);
+    engine.query_batch(&filters, 1, 2);
+
+    std::thread::scope(|scope| {
+        for m in 0..2u64 {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                // Odd ids only: the stored keys and filter members (all
+                // even) never leave the occupancy, so every batch slot
+                // stays answerable throughout.
+                for i in 0..MUTATIONS_PER_THREAD {
+                    let id = (((i * 4 + m * 2 + 1) * 13) % namespace) | 1;
+                    engine.insert_occupied(id).expect("insert");
+                    engine.remove_occupied(id).expect("remove");
+                }
+            });
+        }
+        for r in 0..2u64 {
+            let engine = engine.clone();
+            let ids = &ids;
+            let filters = &filters;
+            scope.spawn(move || {
+                // Per-(key, shard) stamps must be monotone across the
+                // whole run: the cache's merge rule forbids any fill or
+                // repair from regressing a cell.
+                let mut last: Vec<Vec<(u64, u64)>> = vec![vec![(0, 0); 4]; ids.len()];
+                for i in 0..READS_PER_THREAD / 4 {
+                    let seed = r * 10_000 + i;
+                    let (results, _) = engine.query_batch_ids(ids, seed, 2);
+                    for (slot, res) in results.iter().enumerate() {
+                        let s = res.expect("stored slots stay answerable");
+                        assert!(
+                            engine.get(ids[slot]).expect("get").contains(s),
+                            "non-positive batch sample {s}"
+                        );
+                    }
+                    let (results, _) = engine.query_batch(filters, seed, 2);
+                    for (slot, res) in results.iter().enumerate() {
+                        let s = res.expect("filter slots stay answerable");
+                        assert!(filters[slot].contains(s), "non-positive {s}");
+                    }
+                    for (slot, id) in ids.iter().enumerate() {
+                        let Some(cells) = engine.cached_weights(*id) else {
+                            continue;
+                        };
+                        for (shard, cell) in cells.iter().enumerate() {
+                            let Some(cell) = cell else { continue };
+                            let seen = &mut last[slot][shard];
+                            assert!(
+                                cell.set_generation >= seen.0 && cell.tree_generation >= seen.1,
+                                "cache stamp regression on set {slot} shard {shard}: \
+                                 ({}, {}) after ({}, {})",
+                                cell.set_generation,
+                                cell.tree_generation,
+                                seen.0,
+                                seen.1
+                            );
+                            *seen = (cell.set_generation, cell.tree_generation);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiescent: every fresh cached cell agrees exactly with a cold
+    // recount, and cached batches equal bypassed batches.
+    let (with_cache_f, _) = engine.query_batch(&filters, 99, 2);
+    let (with_cache_i, _) = engine.query_batch_ids(&ids, 99, 2);
+    for id in &ids {
+        let cells = engine.cached_weights(*id).expect("primed entry");
+        let handle = engine.query_id(*id).expect("open");
+        for (shard, cell) in cells.iter().enumerate() {
+            let Some(cell) = cell else { continue };
+            let sys = &engine.shard_systems()[shard];
+            let fid = handle.shard_handles()[shard].filter_id().expect("stored");
+            if cell.set_generation == sys.filters().generation(fid).expect("gen")
+                && cell.tree_generation == sys.tree_generation()
+            {
+                assert_eq!(
+                    cell.outcome,
+                    sys.live_weight_stamped(&sys.get(fid).expect("project")).0,
+                    "fresh cached cell disagrees with recount (shard {shard})"
+                );
+            }
+        }
+    }
+    engine.set_weight_cache(false);
+    let (bypass_f, _) = engine.query_batch(&filters, 99, 2);
+    let (bypass_i, _) = engine.query_batch_ids(&ids, 99, 2);
+    assert_eq!(with_cache_f, bypass_f);
+    assert_eq!(with_cache_i, bypass_i);
 }
