@@ -1,0 +1,124 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! A frame is `len u32 LE | payload` where `len` counts payload bytes
+//! only. Zero-length frames are invalid (every payload carries at least
+//! a two-byte header), which lets readers treat `len == 0` as protocol
+//! corruption rather than an ambiguous keep-alive.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling a client accepts for a single response payload. Whole
+/// engine snapshots travel in one frame, so this is sized well above any
+/// realistic `ShardedBstSystem::to_bytes` output (1 GiB) while still
+/// bounding a corrupt length prefix.
+pub const CLIENT_MAX_FRAME: u64 = 1 << 30;
+
+/// Writes one frame: length prefix, payload, flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX",
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`]
+/// error. Lengths above `max` are rejected without allocating.
+pub fn read_frame<R: Read>(r: &mut R, max: u64) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as u64;
+    if len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-length frame",
+        ));
+    }
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrips_frames_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"bb").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap().unwrap(),
+            b"alpha".to_vec()
+        );
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap().unwrap(),
+            b"bb".to_vec()
+        );
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_header_or_body_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Truncate inside the body.
+        let mut cursor = Cursor::new(buf[..6].to_vec());
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Truncate inside the header.
+        let mut cursor = Cursor::new(vec![3u8, 0]);
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_lengths() {
+        let mut cursor = Cursor::new(vec![0u8; 4]);
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 64]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor, 63).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

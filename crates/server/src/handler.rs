@@ -1,0 +1,234 @@
+//! Request dispatch: one decoded [`Request`] in, one typed reply out.
+//!
+//! The handler owns the mapping from wire commands onto the
+//! `ShardedBstSystem` facade and the session's warm-handle caches.
+//! Determinism contract: every sampling command carries a client
+//! `seed`, and the server draws from a fresh `StdRng::seed_from_u64`
+//! per request — so the same request against the same engine state
+//! returns the same keys whether the handle was warm or cold, which the
+//! e2e tests pin bit-for-bit against in-process draws.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bst_core::error::BstError;
+use bst_core::store::FilterId;
+use bst_shard::ShardedBstSystem;
+
+use crate::protocol::{Request, Response, StatsReply, Target, WireError};
+use crate::server::ServerState;
+use crate::session::Session;
+
+/// The handler's verdict: a reply frame body, plus whether the server
+/// should stop accepting after this reply is flushed.
+pub struct Outcome {
+    /// What to send back.
+    pub reply: Result<Response, WireError>,
+    /// True only for a served `SHUTDOWN`.
+    pub shutdown_after: bool,
+}
+
+impl Outcome {
+    fn reply(reply: Result<Response, WireError>) -> Self {
+        Outcome {
+            reply,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Serves one request against the shared state and this connection's
+/// session. Never panics on adversarial input: decode failures arrive
+/// pre-typed, and engine errors map through `WireError::from`.
+pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outcome {
+    let engine = state.engine.read();
+    session.sync(engine.epoch);
+    let sys = &engine.system;
+    match req {
+        Request::Ping => Outcome::reply(Ok(Response::Pong)),
+        Request::Create { keys } => Outcome::reply(
+            sys.create(keys)
+                .map(|id| Response::Created { id: id.raw() })
+                .map_err(WireError::from),
+        ),
+        Request::InsertKeys { id, keys } => Outcome::reply(
+            sys.insert_keys(FilterId::from_raw(id), keys)
+                .map(|()| Response::Ok)
+                .map_err(WireError::from),
+        ),
+        Request::RemoveKeys { id, keys } => Outcome::reply(
+            sys.remove_keys(FilterId::from_raw(id), keys)
+                .map(|()| Response::Ok)
+                .map_err(WireError::from),
+        ),
+        Request::DropSet { id } => {
+            let out = sys.drop_set(FilterId::from_raw(id));
+            session.evict_stored(id);
+            Outcome::reply(out.map(|()| Response::Ok).map_err(WireError::from))
+        }
+        Request::OccInsert { key } => Outcome::reply(
+            sys.insert_occupied(key)
+                .map(|generation| Response::Generation { generation })
+                .map_err(WireError::from),
+        ),
+        Request::OccRemove { key } => Outcome::reply(
+            sys.remove_occupied(key)
+                .map(|generation| Response::Generation { generation })
+                .map_err(WireError::from),
+        ),
+        Request::Get { id } => Outcome::reply(
+            sys.get(FilterId::from_raw(id))
+                .map(|f| Response::Filter {
+                    bytes: bst_bloom::codec::encode(&f).to_vec(),
+                })
+                .map_err(WireError::from),
+        ),
+        Request::ListSets => {
+            let mut ids: Vec<u64> = sys.ids().iter().map(|id| id.raw()).collect();
+            ids.sort_unstable();
+            Outcome::reply(Ok(Response::Sets { ids }))
+        }
+        Request::Sample { target, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Outcome::reply(
+                with_handle(session, sys, &target, |q| q.sample(&mut rng))
+                    .map(|key| Response::Sampled { key }),
+            )
+        }
+        Request::SampleMany { target, r, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Outcome::reply(
+                with_handle(session, sys, &target, |q| {
+                    q.sample_many(r as usize, &mut rng)
+                })
+                .map(|keys| Response::Keys { keys }),
+            )
+        }
+        Request::Reconstruct { target } => Outcome::reply(
+            with_handle(session, sys, &target, |q| q.reconstruct())
+                .map(|keys| Response::Keys { keys }),
+        ),
+        Request::ReconstructRange { target, start, end } => Outcome::reply(
+            with_handle(session, sys, &target, |q| q.reconstruct_range(start..end))
+                .map(|keys| Response::Keys { keys }),
+        ),
+        Request::Batch { targets, seed } => Outcome::reply(batch(sys, &targets, seed)),
+        Request::Save => Outcome::reply(Ok(Response::Snapshot {
+            bytes: sys.to_bytes(),
+        })),
+        Request::Load { bytes } => {
+            // Decode outside any lock, swap under the write lock; the
+            // epoch bump tells every session its handles are orphans.
+            drop(engine);
+            match ShardedBstSystem::from_bytes(&bytes) {
+                Ok(system) => {
+                    let mut engine = state.engine.write();
+                    engine.system = system;
+                    engine.epoch += 1;
+                    Outcome::reply(Ok(Response::Ok))
+                }
+                Err(e) => Outcome::reply(Err(WireError::from(e))),
+            }
+        }
+        Request::Stats => {
+            let (ops, total) = state.stats.rows();
+            let cache = sys.weight_cache_stats();
+            Outcome::reply(Ok(Response::Stats(StatsReply {
+                namespace: sys.namespace(),
+                shards: sys.shard_count() as u32,
+                sets: sys.len() as u64,
+                occupied: sys.occupied_count(),
+                epoch: engine.epoch,
+                active_connections: state.active_connections(),
+                sessions_served: state.sessions_served(),
+                sessions_refused: state.sessions_refused(),
+                frames_served: state.frames_served(),
+                weight_cache_hits: cache.hits,
+                weight_cache_misses: cache.misses,
+                weight_cache_repairs: cache.repairs,
+                ops,
+                total,
+            })))
+        }
+        Request::Shutdown => Outcome {
+            reply: Ok(Response::Ok),
+            shutdown_after: true,
+        },
+    }
+}
+
+/// Resolves a target to a (possibly cached) handle and runs `f` on it.
+/// A stored handle that reports `UnknownFilterId` is evicted so the
+/// session does not pin a handle onto a dropped set.
+fn with_handle<T>(
+    session: &mut Session,
+    sys: &ShardedBstSystem,
+    target: &Target,
+    f: impl FnOnce(&bst_shard::ShardQuery) -> Result<T, BstError>,
+) -> Result<T, WireError> {
+    match target {
+        Target::Stored(raw) => {
+            let out = session.stored_handle(sys, *raw).and_then(f);
+            if matches!(out, Err(BstError::UnknownFilterId(_))) {
+                session.evict_stored(*raw);
+            }
+            out.map_err(WireError::from)
+        }
+        Target::Adhoc(bytes) => {
+            let filter = bst_bloom::codec::decode(bytes).map_err(|e| WireError::Malformed {
+                context: format!("ad-hoc filter: {e}"),
+            })?;
+            f(session.adhoc_handle(sys, bytes, &filter)).map_err(WireError::from)
+        }
+    }
+}
+
+/// Serves a mixed batch: id-addressed slots ride the engine's
+/// `query_batch_ids` scatter (persistent weight cache), ad-hoc slots
+/// ride `query_batch`, both with the same client seed, and the answers
+/// are reassembled into request order. A slot whose filter bytes fail
+/// to decode fails alone — the rest of the batch still runs.
+fn batch(sys: &ShardedBstSystem, targets: &[Target], seed: u64) -> Result<Response, WireError> {
+    let mut results: Vec<Option<Result<u64, WireError>>> = vec![None; targets.len()];
+    let mut id_slots = Vec::new();
+    let mut ids = Vec::new();
+    let mut filter_slots = Vec::new();
+    let mut filters = Vec::new();
+    for (slot, target) in targets.iter().enumerate() {
+        match target {
+            Target::Stored(raw) => {
+                id_slots.push(slot);
+                ids.push(FilterId::from_raw(*raw));
+            }
+            Target::Adhoc(bytes) => match bst_bloom::codec::decode(bytes) {
+                Ok(f) => {
+                    filter_slots.push(slot);
+                    filters.push(f);
+                }
+                Err(e) => {
+                    results[slot] = Some(Err(WireError::Malformed {
+                        context: format!("ad-hoc filter in batch slot {slot}: {e}"),
+                    }))
+                }
+            },
+        }
+    }
+    if !ids.is_empty() {
+        let (answers, _) = sys.query_batch_ids(&ids, seed, 0);
+        for (slot, ans) in id_slots.into_iter().zip(answers) {
+            results[slot] = Some(ans.map_err(WireError::from));
+        }
+    }
+    if !filters.is_empty() {
+        let (answers, _) = sys.query_batch(&filters, seed, 0);
+        for (slot, ans) in filter_slots.into_iter().zip(answers) {
+            results[slot] = Some(ans.map_err(WireError::from));
+        }
+    }
+    Ok(Response::Batch {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect(),
+    })
+}

@@ -1,0 +1,183 @@
+//! The `bst-server` binary: serve a sharded engine over TCP, or poke a
+//! running server (`ping` / `stats` / `shutdown`) from the same binary.
+//!
+//! ```text
+//! bst-server serve [--addr 127.0.0.1:7878] [--namespace 65536]
+//!                  [--shards 4] [--seed 42] [--max-conns 64]
+//!                  [--max-frame-mib 64]
+//! bst-server ping     [--addr 127.0.0.1:7878]
+//! bst-server stats    [--addr 127.0.0.1:7878]
+//! bst-server shutdown [--addr 127.0.0.1:7878]
+//! ```
+//!
+//! `serve` builds a fully occupied engine (every namespace id live, as
+//! in the paper's dense experiments) and blocks until a client sends
+//! SHUTDOWN or the process is killed. Flag parsing is hand-rolled; no
+//! CLI dependency exists in the offline vendor set.
+
+use std::process::ExitCode;
+
+use bst_server::client::Client;
+use bst_server::server::{serve, ServerConfig};
+use bst_server::stats::OpClass;
+use bst_shard::ShardedBstSystem;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: bst-server <serve|ping|stats|shutdown> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "ping" => cmd_ping(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "shutdown" => cmd_shutdown(&args[1..]),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bst-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--name value` out of `args`, complaining about stray flags.
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("flag {name} needs a value")),
+            };
+        }
+        i += 2;
+    }
+    Ok(None)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag {name}: cannot parse `{v}`")),
+    }
+}
+
+fn check_known_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        if !known.contains(&args[i].as_str()) {
+            return Err(format!("unknown flag `{}`", args[i]));
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn addr_of(args: &[String]) -> Result<String, String> {
+    parse(args, "--addr", "127.0.0.1:7878".to_string())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_known_flags(
+        args,
+        &[
+            "--addr",
+            "--namespace",
+            "--shards",
+            "--seed",
+            "--max-conns",
+            "--max-frame-mib",
+        ],
+    )?;
+    let addr = addr_of(args)?;
+    let namespace: u64 = parse(args, "--namespace", 65_536)?;
+    let shards: usize = parse(args, "--shards", 4)?;
+    let seed: u64 = parse(args, "--seed", 42)?;
+    let cfg = ServerConfig {
+        max_connections: parse(args, "--max-conns", ServerConfig::default().max_connections)?,
+        max_frame: parse(
+            args,
+            "--max-frame-mib",
+            ServerConfig::default().max_frame >> 20,
+        )? << 20,
+    };
+    let engine = ShardedBstSystem::builder(namespace)
+        .shards(shards)
+        .seed(seed)
+        .build();
+    let handle = serve(engine, &addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "bst-server listening on {} ({} ids, {} shards, max {} conns)",
+        handle.addr(),
+        namespace,
+        shards,
+        cfg.max_connections
+    );
+    handle.join();
+    println!("bst-server stopped");
+    Ok(())
+}
+
+fn connect(args: &[String]) -> Result<Client, String> {
+    check_known_flags(args, &["--addr"])?;
+    let addr = addr_of(args)?;
+    Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn cmd_ping(args: &[String]) -> Result<(), String> {
+    connect(args)?.ping().map_err(|e| e.to_string())?;
+    println!("pong");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let stats = connect(args)?.stats().map_err(|e| e.to_string())?;
+    println!(
+        "engine: namespace {} | {} shards | {} sets | {} occupied | epoch {}",
+        stats.namespace, stats.shards, stats.sets, stats.occupied, stats.epoch
+    );
+    println!(
+        "serving: {} active / {} served / {} refused connections, {} frames",
+        stats.active_connections,
+        stats.sessions_served,
+        stats.sessions_refused,
+        stats.frames_served
+    );
+    println!(
+        "weight cache: {} hits / {} misses / {} repairs",
+        stats.weight_cache_hits, stats.weight_cache_misses, stats.weight_cache_repairs
+    );
+    if stats.ops.is_empty() {
+        println!("latency: no requests recorded yet");
+    } else {
+        println!("latency (µs):     count      p50      p95      p99");
+        for row in &stats.ops {
+            let name = OpClass::from_tag(row.op).map_or("?", OpClass::name);
+            println!(
+                "  {name:<12} {:>8} {:>8.1} {:>8.1} {:>8.1}",
+                row.count, row.p50_us, row.p95_us, row.p99_us
+            );
+        }
+        if let Some(t) = &stats.total {
+            println!(
+                "  {:<12} {:>8} {:>8.1} {:>8.1} {:>8.1}",
+                "total", t.count, t.p50_us, t.p95_us, t.p99_us
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    connect(args)?
+        .shutdown_server()
+        .map_err(|e| e.to_string())?;
+    println!("server acknowledged shutdown");
+    Ok(())
+}

@@ -1,0 +1,373 @@
+//! The TCP service: accept loop, worker threads, backpressure, and
+//! clean shutdown.
+//!
+//! One thread per connection over a nonblocking accept loop — no async
+//! runtime in the vendor set, and the engine's scatter-gather already
+//! spreads a single request across cores, so connection concurrency is
+//! the right (and sufficient) unit of parallelism here.
+//!
+//! ## Backpressure
+//!
+//! * **Connections:** at most [`ServerConfig::max_connections`] workers
+//!   at once. An arrival beyond that is answered with a typed
+//!   [`WireError::Busy`] frame and closed immediately — the client gets
+//!   a verdict, not a hang.
+//! * **Frames:** a request frame declaring more than
+//!   [`ServerConfig::max_frame`] payload bytes is drained off the socket
+//!   (bounded scratch, nothing allocated at the declared size) and
+//!   answered with [`WireError::FrameTooLarge`]; the connection stays
+//!   usable for well-formed follow-ups.
+//!
+//! ## Shutdown
+//!
+//! A single `AtomicBool` is observed by the accept loop and by every
+//! worker's read poll (sockets run with short read timeouts, so no
+//! thread ever blocks past the poll interval). Shutdown arrives either
+//! in-process via [`ServerHandle::shutdown`] or over the wire via the
+//! `SHUTDOWN` opcode, which replies `Ok` first and then raises the flag.
+
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use bst_shard::ShardedBstSystem;
+
+use crate::frame::write_frame;
+use crate::handler;
+use crate::protocol::{self, WireError};
+use crate::session::Session;
+use crate::stats::{OpClass, StatsRegistry};
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Serving limits; the defaults suit tests and small deployments.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Connections served concurrently before arrivals get `Busy`.
+    pub max_connections: usize,
+    /// Largest accepted request payload, in bytes. Must cover the
+    /// snapshots `LOAD` ships; the 64 MiB default fits engines far past
+    /// the test sizes.
+    pub max_frame: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_frame: 64 << 20,
+        }
+    }
+}
+
+/// The engine behind the service, swap-able as a unit by wire `LOAD`.
+pub struct Engine {
+    /// Bumped on every engine swap; sessions compare-and-flush.
+    pub epoch: u64,
+    /// The sharded system itself.
+    pub system: ShardedBstSystem,
+}
+
+/// State shared by the accept loop and every worker.
+pub struct ServerState {
+    /// The served engine, behind a read-write lock: requests take read,
+    /// only `LOAD` takes write.
+    pub engine: RwLock<Engine>,
+    /// Per-op latency histograms.
+    pub stats: StatsRegistry,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    sessions_served: AtomicU64,
+    sessions_refused: AtomicU64,
+    frames_served: AtomicU64,
+}
+
+impl ServerState {
+    fn new(system: ShardedBstSystem, cfg: ServerConfig) -> Self {
+        ServerState {
+            engine: RwLock::new(Engine { epoch: 0, system }),
+            stats: StatsRegistry::new(),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            sessions_served: AtomicU64::new(0),
+            sessions_refused: AtomicU64::new(0),
+            frames_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown; every loop exits within its poll interval.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> u32 {
+        self.active.load(Ordering::Relaxed) as u32
+    }
+
+    /// Connections accepted and served since startup.
+    pub fn sessions_served(&self) -> u64 {
+        self.sessions_served.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused by the max-connections policy.
+    pub fn sessions_refused(&self) -> u64 {
+        self.sessions_refused.load(Ordering::Relaxed)
+    }
+
+    /// Frames processed since startup.
+    pub fn frames_served(&self) -> u64 {
+        self.frames_served.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server: its bound address and the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state — test and embedding visibility.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Signals shutdown and joins the accept loop (which joins all
+    /// workers). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.request_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops — e.g. a client sent `SHUTDOWN`.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts serving `system` on a background accept
+/// thread. Returns once the listener is bound and accepting.
+pub fn serve<A: ToSocketAddrs>(
+    system: ShardedBstSystem,
+    addr: A,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState::new(system, cfg));
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("bst-server-accept".into())
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                workers.retain(|w| !w.is_finished());
+                // Accepted sockets inherit the listener's nonblocking
+                // flag on some platforms; workers use timeout-based
+                // polling instead.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                if state.active.load(Ordering::Relaxed) >= state.cfg.max_connections {
+                    refuse_busy(stream, &state);
+                    continue;
+                }
+                state.active.fetch_add(1, Ordering::Relaxed);
+                state.sessions_served.fetch_add(1, Ordering::Relaxed);
+                let worker_state = Arc::clone(&state);
+                let spawned = std::thread::Builder::new()
+                    .name("bst-server-conn".into())
+                    .spawn(move || {
+                        let _ = connection_loop(stream, &worker_state);
+                        worker_state.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        // Spawn failure: undo the accounting; the
+                        // stream drops and the client sees a reset.
+                        state.active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            // Transient accept errors (per-connection resets) do not
+            // take the listener down.
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Answers an over-limit arrival with a typed `Busy` frame and closes.
+fn refuse_busy(mut stream: TcpStream, state: &ServerState) {
+    state.sessions_refused.fetch_add(1, Ordering::Relaxed);
+    let e = WireError::Busy {
+        active: state.active_connections(),
+        max: state.cfg.max_connections as u32,
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_frame(&mut stream, &protocol::encode_error(&e));
+}
+
+/// Reads exactly `buf.len()` bytes, polling the shutdown flag across
+/// read-timeout ticks. `Ok(false)` reports a clean EOF before the first
+/// byte (only possible when `eof_ok`); mid-buffer EOF is an error.
+fn poll_read_exact(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    buf: &mut [u8],
+    eof_ok: bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if state.shutting_down() {
+            return Err(io::Error::other("server shutting down"));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Discards `len` bytes from the stream through a bounded scratch
+/// buffer — the oversized-frame drain.
+fn drain(stream: &mut TcpStream, state: &ServerState, mut len: u64) -> io::Result<()> {
+    let mut scratch = [0u8; 8192];
+    while len > 0 {
+        let take = scratch.len().min(len as usize);
+        if !poll_read_exact(stream, state, &mut scratch[..take], false)? {
+            unreachable!("eof_ok is false");
+        }
+        len -= take as u64;
+    }
+    Ok(())
+}
+
+/// Serves one connection until EOF, shutdown, or a fatal socket error.
+fn connection_loop(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut session = Session::new(state.engine.read().epoch);
+    loop {
+        // Frame header.
+        let mut header = [0u8; 4];
+        if !poll_read_exact(&mut stream, state, &mut header, true)? {
+            return Ok(()); // clean EOF between frames
+        }
+        let len = u32::from_le_bytes(header) as u64;
+        if len == 0 {
+            write_frame(
+                &mut stream,
+                &protocol::encode_error(&WireError::Malformed {
+                    context: "zero-length frame".into(),
+                }),
+            )?;
+            continue;
+        }
+        if len > state.cfg.max_frame {
+            drain(&mut stream, state, len)?;
+            write_frame(
+                &mut stream,
+                &protocol::encode_error(&WireError::FrameTooLarge {
+                    declared: len,
+                    max: state.cfg.max_frame,
+                }),
+            )?;
+            continue;
+        }
+        let mut payload = vec![0u8; len as usize];
+        poll_read_exact(&mut stream, state, &mut payload, false)?;
+        state.frames_served.fetch_add(1, Ordering::Relaxed);
+
+        if state.shutting_down() {
+            write_frame(
+                &mut stream,
+                &protocol::encode_error(&WireError::ShuttingDown),
+            )?;
+            return Ok(());
+        }
+
+        // Decode, dispatch, time, record, reply.
+        let reply_bytes = match protocol::decode_request(&payload) {
+            Err(e) => protocol::encode_error(&e),
+            Ok(req) => {
+                let class = OpClass::classify(&req);
+                let started = Instant::now();
+                let outcome = handler::handle(state, &mut session, req);
+                state
+                    .stats
+                    .record(class, started.elapsed().as_secs_f64() * 1e6);
+                let bytes = match &outcome.reply {
+                    Ok(resp) => protocol::encode_response(resp),
+                    Err(e) => protocol::encode_error(e),
+                };
+                if outcome.shutdown_after {
+                    write_frame(&mut stream, &bytes)?;
+                    state.request_shutdown();
+                    return Ok(());
+                }
+                bytes
+            }
+        };
+        write_frame(&mut stream, &reply_bytes)?;
+    }
+}

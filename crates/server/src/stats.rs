@@ -1,0 +1,233 @@
+//! Per-operation latency accounting for the live STATS surface.
+//!
+//! Every served frame is timed and recorded into one of eight
+//! [`OpClass`] histograms ([`bst_stats::histogram::Histogram`],
+//! microsecond bins). The STATS reply reports p50/p95/p99 per class plus
+//! a grand total built with [`Histogram::merge`] — merging is exact, so
+//! the total row equals recording every request into one histogram.
+
+use bst_stats::histogram::Histogram;
+use parking_lot::Mutex;
+
+use crate::protocol::{OpLatencyRow, Request};
+
+/// Latency range covered by the histograms: `[0, 1s)` in microseconds
+/// with 10 µs bins — tight enough to resolve warm-path samples (tens of
+/// µs over loopback). Slower requests (big snapshots, mostly) are
+/// counted as outliers: still in `count`, excluded from percentiles.
+const HIST_LO_US: f64 = 0.0;
+const HIST_HI_US: f64 = 1_000_000.0;
+const HIST_BINS: usize = 100_000;
+
+/// The operation classes the latency surface distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpClass {
+    /// `CREATE`.
+    Create = 0,
+    /// Stored-set churn: `INSERT_KEYS`, `REMOVE_KEYS`, `DROP_SET`.
+    SetChurn = 1,
+    /// Namespace-occupancy churn: `OCC_INSERT`, `OCC_REMOVE`.
+    Occupancy = 2,
+    /// `SAMPLE` and `SAMPLE_MANY`.
+    Sample = 3,
+    /// `RECONSTRUCT` and `RECONSTRUCT_RANGE`.
+    Reconstruct = 4,
+    /// `BATCH`.
+    Batch = 5,
+    /// `SAVE` and `LOAD`.
+    Snapshot = 6,
+    /// Everything else: `PING`, `GET`, `LIST_SETS`, `STATS`, `SHUTDOWN`.
+    Admin = 7,
+}
+
+impl OpClass {
+    /// Every class, in wire-tag order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Create,
+        OpClass::SetChurn,
+        OpClass::Occupancy,
+        OpClass::Sample,
+        OpClass::Reconstruct,
+        OpClass::Batch,
+        OpClass::Snapshot,
+        OpClass::Admin,
+    ];
+
+    /// The tag used for `total` rows in the STATS reply (not a class).
+    pub const TOTAL_TAG: u8 = 255;
+
+    /// The wire tag shipped in [`OpLatencyRow::op`].
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: u8) -> Option<OpClass> {
+        OpClass::ALL.get(tag as usize).copied()
+    }
+
+    /// Human-readable class name (for the CLI's stats rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Create => "create",
+            OpClass::SetChurn => "set-churn",
+            OpClass::Occupancy => "occupancy",
+            OpClass::Sample => "sample",
+            OpClass::Reconstruct => "reconstruct",
+            OpClass::Batch => "batch",
+            OpClass::Snapshot => "snapshot",
+            OpClass::Admin => "admin",
+        }
+    }
+
+    /// Which class a request is accounted under.
+    pub fn classify(req: &Request) -> OpClass {
+        match req {
+            Request::Create { .. } => OpClass::Create,
+            Request::InsertKeys { .. } | Request::RemoveKeys { .. } | Request::DropSet { .. } => {
+                OpClass::SetChurn
+            }
+            Request::OccInsert { .. } | Request::OccRemove { .. } => OpClass::Occupancy,
+            Request::Sample { .. } | Request::SampleMany { .. } => OpClass::Sample,
+            Request::Reconstruct { .. } | Request::ReconstructRange { .. } => OpClass::Reconstruct,
+            Request::Batch { .. } => OpClass::Batch,
+            Request::Save | Request::Load { .. } => OpClass::Snapshot,
+            Request::Ping
+            | Request::Get { .. }
+            | Request::ListSets
+            | Request::Stats
+            | Request::Shutdown => OpClass::Admin,
+        }
+    }
+}
+
+/// Thread-safe per-class latency histograms, shared by every worker.
+pub struct StatsRegistry {
+    hists: Mutex<Vec<Histogram>>,
+}
+
+impl StatsRegistry {
+    /// An empty registry (one histogram per [`OpClass`]).
+    pub fn new() -> Self {
+        StatsRegistry {
+            hists: Mutex::new(
+                OpClass::ALL
+                    .iter()
+                    .map(|_| Histogram::new(HIST_LO_US, HIST_HI_US, HIST_BINS))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Records one served request of class `op` that took `micros` µs.
+    pub fn record(&self, op: OpClass, micros: f64) {
+        self.hists.lock()[op.tag() as usize].record(micros);
+    }
+
+    /// Percentile rows for every class with at least one observation,
+    /// plus the merged grand total (`None` while nothing was recorded).
+    pub fn rows(&self) -> (Vec<OpLatencyRow>, Option<OpLatencyRow>) {
+        let hists = self.hists.lock();
+        let mut rows = Vec::new();
+        let mut merged = Histogram::new(HIST_LO_US, HIST_HI_US, HIST_BINS);
+        for (class, h) in OpClass::ALL.iter().zip(hists.iter()) {
+            merged.merge(h);
+            if let Some(row) = row_of(class.tag(), h) {
+                rows.push(row);
+            }
+        }
+        (rows, row_of(OpClass::TOTAL_TAG, &merged))
+    }
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        StatsRegistry::new()
+    }
+}
+
+fn row_of(tag: u8, h: &Histogram) -> Option<OpLatencyRow> {
+    let count = h.total() + h.outliers();
+    if count == 0 {
+        return None;
+    }
+    // Outlier-only histograms have no in-range percentiles; report the
+    // range ceiling rather than dropping the row (count still matters).
+    let q = |p: Option<f64>| p.unwrap_or(HIST_HI_US);
+    Some(OpLatencyRow {
+        op: tag,
+        count,
+        p50_us: q(h.p50()),
+        p95_us: q(h.p95()),
+        p99_us: q(h.p99()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_every_opcode_family() {
+        assert_eq!(
+            OpClass::classify(&Request::Create { keys: vec![] }),
+            OpClass::Create
+        );
+        assert_eq!(
+            OpClass::classify(&Request::DropSet { id: 1 }),
+            OpClass::SetChurn
+        );
+        assert_eq!(
+            OpClass::classify(&Request::OccInsert { key: 2 }),
+            OpClass::Occupancy
+        );
+        assert_eq!(
+            OpClass::classify(&Request::SampleMany {
+                target: crate::protocol::Target::Stored(0),
+                r: 4,
+                seed: 0
+            }),
+            OpClass::Sample
+        );
+        assert_eq!(OpClass::classify(&Request::Save), OpClass::Snapshot);
+        assert_eq!(OpClass::classify(&Request::Ping), OpClass::Admin);
+        for class in OpClass::ALL {
+            assert_eq!(OpClass::from_tag(class.tag()), Some(class));
+            assert!(!class.name().is_empty());
+        }
+        assert_eq!(OpClass::from_tag(OpClass::TOTAL_TAG), None);
+    }
+
+    #[test]
+    fn rows_report_counts_and_merged_total() {
+        let reg = StatsRegistry::new();
+        assert_eq!(reg.rows(), (vec![], None));
+        for _ in 0..100 {
+            reg.record(OpClass::Sample, 50.0);
+        }
+        reg.record(OpClass::Batch, 5_000.0);
+        let (rows, total) = reg.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].op, OpClass::Sample.tag());
+        assert_eq!(rows[0].count, 100);
+        assert_eq!(rows[1].op, OpClass::Batch.tag());
+        let total = total.expect("recorded requests");
+        assert_eq!(total.op, OpClass::TOTAL_TAG);
+        assert_eq!(total.count, 101);
+        // 100 of 101 samples sit at 50µs: the median must be in that bin.
+        let bin = (HIST_HI_US - HIST_LO_US) / HIST_BINS as f64;
+        assert!(total.p50_us <= 50.0 + bin, "p50 {}", total.p50_us);
+    }
+
+    #[test]
+    fn outlier_only_class_still_counts() {
+        let reg = StatsRegistry::new();
+        reg.record(OpClass::Snapshot, HIST_HI_US * 2.0);
+        let (rows, total) = reg.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[0].p99_us, HIST_HI_US);
+        assert_eq!(total.unwrap().count, 1);
+    }
+}

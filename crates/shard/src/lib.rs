@@ -91,4 +91,4 @@ pub mod weight_cache;
 
 pub use query::ShardQuery;
 pub use system::{shard_boundaries, ShardedBstSystem, ShardedBstSystemBuilder};
-pub use weight_cache::{CachedWeight, WeightCacheStats};
+pub use weight_cache::{filter_content_hash, CachedWeight, WeightCacheStats};

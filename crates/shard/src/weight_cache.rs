@@ -83,8 +83,12 @@ pub(crate) enum SlotKey<'a> {
 /// Content hash of a filter: FNV-1a over the parameterization and the
 /// raw bit words. Collisions are guarded by comparing the interned
 /// filter's bits on every probe, so the hash only has to be a good map
-/// key, not a unique identity.
-pub(crate) fn filter_content_hash(filter: &BloomFilter) -> u64 {
+/// key, not a unique identity. Public so layers holding their own
+/// per-filter caches (e.g. `bst-server` session handle caches) can key
+/// them consistently with the engine's weight cache — callers must keep
+/// the same collision-guard discipline (the hash is a map key, not an
+/// identity).
+pub fn filter_content_hash(filter: &BloomFilter) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
