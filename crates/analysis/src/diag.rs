@@ -1,0 +1,242 @@
+//! Diagnostics, stable lint codes, and the inline waiver syntax.
+//!
+//! Waiver syntax (in any comment):
+//!
+//! ```text
+//! // bst-lint: allow(L001) — <justification>
+//! ```
+//!
+//! A waiver suppresses the named code(s) on its own line and on the
+//! immediately following line (so both trailing and preceding placement
+//! work). The justification is mandatory: a waiver without one is
+//! itself a finding (`W001`), because an unexplained suppression is
+//! exactly the kind of convention drift this tool exists to catch.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::scan::SourceFile;
+
+/// Stable lint codes. New lints append; codes are never renumbered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Panic-freedom: no `unwrap()`/`expect()`/`panic!`/`unreachable!`/
+    /// `todo!`/`unimplemented!` in non-test code of serving-path crates.
+    L001,
+    /// Codec discipline: little-endian only, bounded allocation on
+    /// decode paths.
+    L002,
+    /// Lock discipline: parking_lot only in library crates, acquisitions
+    /// follow the declared lock-order manifest.
+    L003,
+    /// Protocol drift: opcodes, handler arms, DESIGN.md rows, error
+    /// mappings and `PROTO_VERSION` must agree.
+    L004,
+    /// Unsafe hygiene: `#![forbid(unsafe_code)]` on every first-party
+    /// crate root, no `unsafe` tokens anywhere first-party.
+    L005,
+    /// A malformed waiver (missing justification or unknown code).
+    W001,
+}
+
+impl Code {
+    /// Parses `"L001"`-style names (used by waiver parsing).
+    pub fn parse(s: &str) -> Option<Code> {
+        match s.trim() {
+            "L001" => Some(Code::L001),
+            "L002" => Some(Code::L002),
+            "L003" => Some(Code::L003),
+            "L004" => Some(Code::L004),
+            "L005" => Some(Code::L005),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Code::L001 => "L001",
+            Code::L002 => "L002",
+            Code::L003 => "L003",
+            Code::L004 => "L004",
+            Code::L005 => "L005",
+            Code::W001 => "W001",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding: a stable code, a `file:line` anchor, and the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    /// Path relative to the analysis root.
+    pub file: PathBuf,
+    /// 1-based; 0 for whole-file findings with no better anchor.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.code,
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Waivers extracted from one file: line → codes suppressed on that
+/// line, plus the malformed-waiver findings.
+#[derive(Debug, Default)]
+pub struct Waivers {
+    /// Suppressions: `(line, code)` pairs that findings are checked
+    /// against.
+    allowed: HashMap<usize, Vec<Code>>,
+}
+
+impl Waivers {
+    /// True when `code` at `line` is covered by a waiver on this line or
+    /// the line above.
+    pub fn covers(&self, line: usize, code: Code) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allowed.get(l).is_some_and(|cs| cs.contains(&code)))
+    }
+}
+
+/// Parses every waiver comment in `file`. Returns the suppression table
+/// and W001 findings for malformed waivers.
+pub fn parse_waivers(file: &SourceFile) -> (Waivers, Vec<Diagnostic>) {
+    let mut waivers = Waivers::default();
+    let mut bad = Vec::new();
+    for line in &file.lines {
+        let Some(at) = line.comment.find("bst-lint:") else {
+            continue;
+        };
+        let rest = line.comment[at + "bst-lint:".len()..].trim_start();
+        let mut fail = |why: &str| {
+            bad.push(Diagnostic {
+                code: Code::W001,
+                file: file.path.clone(),
+                line: line.number,
+                message: format!("malformed waiver: {why}"),
+            });
+        };
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            fail("expected `allow(<code>)` after `bst-lint:`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("unclosed `allow(`");
+            continue;
+        };
+        let mut codes = Vec::new();
+        let mut unknown = false;
+        for part in rest[..close].split(',') {
+            match Code::parse(part) {
+                Some(c) => codes.push(c),
+                None => {
+                    fail(&format!("unknown lint code `{}`", part.trim()));
+                    unknown = true;
+                }
+            }
+        }
+        if unknown || codes.is_empty() {
+            if codes.is_empty() && !unknown {
+                fail("empty code list");
+            }
+            continue;
+        }
+        // Justification: a dash separator followed by non-empty prose.
+        let after = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ' '])
+            .trim();
+        if after.is_empty() {
+            fail("missing justification (write `— <why this is sound>`)");
+            continue;
+        }
+        waivers
+            .allowed
+            .entry(line.number)
+            .or_default()
+            .extend(codes);
+    }
+    (waivers, bad)
+}
+
+/// Applies waivers: returns the findings not covered, in place.
+pub fn suppress(findings: Vec<Diagnostic>, waivers: &Waivers) -> Vec<Diagnostic> {
+    findings
+        .into_iter()
+        .filter(|d| !waivers.covers(d.line, d.code))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn scan(text: &str) -> SourceFile {
+        scan_source(PathBuf::from("t.rs"), text)
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_line() {
+        let f = scan("x.unwrap(); // bst-lint: allow(L001) — caller checked is_some\n");
+        let (w, bad) = parse_waivers(&f);
+        assert!(bad.is_empty());
+        assert!(w.covers(1, Code::L001));
+        assert!(!w.covers(1, Code::L002));
+    }
+
+    #[test]
+    fn preceding_waiver_covers_next_line() {
+        let f = scan("// bst-lint: allow(L003) — init order, no other lock held\nfoo();\n");
+        let (w, bad) = parse_waivers(&f);
+        assert!(bad.is_empty());
+        assert!(w.covers(2, Code::L003));
+        assert!(!w.covers(3, Code::L003));
+    }
+
+    #[test]
+    fn waiver_without_justification_is_w001() {
+        let f = scan("// bst-lint: allow(L001)\nx.unwrap();\n");
+        let (w, bad) = parse_waivers(&f);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].code, Code::W001);
+        assert_eq!(bad[0].line, 1);
+        assert!(!w.covers(2, Code::L001));
+    }
+
+    #[test]
+    fn waiver_with_unknown_code_is_w001() {
+        let f = scan("// bst-lint: allow(L999) — whatever\n");
+        let (_, bad) = parse_waivers(&f);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn multi_code_waiver() {
+        let f = scan("thing(); // bst-lint: allow(L001, L003) — both justified here\n");
+        let (w, bad) = parse_waivers(&f);
+        assert!(bad.is_empty());
+        assert!(w.covers(1, Code::L001) && w.covers(1, Code::L003));
+    }
+
+    #[test]
+    fn hyphen_dash_accepted() {
+        let f = scan("x(); // bst-lint: allow(L001) - plain hyphen works too\n");
+        let (w, bad) = parse_waivers(&f);
+        assert!(bad.is_empty());
+        assert!(w.covers(1, Code::L001));
+    }
+}

@@ -1,0 +1,409 @@
+//! L004 — protocol drift detection.
+//!
+//! The wire protocol's single-source-of-truth is spread across three
+//! artifacts that nothing ties together at compile time: the opcode
+//! constants and error codec in `server/src/protocol.rs`, the dispatch
+//! in `server/src/handler.rs`, and the human-facing frame table in
+//! `DESIGN.md`. This lint cross-parses all three (plus the `BstError`
+//! enum in `core/src/error.rs`) and flags every disagreement:
+//!
+//! * an `OP_*` constant with no decode arm in `protocol.rs`;
+//! * a `Request` variant with no `handler.rs` match arm;
+//! * an opcode missing from (or numbered differently in) the DESIGN.md
+//!   opcode table — and table rows naming opcodes that no longer exist;
+//! * a `BstError` variant without a `WireError` mapping arm;
+//! * `PROTO_VERSION` values that disagree between `protocol.rs` and
+//!   DESIGN.md.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Code, Diagnostic};
+use crate::scan::SourceFile;
+
+/// Where the protocol's artifacts live, relative to the analysis root.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    pub protocol_rs: PathBuf,
+    pub handler_rs: PathBuf,
+    pub error_rs: PathBuf,
+    pub design_md: PathBuf,
+}
+
+/// Runs the full drift check. `design_text` is the raw DESIGN.md (it is
+/// markdown, not Rust, so it skips the scanner).
+pub fn l004_protocol_drift(
+    protocol: &SourceFile,
+    handler: &SourceFile,
+    error: &SourceFile,
+    design_text: &str,
+    design_path: &Path,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // --- opcodes ------------------------------------------------------
+    let opcodes = parse_opcode_consts(protocol);
+    for op in &opcodes {
+        let arm = format!("{} =>", op.name);
+        let has_decode_arm = protocol
+            .lines
+            .iter()
+            .any(|l| l.number != op.line && l.code.contains(&arm));
+        if !has_decode_arm {
+            out.push(Diagnostic {
+                code: Code::L004,
+                file: protocol.path.clone(),
+                line: op.line,
+                message: format!("opcode `{}` has no decode arm in protocol.rs", op.name),
+            });
+        }
+    }
+
+    // --- Request variants vs handler arms -----------------------------
+    for v in parse_enum_variants(protocol, "Request") {
+        let pat = format!("Request::{}", v.name);
+        let handled = handler.lines.iter().any(|l| l.code.contains(&pat));
+        if !handled {
+            out.push(Diagnostic {
+                code: Code::L004,
+                file: handler.path.clone(),
+                line: 1,
+                message: format!(
+                    "`Request::{}` (protocol.rs:{}) has no match arm in handler.rs",
+                    v.name, v.line
+                ),
+            });
+        }
+    }
+
+    // --- DESIGN.md opcode table ---------------------------------------
+    let table = parse_design_opcode_rows(design_text);
+    for op in &opcodes {
+        let short = op.name.trim_start_matches("OP_");
+        match table.iter().find(|r| r.name == short) {
+            None => out.push(Diagnostic {
+                code: Code::L004,
+                file: design_path.to_path_buf(),
+                line: 1,
+                message: format!(
+                    "opcode `{short}` ({} = {}) has no row in the DESIGN.md opcode table",
+                    op.name, op.value
+                ),
+            }),
+            Some(row) if row.value != op.value => out.push(Diagnostic {
+                code: Code::L004,
+                file: design_path.to_path_buf(),
+                line: row.line,
+                message: format!(
+                    "DESIGN.md lists `{short}` as {}, but protocol.rs says {} = {}",
+                    row.value, op.name, op.value
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for row in &table {
+        if !opcodes
+            .iter()
+            .any(|op| op.name.trim_start_matches("OP_") == row.name)
+        {
+            out.push(Diagnostic {
+                code: Code::L004,
+                file: design_path.to_path_buf(),
+                line: row.line,
+                message: format!(
+                    "DESIGN.md opcode table lists `{}` ({}), which protocol.rs does not define",
+                    row.name, row.value
+                ),
+            });
+        }
+    }
+
+    // --- BstError → WireError mapping ---------------------------------
+    for v in parse_enum_variants(error, "BstError") {
+        let pat = format!("BstError::{}", v.name);
+        let mapped = protocol.lines.iter().any(|l| l.code.contains(&pat));
+        if !mapped {
+            out.push(Diagnostic {
+                code: Code::L004,
+                file: error.path.clone(),
+                line: v.line,
+                message: format!(
+                    "`BstError::{}` has no explicit `WireError` mapping arm in protocol.rs (the catch-all would hide it)",
+                    v.name
+                ),
+            });
+        }
+    }
+
+    // --- PROTO_VERSION ------------------------------------------------
+    match parse_proto_version(protocol) {
+        None => out.push(Diagnostic {
+            code: Code::L004,
+            file: protocol.path.clone(),
+            line: 1,
+            message: "no `PROTO_VERSION` constant found in protocol.rs".to_string(),
+        }),
+        Some((version, _)) => {
+            let mentioned = design_text
+                .lines()
+                .enumerate()
+                .find(|(_, l)| l.contains("PROTO_VERSION"));
+            match mentioned {
+                None => out.push(Diagnostic {
+                    code: Code::L004,
+                    file: design_path.to_path_buf(),
+                    line: 1,
+                    message:
+                        "DESIGN.md never states PROTO_VERSION; the frame-format section must pin it"
+                            .to_string(),
+                }),
+                Some((idx, l)) => {
+                    let agrees = l
+                        .split(|c: char| !c.is_ascii_digit())
+                        .any(|tok| tok == version.to_string());
+                    if !agrees {
+                        out.push(Diagnostic {
+                            code: Code::L004,
+                            file: design_path.to_path_buf(),
+                            line: idx + 1,
+                            message: format!(
+                                "DESIGN.md's PROTO_VERSION line does not carry the protocol.rs value {version}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// An `OP_*` constant parsed from protocol.rs.
+#[derive(Debug)]
+struct OpConst {
+    name: String,
+    value: u64,
+    line: usize,
+}
+
+/// Parses `const OP_NAME: u8 = N;` lines.
+fn parse_opcode_consts(file: &SourceFile) -> Vec<OpConst> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let t = line.code.trim();
+        let t = t.strip_prefix("pub ").unwrap_or(t);
+        let Some(rest) = t.strip_prefix("const OP_") else {
+            continue;
+        };
+        let Some((name_tail, rhs)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some((_, value)) = rhs.split_once('=') else {
+            continue;
+        };
+        let value = value.trim().trim_end_matches(';').trim();
+        if let Ok(v) = value.parse::<u64>() {
+            out.push(OpConst {
+                name: format!("OP_{}", name_tail.trim()),
+                value: v,
+                line: line.number,
+            });
+        }
+    }
+    out
+}
+
+/// A variant of a parsed enum.
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    line: usize,
+}
+
+/// Parses the variants of `enum <name>` from a scanned file: lines one
+/// brace level inside the enum whose first token is a capitalized
+/// identifier.
+fn parse_enum_variants(file: &SourceFile, name: &str) -> Vec<Variant> {
+    let decl_a = format!("enum {name} {{");
+    let decl_b = format!("enum {name}{{");
+    let mut out = Vec::new();
+    let mut inside: Option<usize> = None; // enum's body depth
+    for line in &file.lines {
+        match inside {
+            None => {
+                let compact = line.code.trim();
+                if compact.contains(&decl_a) || compact.contains(&decl_b) {
+                    inside = Some(line.depth_start + 1);
+                }
+            }
+            Some(d) => {
+                if line.depth_end < d {
+                    break; // enum closed
+                }
+                if line.depth_start != d {
+                    continue; // field lines of a struct variant
+                }
+                let t = line.code.trim();
+                let ident: String = t
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    out.push(Variant {
+                        name: ident,
+                        line: line.number,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A row of the DESIGN.md opcode table.
+#[derive(Debug)]
+struct DesignRow {
+    name: String,
+    value: u64,
+    line: usize,
+}
+
+/// Parses markdown table rows whose first cell is a backticked
+/// `UPPER_SNAKE` opcode name and whose second cell is an integer.
+fn parse_design_opcode_rows(text: &str) -> Vec<DesignRow> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let t = raw.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let name = cells[0].trim_matches('`');
+        let is_opcode_name = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit());
+        let Ok(value) = cells[1].parse::<u64>() else {
+            continue;
+        };
+        if is_opcode_name && cells[0].starts_with('`') {
+            out.push(DesignRow {
+                name: name.to_string(),
+                value,
+                line: idx + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Parses `pub const PROTO_VERSION: u8 = N;`, returning `(N, line)`.
+fn parse_proto_version(file: &SourceFile) -> Option<(u64, usize)> {
+    for line in &file.lines {
+        let t = line.code.trim();
+        let t = t.strip_prefix("pub ").unwrap_or(t);
+        if let Some(rest) = t.strip_prefix("const PROTO_VERSION") {
+            let value = rest.split('=').nth(1)?.trim().trim_end_matches(';').trim();
+            if let Ok(v) = value.parse::<u64>() {
+                return Some((v, line.number));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn scan(name: &str, text: &str) -> SourceFile {
+        scan_source(PathBuf::from(name), text)
+    }
+
+    const PROTO: &str = "pub const PROTO_VERSION: u8 = 1;\nconst OP_PING: u8 = 1;\nconst OP_CREATE: u8 = 2;\npub enum Request {\n    Ping,\n    Create {\n        keys: Vec<u64>,\n    },\n}\nfn get_request() {\n    match opcode {\n        OP_PING => Request::Ping,\n        OP_CREATE => Request::Create { keys: k },\n    }\n}\nfn map() {\n    match e {\n        BstError::EmptyFilter => WireError::EmptyFilter,\n    }\n}\n";
+    const HANDLER: &str = "fn handle(req: Request) {\n    match req {\n        Request::Ping => {}\n        Request::Create { keys } => {}\n    }\n}\n";
+    const ERRORS: &str = "pub enum BstError {\n    EmptyFilter,\n}\n";
+    const DESIGN: &str =
+        "PROTO_VERSION = 1\n\n| opcode | byte |\n|---|---|\n| `PING` | 1 |\n| `CREATE` | 2 |\n";
+
+    fn run(proto: &str, handler: &str, errors: &str, design: &str) -> Vec<Diagnostic> {
+        l004_protocol_drift(
+            &scan("protocol.rs", proto),
+            &scan("handler.rs", handler),
+            &scan("error.rs", errors),
+            design,
+            Path::new("DESIGN.md"),
+        )
+    }
+
+    #[test]
+    fn consistent_surface_is_clean() {
+        let d = run(PROTO, HANDLER, ERRORS, DESIGN);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_handler_arm_is_flagged() {
+        let handler =
+            "fn handle(req: Request) {\n    match req {\n        Request::Ping => {}\n    }\n}\n";
+        let d = run(PROTO, handler, ERRORS, DESIGN);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Request::Create"));
+    }
+
+    #[test]
+    fn missing_design_row_and_value_drift_are_flagged() {
+        let design = "PROTO_VERSION = 1\n\n| `PING` | 1 |\n";
+        let d = run(PROTO, HANDLER, ERRORS, design);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("CREATE"));
+
+        let drifted = "PROTO_VERSION = 1\n\n| `PING` | 1 |\n| `CREATE` | 9 |\n";
+        let d = run(PROTO, HANDLER, ERRORS, drifted);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("protocol.rs says OP_CREATE = 2"));
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn stale_design_row_is_flagged() {
+        let design = "PROTO_VERSION = 1\n\n| `PING` | 1 |\n| `CREATE` | 2 |\n| `GONE` | 7 |\n";
+        let d = run(PROTO, HANDLER, ERRORS, design);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("GONE"));
+    }
+
+    #[test]
+    fn unmapped_bst_error_variant_is_flagged() {
+        let errors = "pub enum BstError {\n    EmptyFilter,\n    NewThing,\n}\n";
+        let d = run(PROTO, HANDLER, errors, DESIGN);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("NewThing"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn proto_version_drift_is_flagged() {
+        let design = "PROTO_VERSION = 2\n\n| `PING` | 1 |\n| `CREATE` | 2 |\n";
+        let d = run(PROTO, HANDLER, ERRORS, design);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("PROTO_VERSION"));
+    }
+
+    #[test]
+    fn opcode_without_decode_arm_is_flagged() {
+        let proto = "pub const PROTO_VERSION: u8 = 1;\nconst OP_PING: u8 = 1;\nfn get_request() {}\nfn map() { let _ = BstError::EmptyFilter; }\n";
+        let design = "PROTO_VERSION = 1\n\n| `PING` | 1 |\n";
+        let d = run(proto, HANDLER, ERRORS, design);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no decode arm"));
+    }
+}

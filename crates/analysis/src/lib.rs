@@ -1,0 +1,163 @@
+#![forbid(unsafe_code)]
+//! `bst-analysis` — the workspace invariant analyzer.
+//!
+//! The system's headline guarantees are invariants that live in
+//! conventions: every snapshot and frame is little-endian
+//! byte-deterministic, the serving path never panics, locking is
+//! parking_lot-only and ordered, and the wire protocol's three
+//! artifacts (opcode constants, dispatch, DESIGN.md) agree. This crate
+//! machine-checks those conventions as a CI gate:
+//!
+//! ```text
+//! cargo run --release -p bst-analysis -- check
+//! ```
+//!
+//! Lints (stable codes; see [`diag::Code`]):
+//!
+//! | code | invariant |
+//! |---|---|
+//! | L001 | panic-freedom of the serving-path crates |
+//! | L002 | codec discipline: LE-only, bounded decode allocations |
+//! | L003 | lock discipline: parking_lot-only, manifest-ordered |
+//! | L004 | protocol drift: opcodes/handlers/DESIGN.md/error mapping |
+//! | L005 | unsafe hygiene: `#![forbid(unsafe_code)]`, no `unsafe` |
+//! | W001 | malformed waiver |
+//!
+//! A finding is suppressed by an inline waiver **with justification**:
+//!
+//! ```text
+//! handles.join().expect("worker"); // bst-lint: allow(L001) — worker panics must propagate
+//! ```
+//!
+//! Everything is built on a comment/string/`#[cfg(test)]`-aware line
+//! scanner ([`scan`]), so doc examples, string literals and test
+//! modules never false-positive.
+
+pub mod config;
+pub mod diag;
+pub mod drift;
+pub mod lints;
+pub mod scan;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use diag::{Code, Diagnostic};
+
+/// Runs every configured lint over the tree and returns the surviving
+/// findings (waived findings are dropped; malformed waivers are W001
+/// findings), sorted by file then line then code.
+pub fn analyze(cfg: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut findings = Vec::new();
+
+    // Collect the union of files each lint wants, scanning each once.
+    let mut files: BTreeSet<PathBuf> = BTreeSet::new();
+    for dir in cfg.panic_free_dirs.iter().chain(&cfg.lint_dirs) {
+        collect_rs(&cfg.root.join(dir), dir, &mut files)?;
+    }
+    for f in cfg.codec_files.iter().chain(&cfg.crate_roots) {
+        if cfg.root.join(f).is_file() {
+            files.insert(f.clone());
+        }
+    }
+    if let Some(p) = &cfg.protocol {
+        for f in [&p.protocol_rs, &p.handler_rs, &p.error_rs] {
+            if cfg.root.join(f).is_file() {
+                files.insert(f.clone());
+            }
+        }
+    }
+
+    let mut scanned = Vec::new();
+    for rel in &files {
+        let text = fs::read_to_string(cfg.root.join(rel))?;
+        scanned.push(scan::scan_source(rel.clone(), &text));
+    }
+
+    let in_scope = |rel: &Path, dirs: &[PathBuf]| dirs.iter().any(|d| rel.starts_with(d));
+
+    for file in &scanned {
+        let (waivers, mut malformed) = diag::parse_waivers(file);
+        let mut local = Vec::new();
+        if in_scope(&file.path, &cfg.panic_free_dirs) {
+            local.extend(lints::l001_panic_freedom(file));
+        }
+        if cfg.codec_files.iter().any(|f| f == &file.path) {
+            local.extend(lints::l002_codec_discipline(file));
+        }
+        if in_scope(&file.path, &cfg.lint_dirs) {
+            local.extend(lints::l003_lock_discipline(file));
+            local.extend(lints::l005_no_unsafe(file));
+        }
+        if cfg.crate_roots.iter().any(|f| f == &file.path) {
+            local.extend(lints::l005_crate_root(file));
+        }
+        findings.extend(diag::suppress(local, &waivers));
+        findings.append(&mut malformed);
+    }
+
+    if let Some(p) = &cfg.protocol {
+        let find = |rel: &PathBuf| scanned.iter().find(|s| &s.path == rel);
+        match (
+            find(&p.protocol_rs),
+            find(&p.handler_rs),
+            find(&p.error_rs),
+        ) {
+            (Some(proto), Some(handler), Some(error)) => {
+                let design = fs::read_to_string(cfg.root.join(&p.design_md)).unwrap_or_default();
+                if design.is_empty() {
+                    findings.push(Diagnostic {
+                        code: Code::L004,
+                        file: p.design_md.clone(),
+                        line: 1,
+                        message: "DESIGN.md missing or empty: the protocol surface must be documented".to_string(),
+                    });
+                } else {
+                    findings.extend(drift::l004_protocol_drift(
+                        proto,
+                        handler,
+                        error,
+                        &design,
+                        &p.design_md,
+                    ));
+                }
+            }
+            _ => findings.push(Diagnostic {
+                code: Code::L004,
+                file: p.protocol_rs.clone(),
+                line: 1,
+                message: "protocol drift surface incomplete: protocol.rs / handler.rs / error.rs not all present".to_string(),
+            }),
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.code)
+            .cmp(&(&b.file, b.line, b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `abs`, recording them as
+/// `rel`-prefixed relative paths.
+fn collect_rs(abs: &Path, rel: &Path, out: &mut BTreeSet<PathBuf>) -> io::Result<()> {
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(abs)? {
+        let entry = entry?;
+        let ty = entry.file_type()?;
+        let name = entry.file_name();
+        let rel_child = rel.join(&name);
+        if ty.is_dir() {
+            collect_rs(&entry.path(), &rel_child, out)?;
+        } else if ty.is_file() && name.to_string_lossy().ends_with(".rs") {
+            out.insert(rel_child);
+        }
+    }
+    Ok(())
+}

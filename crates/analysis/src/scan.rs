@@ -1,0 +1,475 @@
+//! The comment/string/`#[cfg(test)]`-aware line scanner every lint runs
+//! on.
+//!
+//! Lints in this crate are *textual* — they look for tokens like
+//! `.unwrap()` or `to_be_bytes` — so the scanner's whole job is making
+//! textual matching sound: a `panic!` inside a doc example, a string
+//! literal, or a `#[cfg(test)]` module is not a finding. Each source
+//! line is split into a *code* channel (literal bodies and comments
+//! masked to spaces, quotes and structure preserved) and a *comment*
+//! channel (where waivers live), plus brace-depth and test-region
+//! bookkeeping that the function-span and `cfg(test)` logic build on.
+
+use std::path::PathBuf;
+
+/// One scanned source line: the masked code text, the comment text, and
+/// where it sits structurally.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Source text with comment bodies and string/char literal contents
+    /// replaced by spaces. Quotes and all structural characters survive,
+    /// so token searches and brace counting behave as if literals were
+    /// empty.
+    pub code: String,
+    /// Concatenated comment text on this line (line and block comments,
+    /// doc comments included) — the channel waivers are parsed from.
+    pub comment: String,
+    /// Brace depth at the start of the line (code channel only).
+    pub depth_start: usize,
+    /// Brace depth after the line.
+    pub depth_end: usize,
+    /// True inside a `#[cfg(test)]` item (the attribute line itself
+    /// included): lints that exempt test code skip these lines.
+    pub in_test: bool,
+}
+
+/// A whole scanned file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (relative to the analysis root).
+    pub path: PathBuf,
+    pub lines: Vec<Line>,
+}
+
+/// A function body span over scanned lines, for per-function lints
+/// (decode-path allocation guards, lock-acquisition order).
+#[derive(Debug)]
+pub struct FnSpan {
+    /// Identifier following the `fn` keyword.
+    pub name: String,
+    /// 1-based first line (the `fn` line).
+    pub start: usize,
+    /// 1-based last line (where the body's brace closes).
+    pub end: usize,
+}
+
+/// What the character-level pass is currently inside of.
+enum Mode {
+    Code,
+    /// Block comment, with nesting depth (Rust block comments nest).
+    Block(usize),
+    /// String literal; the flag notes a pending backslash escape.
+    Str {
+        escape: bool,
+    },
+    /// Raw string literal terminated by `"` + this many `#`s.
+    RawStr {
+        hashes: usize,
+    },
+}
+
+/// Scans `text` into masked lines. The path is carried through for
+/// diagnostics only; no I/O happens here.
+pub fn scan_source(path: PathBuf, text: &str) -> SourceFile {
+    let mut mode = Mode::Code;
+    let mut raw_lines: Vec<(String, String)> = Vec::new();
+
+    for line in text.lines() {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            match &mut mode {
+                Mode::Code => {
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment (doc comments included): the rest
+                        // of the line is comment text.
+                        comment.push_str(&line[line.len() - count_len(&bytes[i..])..]);
+                        code.extend(std::iter::repeat_n(' ', bytes.len() - i));
+                        break;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Str { escape: false };
+                        code.push('"');
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&bytes, i)
+                        && raw_str_hashes(&bytes[i + 1..]).is_some()
+                    {
+                        let hashes = raw_str_hashes(&bytes[i + 1..]).unwrap_or(0);
+                        mode = Mode::RawStr { hashes };
+                        // Mask `r##"` as spaces + quote so brace counts hold.
+                        code.extend(std::iter::repeat_n(' ', 1 + hashes));
+                        code.push('"');
+                        i += 2 + hashes;
+                    } else if c == 'b'
+                        && bytes.get(i + 1) == Some(&'"')
+                        && !prev_is_ident(&bytes, i)
+                    {
+                        mode = Mode::Str { escape: false };
+                        code.push(' ');
+                        code.push('"');
+                        i += 2;
+                    } else if c == '\'' {
+                        // Char literal vs. lifetime. `'\x'`-style escapes
+                        // and `'c'` are literals; `'a` followed by
+                        // anything but a closing quote is a lifetime.
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: consume through the
+                            // closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push('\'');
+                            code.extend(std::iter::repeat_n(' ', j.saturating_sub(i + 1)));
+                            if j < bytes.len() {
+                                code.push('\'');
+                                j += 1;
+                            }
+                            i = j;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                        } else {
+                            // Lifetime or label: plain code.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Block(depth) => {
+                    if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            mode = Mode::Code;
+                        }
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        *depth += 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str { escape } => {
+                    if *escape {
+                        *escape = false;
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '\\' {
+                        *escape = true;
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr { hashes } => {
+                    if c == '"' && closes_raw(&bytes[i + 1..], *hashes) {
+                        let h = *hashes;
+                        mode = Mode::Code;
+                        code.push('"');
+                        code.extend(std::iter::repeat_n(' ', h));
+                        i += 1 + h;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A string/raw-string continues across lines; escapes don't span
+        // the newline.
+        if let Mode::Str { escape } = &mut mode {
+            *escape = false;
+        }
+        raw_lines.push((code, comment));
+    }
+
+    SourceFile {
+        path,
+        lines: structure_pass(raw_lines),
+    }
+}
+
+/// Second pass: brace depth per line plus `#[cfg(test)]` region marking.
+fn structure_pass(raw: Vec<(String, String)>) -> Vec<Line> {
+    let mut lines = Vec::with_capacity(raw.len());
+    let mut depth = 0usize;
+    // `Some(d)`: a `#[cfg(test)]` attribute was seen at depth `d` and we
+    // are waiting for the item it gates to open (`{`) or end (`;`).
+    let mut pending_test: Option<usize> = None;
+    // `Some(d)`: inside a test item whose body opened at depth `d`; the
+    // region ends when depth returns to `d`.
+    let mut test_region: Option<usize> = None;
+
+    for (idx, (code, comment)) in raw.into_iter().enumerate() {
+        let depth_start = depth;
+        let mut opened = false;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        let mut in_test = test_region.is_some();
+
+        if let Some(d) = pending_test {
+            in_test = true;
+            if opened {
+                pending_test = None;
+                if depth > d {
+                    // Item body still open at end of line.
+                    test_region = Some(d);
+                } // else: one-line `#[cfg(test)] mod t { .. }` item.
+            } else if code.contains(';') && depth <= d {
+                // Braceless gated item (`#[cfg(test)] use ..;`).
+                pending_test = None;
+            }
+        }
+        if is_cfg_test_attr(&code) {
+            in_test = true;
+            if test_region.is_none() && pending_test.is_none() {
+                pending_test = Some(depth_start);
+            }
+        }
+        if let Some(d) = test_region {
+            in_test = true;
+            if depth <= d {
+                test_region = None;
+            }
+        }
+
+        lines.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            depth_start,
+            depth_end: depth,
+            in_test,
+        });
+    }
+    lines
+}
+
+/// Does the masked code carry a `#[cfg(test)]`-style attribute?
+/// (`cfg(all(test, ..))` / `cfg(any(test, ..))` count too.)
+fn is_cfg_test_attr(code: &str) -> bool {
+    let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+    compact.contains("#[cfg(test)]")
+        || compact.contains("#[cfg(all(test")
+        || compact.contains("#[cfg(any(test")
+}
+
+/// Extracts function body spans from a scanned file. Bodyless trait
+/// signatures are skipped; nested functions yield nested spans and each
+/// is checked independently by per-function lints.
+pub fn fn_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut open: Vec<(String, usize, usize)> = Vec::new(); // (name, start, decl depth)
+
+    for line in &file.lines {
+        if let Some(name) = fn_name(&line.code) {
+            if line.code.contains(';') && !line.code.contains('{') {
+                // Trait/extern signature without a body.
+            } else {
+                open.push((name, line.number, line.depth_start));
+            }
+        }
+        while let Some(&(_, start, d)) = open.last() {
+            let same_line_body = line.number == start && line.code.contains('{');
+            if line.depth_end <= d && (line.number > start || same_line_body) {
+                if let Some((name, start, _)) = open.pop() {
+                    spans.push(FnSpan {
+                        name,
+                        start,
+                        end: line.number,
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+    }
+    // Close any span left open at EOF (unbalanced input).
+    let last = file.lines.len();
+    for (name, start, _) in open {
+        spans.push(FnSpan {
+            name,
+            start,
+            end: last,
+        });
+    }
+    spans.sort_by_key(|s| s.start);
+    spans
+}
+
+/// The identifier after a `fn ` keyword on this line, if any.
+fn fn_name(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = code[i..].find("fn ") {
+        let at = i + pos;
+        let prev_ok = at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        if prev_ok {
+            let rest = code[at + 3..].trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        i = at + 3;
+    }
+    None
+}
+
+/// Length in bytes of the suffix of the original line represented by
+/// this char tail (chars may be multi-byte).
+fn count_len(tail: &[char]) -> usize {
+    tail.iter().map(|c| c.len_utf8()).sum()
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// `r` has been seen; does a raw string opener (`#*"`）follow?
+fn raw_str_hashes(rest: &[char]) -> Option<usize> {
+    let mut h = 0;
+    while rest.get(h) == Some(&'#') {
+        h += 1;
+    }
+    (rest.get(h) == Some(&'"')).then_some(h)
+}
+
+/// Inside a raw string after a `"`: do `hashes` `#`s follow?
+fn closes_raw(rest: &[char], hashes: usize) -> bool {
+    (0..hashes).all(|j| rest.get(j) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        scan_source(PathBuf::from("t.rs"), text)
+    }
+
+    #[test]
+    fn masks_line_comments_and_keeps_text() {
+        let f = scan("let x = 1; // panic!(\"no\")\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].comment.contains("panic!"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn masks_string_literals() {
+        let f = scan("let s = \"call .unwrap() now\";\n");
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(f.lines[0].code.contains("let s = \""));
+    }
+
+    #[test]
+    fn masks_raw_strings_across_lines() {
+        let f = scan("let s = r#\"one .unwrap()\ntwo panic!\"#;\nlet y = 2;\n");
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(!f.lines[1].code.contains("panic!"));
+        assert!(f.lines[2].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_block_comments_nested() {
+        let f = scan("a /* x /* y */ panic! */ b\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains('a'));
+        assert!(f.lines[0].code.contains('b'));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let f = scan("let q = '\"'; let p = .unwrap();\n");
+        assert!(f.lines[0].code.contains(".unwrap()"));
+        let f = scan("let q = '\\''; let p = .unwrap();\n");
+        assert!(f.lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_code() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let text = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = scan(text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let text = "#[cfg(test)]\nfn helper() {\n    boom();\n}\nfn live() {}\n";
+        let f = scan(text);
+        assert!(f.lines[0].in_test && f.lines[1].in_test && f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let text = "fn a() {\n    one();\n}\n\nfn b() { two() }\n";
+        let f = scan(text);
+        let spans = fn_spans(&f);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            (spans[0].name.as_str(), spans[0].start, spans[0].end),
+            ("a", 1, 3)
+        );
+        assert_eq!(
+            (spans[1].name.as_str(), spans[1].start, spans[1].end),
+            ("b", 5, 5)
+        );
+    }
+
+    #[test]
+    fn trait_signatures_have_no_span() {
+        let f = scan("trait T {\n    fn sig(&self) -> u32;\n}\n");
+        let spans = fn_spans(&f);
+        assert!(spans.is_empty(), "{spans:?}");
+    }
+}

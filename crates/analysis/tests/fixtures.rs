@@ -1,0 +1,166 @@
+//! End-to-end lint coverage over the fixture trees in
+//! `tests/fixtures/`: every lint is exercised positively (each planted
+//! violation is reported with the exact `(code, file, line)` anchor)
+//! and negatively (the adjacent clean constructions stay silent), and
+//! the real workspace itself must analyze clean.
+
+use std::path::{Path, PathBuf};
+
+use bst_analysis::drift::ProtocolConfig;
+use bst_analysis::{analyze, Code, Config};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A config with every scope empty, rooted at the named fixture.
+fn empty_config(name: &str) -> Config {
+    Config {
+        root: fixture_root(name),
+        panic_free_dirs: Vec::new(),
+        lint_dirs: Vec::new(),
+        codec_files: Vec::new(),
+        crate_roots: Vec::new(),
+        protocol: None,
+    }
+}
+
+/// Runs the analyzer and projects findings to comparable
+/// `(code, file, line)` triples (already sorted by `analyze`).
+fn run(cfg: &Config) -> Vec<(Code, String, usize)> {
+    analyze(cfg)
+        .expect("fixture analysis must not fail")
+        .into_iter()
+        .map(|d| (d.code, d.file.to_string_lossy().into_owned(), d.line))
+        .collect()
+}
+
+fn triples(expected: &[(Code, &str, usize)]) -> Vec<(Code, String, usize)> {
+    expected
+        .iter()
+        .map(|(c, f, l)| (*c, (*f).to_string(), *l))
+        .collect()
+}
+
+#[test]
+fn l001_fixture_exact_findings() {
+    let cfg = Config {
+        panic_free_dirs: vec![PathBuf::from("src")],
+        ..empty_config("l001")
+    };
+    assert_eq!(
+        run(&cfg),
+        triples(&[
+            (Code::L001, "src/lib.rs", 10), // bad_unwrap: .unwrap()
+            (Code::L001, "src/lib.rs", 14), // bad_expect: .expect(
+            (Code::L001, "src/lib.rs", 19), // bad_macros: panic!
+            (Code::L001, "src/lib.rs", 20), // bad_macros: unreachable!
+            (Code::W001, "src/lib.rs", 37), // waiver without justification
+            (Code::L001, "src/lib.rs", 38), // ...which therefore suppresses nothing
+        ])
+    );
+}
+
+#[test]
+fn l002_fixture_exact_findings() {
+    let cfg = Config {
+        codec_files: vec![PathBuf::from("src/codec.rs")],
+        ..empty_config("l002")
+    };
+    assert_eq!(
+        run(&cfg),
+        triples(&[
+            (Code::L002, "src/codec.rs", 9),  // to_be_bytes
+            (Code::L002, "src/codec.rs", 14), // unguarded decode alloc
+            (Code::L002, "src/codec.rs", 38), // from_ne_bytes
+        ])
+    );
+}
+
+#[test]
+fn l003_fixture_exact_findings() {
+    let cfg = Config {
+        lint_dirs: vec![PathBuf::from("src")],
+        ..empty_config("l003")
+    };
+    assert_eq!(
+        run(&cfg),
+        triples(&[
+            (Code::L003, "src/lib.rs", 6),  // std::sync::Mutex
+            (Code::L003, "src/lib.rs", 7),  // std::sync::RwLock
+            (Code::L003, "src/lib.rs", 17), // tree lock after session state
+        ])
+    );
+}
+
+#[test]
+fn l005_fixture_exact_findings() {
+    let cfg = Config {
+        lint_dirs: vec![PathBuf::from("src")],
+        crate_roots: vec![PathBuf::from("src/lib.rs"), PathBuf::from("src/good.rs")],
+        ..empty_config("l005")
+    };
+    assert_eq!(
+        run(&cfg),
+        triples(&[
+            (Code::L005, "src/lib.rs", 1), // missing #![forbid(unsafe_code)]
+            (Code::L005, "src/lib.rs", 6), // unsafe block
+        ])
+    );
+}
+
+fn protocol_config(name: &str) -> Config {
+    Config {
+        protocol: Some(ProtocolConfig {
+            protocol_rs: PathBuf::from("protocol.rs"),
+            handler_rs: PathBuf::from("handler.rs"),
+            error_rs: PathBuf::from("error.rs"),
+            design_md: PathBuf::from("DESIGN.md"),
+        }),
+        ..empty_config(name)
+    }
+}
+
+#[test]
+fn l004_drifted_fixture_exact_findings() {
+    assert_eq!(
+        run(&protocol_config("l004_drifted")),
+        triples(&[
+            (Code::L004, "DESIGN.md", 1),   // GHOST has no table row
+            (Code::L004, "DESIGN.md", 3),   // PROTO_VERSION 1 vs protocol.rs 2
+            (Code::L004, "DESIGN.md", 8),   // CREATE listed as 3, protocol says 2
+            (Code::L004, "DESIGN.md", 9),   // GONE: stale row, no such opcode
+            (Code::L004, "error.rs", 3),    // NoLiveLeaf has no WireError mapping
+            (Code::L004, "handler.rs", 1),  // Request::Ghost has no handler arm
+            (Code::L004, "protocol.rs", 4), // OP_GHOST has no decode arm
+        ])
+    );
+}
+
+#[test]
+fn l004_clean_fixture_is_silent() {
+    let got = run(&protocol_config("l004_clean"));
+    assert!(got.is_empty(), "clean protocol fixture flagged: {got:?}");
+}
+
+/// The self-check the CI gate enforces: the real workspace, analyzed
+/// with the production configuration, reports nothing.
+#[test]
+fn workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let findings = analyze(&Config::workspace(root)).expect("workspace analysis must not fail");
+    assert!(
+        findings.is_empty(),
+        "the workspace must analyze clean; found:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

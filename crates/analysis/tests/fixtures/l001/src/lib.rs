@@ -1,0 +1,49 @@
+//! L001 fixture: panic sites in non-test code, with negatives for
+//! comments, strings, lookalikes, doc examples, tests and waivers.
+//!
+//! ```
+//! let x: Option<u32> = None;
+//! x.unwrap(); // doc-comment example: not a finding
+//! ```
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn bad_macros(n: u32) -> u32 {
+    match n {
+        0 => panic!("fixture"),
+        _ => unreachable!(),
+    }
+}
+
+pub fn lookalikes(x: Option<u32>, r: Result<u32, u32>) -> u32 {
+    let a = x.unwrap_or_else(|| 7);
+    let b = r.expect_err("fixture-negative");
+    let s = "calling .unwrap() in a string is fine";
+    a + b + s.len() as u32 // .unwrap() in a comment is fine
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    // bst-lint: allow(L001) — fixture: a justified waiver suppresses the finding
+    x.unwrap()
+}
+
+pub fn badly_waived(x: Option<u32>) -> u32 {
+    // bst-lint: allow(L001)
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::bad_unwrap(Some(3)), 3);
+        Some(1).unwrap();
+        panic!("fine in test code");
+    }
+}

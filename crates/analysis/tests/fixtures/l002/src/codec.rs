@@ -1,0 +1,39 @@
+//! L002 fixture: byte-order discipline and decode-path allocation
+//! bounds, with guarded / inline-min / encode-side negatives.
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes()); // LE: fine
+}
+
+pub fn bad_endian(v: u32) -> [u8; 4] {
+    v.to_be_bytes()
+}
+
+pub fn get_keys(input: &[u8]) -> Vec<u64> {
+    let count = input.len(); // stand-in for a decoded length field
+    let out = Vec::with_capacity(count * 2);
+    out
+}
+
+pub fn get_guarded(input: &[u8], count: usize) -> Vec<u64> {
+    if input.len() < count * 8 {
+        return Vec::new();
+    }
+    Vec::with_capacity(count)
+}
+
+pub fn decode_inline(count: usize, remaining: usize) -> Vec<u64> {
+    Vec::with_capacity(count.min(remaining / 8))
+}
+
+pub fn encode_keys(keys: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(keys.len() * 8); // encode side: exempt
+    for k in keys {
+        buf.extend_from_slice(&k.to_le_bytes());
+    }
+    buf
+}
+
+pub fn read_header(bytes: [u8; 4]) -> u32 {
+    u32::from_ne_bytes(bytes)
+}

@@ -1,0 +1,24 @@
+//! L003 fixture: std::sync primitives and lock-order violations, with
+//! ordered-acquisition, atomics and waived-inversion negatives.
+
+use std::sync::Arc; // fine: Arc is not a lock
+use std::sync::atomic::AtomicU64; // fine: atomics are not locks
+use std::sync::Mutex; // violation: parking_lot only
+use std::sync::RwLock; // violation: parking_lot only
+
+pub fn ordered(inner: &Locked, tree: &Locked, state: &Locked) {
+    let _i = inner.read();
+    let _t = tree.read();
+    let _s = state.lock();
+}
+
+pub fn inverted(tree: &Locked, state: &Locked) {
+    let _s = state.lock();
+    let _t = tree.read();
+}
+
+pub fn waived_inversion(inner: &Locked, state: &Locked) {
+    let _s = state.lock();
+    // bst-lint: allow(L003) — fixture: the guard above is dropped before this acquisition
+    let _i = inner.read();
+}

@@ -1,0 +1,23 @@
+pub const PROTO_VERSION: u8 = 1;
+const OP_PING: u8 = 1;
+const OP_CREATE: u8 = 2;
+
+pub enum Request {
+    Ping,
+    Create { keys: Vec<u64> },
+}
+
+pub fn get_request(opcode: u8) -> Request {
+    match opcode {
+        OP_PING => Request::Ping,
+        OP_CREATE => Request::Create { keys: Vec::new() },
+        _ => Request::Ping,
+    }
+}
+
+pub fn encode_error(e: &BstError) -> u8 {
+    match e {
+        BstError::EmptyFilter => 1,
+        BstError::NoLiveLeaf => 2,
+    }
+}

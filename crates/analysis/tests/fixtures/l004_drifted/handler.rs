@@ -1,0 +1,6 @@
+pub fn handle(req: Request) {
+    match req {
+        Request::Ping => {}
+        Request::Create { keys } => drop(keys),
+    }
+}

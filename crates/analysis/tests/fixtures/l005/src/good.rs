@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! The negative half of the L005 fixture: carries the attribute and no
+//! `unsafe` tokens in code.
+
+pub fn fine() -> usize {
+    "unsafe only in a string".len()
+}

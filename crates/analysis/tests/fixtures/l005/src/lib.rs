@@ -1,0 +1,13 @@
+//! L005 fixture: a crate root missing `#![forbid(unsafe_code)]` with a
+//! real `unsafe` block; `good.rs` is the negative half.
+
+pub fn tricky(len: usize, cap: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(cap);
+    unsafe { v.set_len(len) }
+    v
+}
+
+pub fn negatives() -> &'static str {
+    // mentioning unsafe in a comment is fine
+    "the word unsafe in a string is fine"
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment driver: regenerates the paper's tables and figures.
 //!
 //! ```text

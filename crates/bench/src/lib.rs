@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-bench — experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation (§7–8) and

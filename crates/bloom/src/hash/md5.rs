@@ -154,9 +154,11 @@ pub fn md5_u64(key: u64, seed: u32) -> (u64, u64) {
     input[..4].copy_from_slice(&seed.to_le_bytes());
     input[4..].copy_from_slice(&key.to_le_bytes());
     let d = md5(&input);
-    let h1 = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
-    let h2 = u64::from_le_bytes(d[8..].try_into().expect("8 bytes"));
-    (h1, h2)
+    let mut lo = [0u8; 8];
+    let mut hi = [0u8; 8];
+    lo.copy_from_slice(&d[..8]);
+    hi.copy_from_slice(&d[8..]);
+    (u64::from_le_bytes(lo), u64::from_le_bytes(hi))
 }
 
 #[cfg(test)]

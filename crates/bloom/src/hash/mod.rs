@@ -95,6 +95,7 @@ impl DoubleHashFamily {
         match self.kind {
             HashKind::Murmur3 => murmur3::murmur3_u64(x, self.seed),
             HashKind::Md5 => md5::md5_u64(x, self.seed),
+            // bst-lint: allow(L001) — the constructor rejects the Simple kind
             HashKind::Simple => unreachable!("checked at construction"),
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-bloom — Bloom filter substrate
 //!
 //! The Bloom filter layer of the reproduction of *Sampling and

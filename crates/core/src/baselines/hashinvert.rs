@@ -28,6 +28,7 @@ fn require_invertible(query: &BloomFilter) -> u64 {
     query
         .hasher()
         .namespace()
+        // bst-lint: allow(L001) — documented `# Panics` contract of this experiment baseline
         .expect("affine families are namespace-aware")
 }
 
@@ -50,6 +51,7 @@ pub fn hi_sample<R: Rng + ?Sized>(
     let s = query
         .bits()
         .select_one(rng.gen_range(0..ones))
+        // bst-lint: allow(L001) — rank drawn from 0..count_ones() is always selectable
         .expect("rank < popcount");
     let k = query.k();
     let mut survivors: Vec<u64> = Vec::new();
@@ -57,6 +59,7 @@ pub fn hi_sample<R: Rng + ?Sized>(
         let preimages = query
             .hasher()
             .invert(i, s)
+            // bst-lint: allow(L001) — require_invertible above guarantees an affine family
             .expect("invertible checked above");
         for candidate in preimages {
             stats.memberships += 1;
@@ -81,12 +84,14 @@ pub fn hi_sample<R: Rng + ?Sized>(
 /// Panics if the hash family is not invertible.
 pub fn hi_reconstruct_set_bits(query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
     let namespace = require_invertible(query);
+    // bst-lint: allow(L001) — documented `# Panics` contract of this experiment baseline
     let ns = usize::try_from(namespace).expect("namespace fits usize");
     let mut tested = BitVec::new(ns.max(1));
     let mut confirmed = BitVec::new(ns.max(1));
     let k = query.k();
     for s in query.bits().iter_ones() {
         for i in 0..k {
+            // bst-lint: allow(L001) — require_invertible above guarantees an affine family
             let preimages = query.hasher().invert(i, s).expect("invertible");
             for candidate in preimages {
                 let c = candidate as usize;
@@ -112,11 +117,13 @@ pub fn hi_reconstruct_set_bits(query: &BloomFilter, stats: &mut OpStats) -> Vec<
 /// Panics if the hash family is not invertible.
 pub fn hi_reconstruct_unset_bits(query: &BloomFilter, stats: &mut OpStats) -> Vec<u64> {
     let namespace = require_invertible(query);
+    // bst-lint: allow(L001) — documented `# Panics` contract of this experiment baseline
     let ns = usize::try_from(namespace).expect("namespace fits usize");
     let mut excluded = BitVec::new(ns.max(1));
     let k = query.k();
     for s in query.bits().iter_zeros() {
         for i in 0..k {
+            // bst-lint: allow(L001) — require_invertible above guarantees an affine family
             let preimages = query.hasher().invert(i, s).expect("invertible");
             for candidate in preimages {
                 excluded.set(candidate as usize);

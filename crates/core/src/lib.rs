@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-core — BloomSampleTree sampling and reconstruction
 //!
 //! The primary contribution of *Sampling and Reconstruction Using Bloom

@@ -71,6 +71,7 @@ pub fn sample_each<T: SampleTree + Sync>(
             });
         }
     })
+    // bst-lint: allow(L001) — a worker panic must propagate, not be swallowed
     .expect("worker panicked");
     (results.into_inner(), total.into_inner())
 }

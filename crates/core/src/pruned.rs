@@ -171,10 +171,13 @@ impl PrunedBloomSampleTree {
                 Some(f) => f.union_with(&self.nodes[child as usize].filter),
             }
         }
+        // Non-empty occ implies at least one child exists; a missing
+        // filter therefore means the whole region is pruned.
+        let filter = filter?;
         let id = self.nodes.len() as NodeId;
         self.nodes.push(PrunedNode {
             range,
-            filter: filter.expect("non-empty occ implies a child"),
+            filter,
             left,
             right,
             occupied: Vec::new(),

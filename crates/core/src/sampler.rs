@@ -490,7 +490,13 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                 let mut depth = 0u32;
                 while !self.tree.is_leaf(node) {
                     let (l, r) = self.tree.children(node);
-                    node = l.or(r).expect("internal node has a child");
+                    match l.or(r) {
+                        Some(child) => node = child,
+                        // A childless internal node cannot exist in a
+                        // well-formed tree; stop descending and use the
+                        // depth reached.
+                        None => break,
+                    }
                     depth += 1;
                 }
                 let _ = width;
@@ -510,19 +516,18 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         memo: &mut QueryMemo,
         stats: &mut OpStats,
     ) -> (f64, f64, Arc<HashMap<NodeId, f64>>) {
-        if memo.prepared.is_none() {
+        let p = memo.prepared.get_or_insert_with(|| {
             let gamma = gamma_override.unwrap_or_else(|| self.auto_gamma(query));
             let blind = match self.tree.root() {
                 Some(root) => self.build_blind_cache(root, query, stats),
                 None => HashMap::new(),
             };
-            memo.prepared = Some(PreparedState {
+            PreparedState {
                 n_hat: query.estimate_cardinality().max(1.0),
                 gamma,
                 blind: Arc::new(blind),
-            });
-        }
-        let p = memo.prepared.as_ref().expect("just ensured");
+            }
+        });
         (p.n_hat, p.gamma, Arc::clone(&p.blind))
     }
 
@@ -671,20 +676,24 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
             };
             let (l_live, lw) = weight_of(lc, memo, &carried, stats);
             let (r_live, rw) = weight_of(rc, memo, &carried, stats);
-            let (next, prob) = match (l_live, r_live) {
-                (false, false) => return None,
-                (true, false) => (lc.expect("live"), 1.0),
-                (false, true) => (rc.expect("live"), 1.0),
-                (true, true) => {
+            // Mask dead children out so the match below carries the
+            // liveness proof in the type.
+            let lc = if l_live { lc } else { None };
+            let rc = if r_live { rc } else { None };
+            let (next, prob) = match (lc, rc) {
+                (None, None) => return None,
+                (Some(c), None) => (c, 1.0),
+                (None, Some(c)) => (c, 1.0),
+                (Some(cl), Some(cr)) => {
                     let p_left = if self.cfg.proportional_descent {
                         lw / (lw + rw)
                     } else {
                         0.5
                     };
                     if rng.gen::<f64>() < p_left {
-                        (lc.expect("live"), p_left)
+                        (cl, p_left)
                     } else {
-                        (rc.expect("live"), 1.0 - p_left)
+                        (cr, 1.0 - p_left)
                     }
                 }
             };
@@ -713,30 +722,27 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         let (lc, rc) = self.tree.children(node);
         let le = self.eval_child(lc, carried, memo, stats);
         let re = self.eval_child(rc, carried, memo, stats);
-        match (le.live, re.live) {
-            (false, false) => None,
-            (true, false) => {
-                let c = lc.expect("live child");
+        // Mask dead children out so the match below carries the
+        // liveness proof in the type.
+        let lc = if le.live { lc } else { None };
+        let rc = if re.live { rc } else { None };
+        match (lc, rc) {
+            (None, None) => None,
+            (Some(c), None) | (None, Some(c)) => {
                 let carried = self.descend_filter(c, carried, stats);
                 self.sample_at(c, &carried, query, memo, rng, stats)
             }
-            (false, true) => {
-                let c = rc.expect("live child");
-                let carried = self.descend_filter(c, carried, stats);
-                self.sample_at(c, &carried, query, memo, rng, stats)
-            }
-            (true, true) => {
+            (Some(cl), Some(cr)) => {
                 let p_left = if self.cfg.proportional_descent {
                     le.ratio_weight / (le.ratio_weight + re.ratio_weight)
                 } else {
                     0.5
                 };
-                let (first, second) = if rng.gen::<f64>() < p_left {
-                    (lc, rc)
+                let (c1, c2) = if rng.gen::<f64>() < p_left {
+                    (cl, cr)
                 } else {
-                    (rc, lc)
+                    (cr, cl)
                 };
-                let c1 = first.expect("live child");
                 let carried1 = self.descend_filter(c1, carried, stats);
                 let picked = self.sample_at(c1, &carried1, query, memo, rng, stats);
                 if picked.is_some() {
@@ -744,7 +750,6 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
                 } else {
                     // False-positive path: backtrack into the sibling.
                     stats.backtracks += 1;
-                    let c2 = second.expect("live child");
                     let carried2 = self.descend_filter(c2, carried, stats);
                     self.sample_at(c2, &carried2, query, memo, rng, stats)
                 }
@@ -864,27 +869,23 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
         let (lc, rc) = self.tree.children(node);
         let le = self.eval_child(lc, carried, memo, stats);
         let re = self.eval_child(rc, carried, memo, stats);
-        match (le.live, re.live) {
-            (false, false) => 0,
-            (true, false) => {
-                let c = lc.expect("live");
+        // Mask dead children out so the match below carries the
+        // liveness proof in the type.
+        let lc = if le.live { lc } else { None };
+        let rc = if re.live { rc } else { None };
+        match (lc, rc) {
+            (None, None) => 0,
+            (Some(c), None) | (None, Some(c)) => {
                 let carried = self.descend_filter(c, carried, stats);
                 self.many_at(c, &carried, query, r, memo, rng, stats, out)
             }
-            (false, true) => {
-                let c = rc.expect("live");
-                let carried = self.descend_filter(c, carried, stats);
-                self.many_at(c, &carried, query, r, memo, rng, stats, out)
-            }
-            (true, true) => {
+            (Some(cl), Some(cr)) => {
                 let p_left = if self.cfg.proportional_descent {
                     le.ratio_weight / (le.ratio_weight + re.ratio_weight)
                 } else {
                     0.5
                 };
                 let r_left = bst_stats::binomial::sample_binomial(rng, r as u64, p_left) as usize;
-                let cl = lc.expect("live");
-                let cr = rc.expect("live");
                 let carried_l = self.descend_filter(cl, carried, stats);
                 let carried_r = self.descend_filter(cr, carried, stats);
                 let mut got = self.many_at(cl, &carried_l, query, r_left, memo, rng, stats, out);

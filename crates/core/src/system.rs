@@ -228,6 +228,7 @@ impl BstSystemBuilder {
     pub fn build(self) -> BstSystem {
         match self.try_build() {
             Ok(system) => system,
+            // bst-lint: allow(L001) — documented `# Panics` contract; try_build is the fallible API
             Err(e) => panic!("invalid BstSystem configuration: {e}"),
         }
     }
@@ -459,7 +460,12 @@ impl BstSystem {
         let results = slots
             .into_iter()
             .map(|r| match r {
-                Ok(()) => sampled.next().expect("one sample per projected filter"),
+                Ok(()) => match sampled.next() {
+                    Some(s) => s,
+                    None => Err(BstError::InvalidConfig(
+                        "internal: batch produced fewer samples than projected filters",
+                    )),
+                },
                 Err(e) => Err(e),
             })
             .collect();

@@ -159,9 +159,11 @@ impl BloomSampleTree {
                     }));
                 }
                 for h in handles {
+                    // bst-lint: allow(L001) — a worker panic must propagate, not be swallowed
                     parts.push(h.join().expect("leaf builder panicked"));
                 }
             })
+            // bst-lint: allow(L001) — scope fails only if a child panicked; propagate
             .expect("crossbeam scope failed");
             for p in parts {
                 leaves.extend(p);
@@ -174,7 +176,9 @@ impl BloomSampleTree {
             nodes[first_leaf + li] = Some(leaf);
         }
         for i in (0..first_leaf).rev() {
+            // bst-lint: allow(L001) — heap-array complete tree: every internal i has children
             let mut merged = nodes[2 * i + 1].clone().expect("child built");
+            // bst-lint: allow(L001) — heap-array complete tree: every internal i has children
             merged.union_with(nodes[2 * i + 2].as_ref().expect("child built"));
             nodes[i] = Some(merged);
         }
@@ -182,6 +186,7 @@ impl BloomSampleTree {
         BloomSampleTree {
             plan: plan.clone(),
             hasher,
+            // bst-lint: allow(L001) — the bottom-up pass above fills every slot
             nodes: nodes.into_iter().map(|n| n.expect("all built")).collect(),
             ranges,
             depth,

@@ -228,7 +228,16 @@ fn batch(sys: &ShardedBstSystem, targets: &[Target], seed: u64) -> Result<Respon
     Ok(Response::Batch {
         results: results
             .into_iter()
-            .map(|r| r.expect("every slot filled"))
+            .enumerate()
+            .map(|(slot, r)| match r {
+                Some(a) => a,
+                // Every slot is an id, an ad-hoc filter, or a decode
+                // error, so this arm is dead; answer it in-protocol
+                // rather than panicking the connection worker.
+                None => Err(WireError::Malformed {
+                    context: format!("batch slot {slot} produced no answer"),
+                }),
+            })
             .collect(),
     })
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-server — the networked sampling/reconstruction service
 //!
 //! `bst-shard` gives one process a mutable, sharded BloomSampleTree

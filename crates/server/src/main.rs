@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The `bst-server` binary: serve a sharded engine over TCP, or poke a
 //! running server (`ping` / `stats` / `shutdown`) from the same binary.
 //!

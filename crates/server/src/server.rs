@@ -295,7 +295,12 @@ fn drain(stream: &mut TcpStream, state: &ServerState, mut len: u64) -> io::Resul
     while len > 0 {
         let take = scratch.len().min(len as usize);
         if !poll_read_exact(stream, state, &mut scratch[..take], false)? {
-            unreachable!("eof_ok is false");
+            // With eof_ok = false the helper reports EOF as an error,
+            // but keep this arm total rather than panicking the worker.
+            return Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed mid-drain",
+            ));
         }
         len -= take as u64;
     }

@@ -83,6 +83,7 @@ impl Session {
             self.stored.pop_front();
         }
         self.stored.push_back((raw, handle));
+        // bst-lint: allow(L001) — reads back the element pushed on the previous line
         Ok(&self.stored.back().expect("just pushed").1)
     }
 
@@ -117,6 +118,7 @@ impl Session {
             bytes: bytes.to_vec(),
             handle,
         });
+        // bst-lint: allow(L001) — reads back the element pushed on the previous line
         &self.adhoc.back().expect("just pushed").handle
     }
 

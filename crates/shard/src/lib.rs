@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-shard — the sharded, mutable sampling engine
 //!
 //! One [`bst_core::system::BstSystem`] holds one tree and one store; at

@@ -180,13 +180,23 @@ impl ShardQuery {
             return Err(BstError::NoLiveLeaf);
         }
         let mut pick = rng.gen_range(0..total);
+        let mut fallback = None;
         for (handle, &w) in self.handles.iter().zip(&weights) {
             if pick < w {
                 return handle.sample(rng);
             }
+            if w > 0 {
+                fallback = Some(handle);
+            }
             pick -= w;
         }
-        unreachable!("pick < total weight")
+        // pick < total guarantees some shard matched above; if weights
+        // were raced to zero mid-iteration, fall back to the last live
+        // shard rather than panicking on the serving path.
+        match fallback {
+            Some(handle) => handle.sample(rng),
+            None => Err(BstError::NoLiveLeaf),
+        }
     }
 
     /// Draws `r` samples, splitting the request across shards with

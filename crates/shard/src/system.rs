@@ -160,6 +160,7 @@ impl ShardedBstSystemBuilder {
     pub fn build(self) -> ShardedBstSystem {
         match self.try_build() {
             Ok(system) => system,
+            // bst-lint: allow(L001) — documented `# Panics` contract; try_build is the fallible API
             Err(e) => panic!("invalid ShardedBstSystem configuration: {e}"),
         }
     }
@@ -284,7 +285,7 @@ impl ShardedBstSystem {
 
     /// Namespace size `M`.
     pub fn namespace(&self) -> u64 {
-        *self.shared.boundaries.last().expect("S + 1 boundaries")
+        self.shared.boundaries.last().copied().unwrap_or(0)
     }
 
     /// The shard owning `key`.
@@ -418,7 +419,7 @@ impl ShardedBstSystem {
                 Some(m) => m.union_with(&part),
             }
         }
-        Ok(merged.expect("at least one shard"))
+        merged.ok_or(BstError::UnknownFilterId(id))
     }
 
     /// Unregisters a stored set everywhere; the sharded id is retired and
@@ -724,9 +725,11 @@ impl ShardedBstSystem {
                 }
                 handles
                     .into_iter()
+                    // bst-lint: allow(L001) — a worker panic must propagate, not be swallowed
                     .map(|h| h.join().expect("cell worker panicked"))
                     .collect()
             })
+            // bst-lint: allow(L001) — scope fails only if a child panicked; propagate
             .expect("crossbeam scope failed");
             weighed.sort_by_key(|(w, _, _)| *w);
             for (_, part, worker_stats) in weighed {
@@ -786,17 +789,31 @@ impl ShardedBstSystem {
             }
             let mut rng = StdRng::seed_from_u64(cell_seed(seed, u64::MAX, slot as u64));
             let mut pick = rng.gen_range(0..total);
+            let mut fallback = None;
+            let mut hit = None;
             for shard in 0..shard_count {
-                let cell = &mut grid[shard * slots + slot];
+                let cell = &grid[shard * slots + slot];
                 if pick < cell.weight {
-                    chosen.push((slot, shard, cell.handle.take()));
-                    // Placeholder; phase 2 overwrites it.
-                    results.push(Err(BstError::NoLiveLeaf));
-                    continue 'slots;
+                    hit = Some(shard);
+                    break;
+                }
+                if cell.weight > 0 {
+                    fallback = Some(shard);
                 }
                 pick -= cell.weight;
             }
-            unreachable!("pick < total weight")
+            // pick < total guarantees a hit; the fallback to the last
+            // positive-weight shard keeps the serving path panic-free
+            // even if that invariant were ever violated.
+            match hit.or(fallback) {
+                Some(shard) => {
+                    let cell = &mut grid[shard * slots + slot];
+                    chosen.push((slot, shard, cell.handle.take()));
+                    // Placeholder; phase 2 overwrites it.
+                    results.push(Err(BstError::NoLiveLeaf));
+                }
+                None => results.push(Err(BstError::NoLiveLeaf)),
+            }
         }
         drop(grid); // non-chosen handles are done after weighing
 
@@ -846,9 +863,11 @@ impl ShardedBstSystem {
                 }
                 handles
                     .into_iter()
+                    // bst-lint: allow(L001) — a worker panic must propagate, not be swallowed
                     .map(|h| h.join().expect("sample worker panicked"))
                     .collect()
             })
+            // bst-lint: allow(L001) — scope fails only if a child panicked; propagate
             .expect("crossbeam scope failed");
             for (slot, out, sample_stats) in sampled.into_iter().flatten() {
                 results[slot] = out;
@@ -948,8 +967,15 @@ impl ShardedBstSystem {
         let mut input = input;
         persistence::check_header(&mut input, SHARD_MAGIC)?;
         let manifest = persistence::get_shard_manifest(&mut input)?;
+        let namespace = match manifest.boundaries.last() {
+            Some(&m) => m,
+            None => {
+                return Err(BstError::Persist(PersistError::Corrupt(
+                    "shard manifest has no boundaries",
+                )))
+            }
+        };
         let shard_count = manifest.boundaries.len() - 1;
-        let namespace = *manifest.boundaries.last().expect("validated non-empty");
         let mut shards = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
             if input.remaining() < 8 {

@@ -406,8 +406,12 @@ impl WeightCache {
                     Some(_) => {}
                     None => {
                         while adhoc.order.len() >= ADHOC_CAP {
-                            let evict = adhoc.order.pop_front().expect("non-empty order");
-                            adhoc.map.remove(&evict);
+                            match adhoc.order.pop_front() {
+                                Some(evict) => {
+                                    adhoc.map.remove(&evict);
+                                }
+                                None => break,
+                            }
                         }
                         let mut cells = vec![None; self.shards];
                         cells[shard] = Some(cell);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-stats — numerical substrate
 //!
 //! Statistics the reproduction needs and the paper's evaluation uses:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bst-workloads — dataset and query-set generators
 //!
 //! Workload substrate for the evaluation (§7–8):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bloomsampletree
 //!
 //! A reproduction of **"Sampling and Reconstruction Using Bloom Filters"**
