@@ -41,12 +41,14 @@ impl Config {
             panic_free_dirs: vec![
                 p("crates/bloom/src"),
                 p("crates/core/src"),
+                p("crates/obs/src"),
                 p("crates/shard/src"),
                 p("crates/server/src"),
             ],
             lint_dirs: vec![
                 p("crates/bloom/src"),
                 p("crates/core/src"),
+                p("crates/obs/src"),
                 p("crates/shard/src"),
                 p("crates/server/src"),
                 p("crates/stats/src"),
@@ -64,6 +66,7 @@ impl Config {
             crate_roots: vec![
                 p("crates/bloom/src/lib.rs"),
                 p("crates/core/src/lib.rs"),
+                p("crates/obs/src/lib.rs"),
                 p("crates/shard/src/lib.rs"),
                 p("crates/server/src/lib.rs"),
                 p("crates/server/src/main.rs"),

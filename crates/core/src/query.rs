@@ -314,8 +314,25 @@ impl Query {
         }
     }
 
+    /// Emits one tracing span carrying this operation's `OpStats` delta
+    /// (the paper's §7.1 units) as attributes. While tracing is
+    /// disabled (`span == None`) this is a single branch.
+    fn record_span(&self, name: &'static str, span: Option<std::time::Instant>, local: &OpStats) {
+        self.system.tracer().record(
+            name,
+            span,
+            &[
+                ("intersections", local.intersections),
+                ("memberships", local.memberships),
+                ("nodes_visited", local.nodes_visited),
+                ("backtracks", local.backtracks),
+            ],
+        );
+    }
+
     /// Draws one near-uniform sample from the stored set.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<u64, BstError> {
+        let span = self.system.tracer().start();
         let view = self.system.tree().read();
         let mut guard = self.state.lock();
         self.sync(&mut guard, &view)?;
@@ -325,6 +342,7 @@ impl Query {
         let out = sampler.try_sample_memo(&state.filter, &mut state.memo, rng, &mut local);
         drop(guard);
         *self.stats.lock() += local;
+        self.record_span("bst.core.sample", span, &local);
         out
     }
 
@@ -335,6 +353,7 @@ impl Query {
         r: usize,
         rng: &mut R,
     ) -> Result<Vec<u64>, BstError> {
+        let span = self.system.tracer().start();
         let view = self.system.tree().read();
         let mut guard = self.state.lock();
         self.sync(&mut guard, &view)?;
@@ -344,11 +363,13 @@ impl Query {
         let out = sampler.try_sample_many_memo(&state.filter, r, &mut state.memo, rng, &mut local);
         drop(guard);
         *self.stats.lock() += local;
+        self.record_span("bst.core.sample_many", span, &local);
         out
     }
 
     /// Reconstructs the stored set (`S ∪ S(B)`), sorted ascending.
     pub fn reconstruct(&self) -> Result<Vec<u64>, BstError> {
+        let span = self.system.tracer().start();
         let view = self.system.tree().read();
         let mut guard = self.state.lock();
         self.sync(&mut guard, &view)?;
@@ -358,6 +379,7 @@ impl Query {
         let out = recon.try_reconstruct_memo(&state.filter, &mut state.memo, &mut local);
         drop(guard);
         *self.stats.lock() += local;
+        self.record_span("bst.core.reconstruct", span, &local);
         out
     }
 
@@ -379,6 +401,7 @@ impl Query {
     /// filter) the stamps are the handle's current ones and should not
     /// be used for caching.
     pub fn live_weight_stamped(&self) -> (Result<u64, BstError>, u64, u64) {
+        let span = self.system.tracer().start();
         let view = self.system.tree().read();
         let mut guard = self.state.lock();
         let synced = self.sync(&mut guard, &view);
@@ -392,6 +415,7 @@ impl Query {
         let out = recon.try_count_memo(&state.filter, &mut state.memo, &mut local);
         drop(guard);
         *self.stats.lock() += local;
+        self.record_span("bst.core.live_weight", span, &local);
         (out, set_gen, tree_gen)
     }
 
@@ -399,6 +423,7 @@ impl Query {
     /// `window`, sorted. Subtrees disjoint from the window are never
     /// visited. An empty window yields `Ok(vec![])`.
     pub fn reconstruct_range(&self, window: Range<u64>) -> Result<Vec<u64>, BstError> {
+        let span = self.system.tracer().start();
         let view = self.system.tree().read();
         let mut guard = self.state.lock();
         self.sync(&mut guard, &view)?;
@@ -409,6 +434,7 @@ impl Query {
             recon.try_reconstruct_range_memo(&state.filter, window, &mut state.memo, &mut local);
         drop(guard);
         *self.stats.lock() += local;
+        self.record_span("bst.core.reconstruct_range", span, &local);
         out
     }
 }
@@ -532,6 +558,40 @@ mod tests {
             .collect();
         assert_eq!(window, expect);
         assert_eq!(q.reconstruct_range(50..50).expect("empty window"), vec![]);
+    }
+
+    #[test]
+    fn query_ops_emit_spans_with_opstats_attrs() {
+        let sys = system();
+        let f = sys.store((0..100u64).map(|i| i * 3));
+        let ring = std::sync::Arc::new(bst_obs::RingRecorder::new(16));
+        sys.set_recorder(Some(ring.clone()));
+        let q = sys.query(&f);
+        let mut rng = StdRng::seed_from_u64(9);
+        q.sample(&mut rng).expect("sample");
+        let delta = q.take_stats();
+        let spans = ring.recent();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.name, "bst.core.sample");
+        let attr = |k: &str| {
+            s.attrs
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .expect("attr present")
+        };
+        assert_eq!(attr("intersections"), delta.intersections);
+        assert_eq!(attr("memberships"), delta.memberships);
+        assert_eq!(attr("nodes_visited"), delta.nodes_visited);
+        assert_eq!(attr("backtracks"), delta.backtracks);
+        q.reconstruct().expect("reconstruct");
+        let names: Vec<&str> = ring.recent().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["bst.core.sample", "bst.core.reconstruct"]);
+        // Removing the recorder stops emission entirely.
+        sys.set_recorder(None);
+        q.sample(&mut rng).expect("sample");
+        assert_eq!(ring.recorded_total(), 2);
     }
 
     #[test]

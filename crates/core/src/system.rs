@@ -43,6 +43,7 @@ use std::sync::Arc;
 use bst_bloom::filter::BloomFilter;
 use bst_bloom::hash::HashKind;
 use bst_bloom::params::{self, TreePlan};
+use bst_obs::Tracer;
 use bytes::{BufMut, BytesMut};
 
 use crate::backend::TreeBackend;
@@ -271,6 +272,7 @@ impl BstSystemBuilder {
                 tree,
                 cfg: self.cfg,
                 store,
+                tracer: Tracer::disabled(),
             }),
         })
     }
@@ -282,6 +284,9 @@ pub(crate) struct SystemShared {
     pub(crate) tree: TreeBackend,
     pub(crate) cfg: BstConfig,
     pub(crate) store: BstStore,
+    /// Observability facade every [`Query`] op reports spans into;
+    /// disabled (one branch per op) until a recorder is installed.
+    pub(crate) tracer: Tracer,
 }
 
 /// A ready-to-use sampling/reconstruction system over one namespace: a
@@ -328,6 +333,19 @@ impl BstSystem {
     /// The full behaviour configuration.
     pub fn config(&self) -> BstConfig {
         self.shared.cfg
+    }
+
+    /// The system's tracing facade. Disabled by default; while disabled
+    /// every [`Query`] operation pays one relaxed atomic load and a
+    /// branch, nothing more.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Installs (or with `None`, removes) the span recorder every
+    /// [`Query`] operation on this system reports into.
+    pub fn set_recorder(&self, recorder: Option<std::sync::Arc<dyn bst_obs::Recorder>>) {
+        self.shared.tracer.set_recorder(recorder);
     }
 
     /// The sampler configuration.
@@ -567,7 +585,12 @@ impl BstSystem {
             )));
         }
         Ok(BstSystem {
-            shared: Arc::new(SystemShared { tree, cfg, store }),
+            shared: Arc::new(SystemShared {
+                tree,
+                cfg,
+                store,
+                tracer: Tracer::disabled(),
+            }),
         })
     }
 

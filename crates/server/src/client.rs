@@ -238,6 +238,14 @@ impl Client {
         }
     }
 
+    /// Fetches the metrics exposition page (Prometheus text format).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            _ => Err(ClientError::UnexpectedResponse("Metrics")),
+        }
+    }
+
     /// Asks the server to stop (acknowledged before it does).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown)? {

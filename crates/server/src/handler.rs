@@ -91,28 +91,30 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
         Request::Sample { target, seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
             Outcome::reply(
-                with_handle(session, sys, &target, |q| q.sample(&mut rng))
+                with_handle(state, session, sys, &target, |q| q.sample(&mut rng))
                     .map(|key| Response::Sampled { key }),
             )
         }
         Request::SampleMany { target, r, seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
             Outcome::reply(
-                with_handle(session, sys, &target, |q| {
+                with_handle(state, session, sys, &target, |q| {
                     q.sample_many(r as usize, &mut rng)
                 })
                 .map(|keys| Response::Keys { keys }),
             )
         }
         Request::Reconstruct { target } => Outcome::reply(
-            with_handle(session, sys, &target, |q| q.reconstruct())
+            with_handle(state, session, sys, &target, |q| q.reconstruct())
                 .map(|keys| Response::Keys { keys }),
         ),
         Request::ReconstructRange { target, start, end } => Outcome::reply(
-            with_handle(session, sys, &target, |q| q.reconstruct_range(start..end))
-                .map(|keys| Response::Keys { keys }),
+            with_handle(state, session, sys, &target, |q| {
+                q.reconstruct_range(start..end)
+            })
+            .map(|keys| Response::Keys { keys }),
         ),
-        Request::Batch { targets, seed } => Outcome::reply(batch(sys, &targets, seed)),
+        Request::Batch { targets, seed } => Outcome::reply(batch(state, sys, &targets, seed)),
         Request::Save => Outcome::reply(Ok(Response::Snapshot {
             bytes: sys.to_bytes(),
         })),
@@ -122,6 +124,9 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
             drop(engine);
             match ShardedBstSystem::from_bytes(&bytes) {
                 Ok(system) => {
+                    // The replacement engine reports into the same trace
+                    // ring and batch histograms as the one it replaces.
+                    state.instrument_engine(&system);
                     let mut engine = state.engine.write();
                     engine.system = system;
                     engine.epoch += 1;
@@ -146,9 +151,21 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
                 weight_cache_hits: cache.hits,
                 weight_cache_misses: cache.misses,
                 weight_cache_repairs: cache.repairs,
+                engine_intersections: state.engine_ops.intersections.get(),
+                engine_memberships: state.engine_ops.memberships.get(),
+                engine_nodes_visited: state.engine_ops.nodes_visited.get(),
+                engine_backtracks: state.engine_ops.backtracks.get(),
                 ops,
                 total,
             })))
+        }
+        Request::Metrics => {
+            // Release the engine read lock first: scrape-time callbacks
+            // re-enter it to read the live engine shape.
+            drop(engine);
+            Outcome::reply(Ok(Response::Metrics {
+                text: bst_obs::expo::render(&state.metrics),
+            }))
         }
         Request::Shutdown => Outcome {
             reply: Ok(Response::Ok),
@@ -157,10 +174,13 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
     }
 }
 
-/// Resolves a target to a (possibly cached) handle and runs `f` on it.
-/// A stored handle that reports `UnknownFilterId` is evicted so the
-/// session does not pin a handle onto a dropped set.
+/// Resolves a target to a (possibly cached) handle and runs `f` on it,
+/// then drains the handle's per-call [`bst_core::OpStats`] into the
+/// server's cumulative engine totals. A stored handle that reports
+/// `UnknownFilterId` is evicted so the session does not pin a handle
+/// onto a dropped set.
 fn with_handle<T>(
+    state: &ServerState,
     session: &mut Session,
     sys: &ShardedBstSystem,
     target: &Target,
@@ -168,7 +188,14 @@ fn with_handle<T>(
 ) -> Result<T, WireError> {
     match target {
         Target::Stored(raw) => {
-            let out = session.stored_handle(sys, *raw).and_then(f);
+            let out = match session.stored_handle(sys, *raw) {
+                Ok(q) => {
+                    let out = f(q);
+                    state.note_engine_stats(q.take_stats());
+                    out
+                }
+                Err(e) => Err(e),
+            };
             if matches!(out, Err(BstError::UnknownFilterId(_))) {
                 session.evict_stored(*raw);
             }
@@ -178,7 +205,10 @@ fn with_handle<T>(
             let filter = bst_bloom::codec::decode(bytes).map_err(|e| WireError::Malformed {
                 context: format!("ad-hoc filter: {e}"),
             })?;
-            f(session.adhoc_handle(sys, bytes, &filter)).map_err(WireError::from)
+            let q = session.adhoc_handle(sys, bytes, &filter);
+            let out = f(q);
+            state.note_engine_stats(q.take_stats());
+            out.map_err(WireError::from)
         }
     }
 }
@@ -187,8 +217,14 @@ fn with_handle<T>(
 /// `query_batch_ids` scatter (persistent weight cache), ad-hoc slots
 /// ride `query_batch`, both with the same client seed, and the answers
 /// are reassembled into request order. A slot whose filter bytes fail
-/// to decode fails alone — the rest of the batch still runs.
-fn batch(sys: &ShardedBstSystem, targets: &[Target], seed: u64) -> Result<Response, WireError> {
+/// to decode fails alone — the rest of the batch still runs. Batch
+/// OpStats feed the server's cumulative engine totals.
+fn batch(
+    state: &ServerState,
+    sys: &ShardedBstSystem,
+    targets: &[Target],
+    seed: u64,
+) -> Result<Response, WireError> {
     let mut results: Vec<Option<Result<u64, WireError>>> = vec![None; targets.len()];
     let mut id_slots = Vec::new();
     let mut ids = Vec::new();
@@ -214,13 +250,15 @@ fn batch(sys: &ShardedBstSystem, targets: &[Target], seed: u64) -> Result<Respon
         }
     }
     if !ids.is_empty() {
-        let (answers, _) = sys.query_batch_ids(&ids, seed, 0);
+        let (answers, stats) = sys.query_batch_ids(&ids, seed, 0);
+        state.note_engine_stats(stats);
         for (slot, ans) in id_slots.into_iter().zip(answers) {
             results[slot] = Some(ans.map_err(WireError::from));
         }
     }
     if !filters.is_empty() {
-        let (answers, _) = sys.query_batch(&filters, seed, 0);
+        let (answers, stats) = sys.query_batch(&filters, seed, 0);
+        state.note_engine_stats(stats);
         for (slot, ans) in filter_slots.into_iter().zip(answers) {
             results[slot] = Some(ans.map_err(WireError::from));
         }

@@ -8,9 +8,10 @@
 //! (CREATE / INSERT_KEYS / REMOVE_KEYS / DROP_SET), occupancy churn
 //! (OCC_INSERT / OCC_REMOVE), the query surface (SAMPLE, SAMPLE_MANY,
 //! RECONSTRUCT, RECONSTRUCT_RANGE, BATCH — stored ids and ad-hoc
-//! filters both), whole-engine snapshots (SAVE / LOAD), and a live
-//! STATS surface (engine shape, weight-cache effectiveness, per-op
-//! latency percentiles).
+//! filters both), whole-engine snapshots (SAVE / LOAD), a live STATS
+//! surface (engine shape, weight-cache effectiveness, cumulative
+//! engine OpStats, per-op latency percentiles), and a METRICS scrape
+//! (the full [`bst_obs::MetricsRegistry`] as a Prometheus text page).
 //!
 //! ## Layering
 //!
@@ -29,7 +30,18 @@
 //! * [`client`] — a small blocking client used by the CLI, the
 //!   `tcp_service` example, and the e2e tests.
 //! * [`stats`] — per-op latency histograms
-//!   ([`bst_stats::histogram::Histogram`]) behind the STATS opcode.
+//!   ([`bst_obs::AtomicHistogram`]) behind the STATS opcode; the same
+//!   cells feed the METRICS page's `bst_server_request_latency_us`.
+//!
+//! ## Observability
+//!
+//! Every server owns one [`bst_obs::MetricsRegistry`] (server counters,
+//! engine shape, weight-cache outcomes, batch-phase timings, request
+//! latency summaries) and one [`bst_obs::RingRecorder`] installed as
+//! the engine's tracer, so core query spans and shard batch spans are
+//! inspectable in-process via `ServerState::trace_dump`. Engine-shape
+//! series read through a weak reference at scrape time and therefore
+//! follow the engine across wire `LOAD` swaps.
 //!
 //! ## Determinism across the wire
 //!

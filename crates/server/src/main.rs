@@ -8,8 +8,14 @@
 //!                  [--max-frame-mib 64]
 //! bst-server ping     [--addr 127.0.0.1:7878]
 //! bst-server stats    [--addr 127.0.0.1:7878]
+//! bst-server metrics  [--addr 127.0.0.1:7878]
 //! bst-server shutdown [--addr 127.0.0.1:7878]
 //! ```
+//!
+//! `metrics` scrapes the server's unified metrics registry and prints
+//! the Prometheus text page to stdout — validated first, so a malformed
+//! page is a non-zero exit rather than silent garbage (CI relies on
+//! this).
 //!
 //! `serve` builds a fully occupied engine (every namespace id live, as
 //! in the paper's dense experiments) and blocks until a client sends
@@ -26,13 +32,14 @@ use bst_shard::ShardedBstSystem;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: bst-server <serve|ping|stats|shutdown> [flags]");
+        eprintln!("usage: bst-server <serve|ping|stats|metrics|shutdown> [flags]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "ping" => cmd_ping(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "shutdown" => cmd_shutdown(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     };
@@ -154,6 +161,13 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "weight cache: {} hits / {} misses / {} repairs",
         stats.weight_cache_hits, stats.weight_cache_misses, stats.weight_cache_repairs
     );
+    println!(
+        "engine ops: {} intersections / {} memberships / {} nodes visited / {} backtracks",
+        stats.engine_intersections,
+        stats.engine_memberships,
+        stats.engine_nodes_visited,
+        stats.engine_backtracks
+    );
     if stats.ops.is_empty() {
         println!("latency: no requests recorded yet");
     } else {
@@ -172,6 +186,15 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let text = connect(args)?.metrics().map_err(|e| e.to_string())?;
+    let series =
+        bst_obs::expo::validate(&text).map_err(|e| format!("malformed metrics page: {e}"))?;
+    print!("{text}");
+    eprintln!("# scraped {series} samples, page well-formed");
     Ok(())
 }
 

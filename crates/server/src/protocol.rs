@@ -53,6 +53,7 @@ const OP_SAVE: u8 = 15;
 const OP_LOAD: u8 = 16;
 const OP_STATS: u8 = 17;
 const OP_SHUTDOWN: u8 = 18;
+const OP_METRICS: u8 = 19;
 
 /// How a query command addresses its filter: a stored sharded set id, or
 /// an ad-hoc Bloom filter shipped in the request body (encoded with the
@@ -169,6 +170,9 @@ pub enum Request {
     /// Stop the server after replying (the accept loop drains and every
     /// worker exits); the in-process `ServerHandle::join` then returns.
     Shutdown,
+    /// Scrape the unified metrics registry as a Prometheus-style text
+    /// page; answers [`Response::Metrics`].
+    Metrics,
 }
 
 /// A successful reply, one per frame.
@@ -220,6 +224,12 @@ pub enum Response {
     },
     /// Server statistics.
     Stats(StatsReply),
+    /// The metrics exposition page.
+    Metrics {
+        /// Prometheus text format, one series per line plus
+        /// `# HELP` / `# TYPE` comments.
+        text: String,
+    },
 }
 
 /// Latency percentiles for one operation class, from the server's
@@ -268,6 +278,15 @@ pub struct StatsReply {
     pub weight_cache_misses: u64,
     /// Weight-cache journal repairs.
     pub weight_cache_repairs: u64,
+    /// Cumulative Bloom probe intersections drained from every served
+    /// query (paper §7.1 units; survives engine swaps).
+    pub engine_intersections: u64,
+    /// Cumulative membership tests.
+    pub engine_memberships: u64,
+    /// Cumulative tree nodes visited.
+    pub engine_nodes_visited: u64,
+    /// Cumulative sampling descent backtracks.
+    pub engine_backtracks: u64,
     /// Per-op latency percentiles, ascending by op tag; only classes
     /// with at least one recorded request appear.
     pub ops: Vec<OpLatencyRow>,
@@ -719,6 +738,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => buf.put_u8(OP_STATS),
         Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+        Request::Metrics => buf.put_u8(OP_METRICS),
     }
     buf.to_vec()
 }
@@ -807,6 +827,7 @@ pub fn decode_request(mut input: &[u8]) -> Result<Request, WireError> {
         },
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_METRICS => Request::Metrics,
         got => return Err(WireError::UnknownOpcode { got }),
     };
     if !input.is_empty() {
@@ -906,6 +927,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.put_u64_le(stats.weight_cache_hits);
             buf.put_u64_le(stats.weight_cache_misses);
             buf.put_u64_le(stats.weight_cache_repairs);
+            buf.put_u64_le(stats.engine_intersections);
+            buf.put_u64_le(stats.engine_memberships);
+            buf.put_u64_le(stats.engine_nodes_visited);
+            buf.put_u64_le(stats.engine_backtracks);
             buf.put_u32_le(stats.ops.len() as u32);
             for row in &stats.ops {
                 put_latency_row(&mut buf, row);
@@ -917,6 +942,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
                 None => buf.put_u8(0),
             }
+        }
+        Response::Metrics { text } => {
+            buf.put_u8(11);
+            put_string(&mut buf, text);
         }
     }
     buf.to_vec()
@@ -1000,7 +1029,7 @@ pub fn decode_response(mut input: &[u8]) -> Result<Result<Response, WireError>, 
             bytes: get_bytes(&mut input)?,
         },
         10 => {
-            if input.remaining() < 8 + 4 + 8 * 3 + 4 + 8 * 5 + 4 {
+            if input.remaining() < 8 + 4 + 8 * 3 + 4 + 8 * 5 + 8 * 4 + 4 {
                 return Err(malformed("truncated stats body"));
             }
             let namespace = input.get_u64_le();
@@ -1015,6 +1044,10 @@ pub fn decode_response(mut input: &[u8]) -> Result<Result<Response, WireError>, 
             let weight_cache_hits = input.get_u64_le();
             let weight_cache_misses = input.get_u64_le();
             let weight_cache_repairs = input.get_u64_le();
+            let engine_intersections = input.get_u64_le();
+            let engine_memberships = input.get_u64_le();
+            let engine_nodes_visited = input.get_u64_le();
+            let engine_backtracks = input.get_u64_le();
             let rows = input.get_u32_le() as usize;
             let mut ops = Vec::with_capacity(rows.min(input.remaining() / 33 + 1));
             for _ in 0..rows {
@@ -1041,10 +1074,17 @@ pub fn decode_response(mut input: &[u8]) -> Result<Result<Response, WireError>, 
                 weight_cache_hits,
                 weight_cache_misses,
                 weight_cache_repairs,
+                engine_intersections,
+                engine_memberships,
+                engine_nodes_visited,
+                engine_backtracks,
                 ops,
                 total,
             })
         }
+        11 => Response::Metrics {
+            text: get_string(&mut input)?,
+        },
         _ => return Err(malformed("unknown response tag")),
     };
     if !input.is_empty() {
@@ -1123,6 +1163,7 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
         ] {
             roundtrip_request(req);
         }
@@ -1165,6 +1206,10 @@ mod tests {
                 weight_cache_hits: 10,
                 weight_cache_misses: 20,
                 weight_cache_repairs: 1,
+                engine_intersections: 4_096,
+                engine_memberships: 900,
+                engine_nodes_visited: 5_000,
+                engine_backtracks: 7,
                 ops: vec![
                     OpLatencyRow {
                         op: 3,
@@ -1202,9 +1247,16 @@ mod tests {
                 weight_cache_hits: 0,
                 weight_cache_misses: 0,
                 weight_cache_repairs: 0,
+                engine_intersections: 0,
+                engine_memberships: 0,
+                engine_nodes_visited: 0,
+                engine_backtracks: 0,
                 ops: vec![],
                 total: None,
             }),
+            Response::Metrics {
+                text: "# TYPE bst_x counter\nbst_x 3\n".into(),
+            },
         ] {
             roundtrip_response(resp);
         }

@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
-use bst_shard::ShardedBstSystem;
+use bst_core::OpStats;
+use bst_obs::{Counter, Gauge, MetricsRegistry, Recorder, RingRecorder, SpanEvent};
+use bst_shard::{BatchObs, ShardedBstSystem};
 
 use crate::frame::write_frame;
 use crate::handler;
@@ -45,6 +47,9 @@ use crate::stats::{OpClass, StatsRegistry};
 
 /// How often blocked loops re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Spans kept by the server's trace ring (oldest evicted first).
+const TRACE_RING_CAP: usize = 1024;
 
 /// Serving limits; the defaults suit tests and small deployments.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +79,30 @@ pub struct Engine {
     pub system: ShardedBstSystem,
 }
 
+/// Cumulative engine-side [`OpStats`] totals, drained from every served
+/// query (handles and batches both). Server-owned, so they survive a
+/// wire `LOAD` swapping the engine.
+#[derive(Default)]
+pub struct EngineOpTotals {
+    /// Bloom probe intersections (paper §7.1 units).
+    pub intersections: Counter,
+    /// Individual membership tests.
+    pub memberships: Counter,
+    /// Tree nodes visited.
+    pub nodes_visited: Counter,
+    /// Sampling descent backtracks.
+    pub backtracks: Counter,
+}
+
+impl EngineOpTotals {
+    fn note(&self, stats: OpStats) {
+        self.intersections.add(stats.intersections);
+        self.memberships.add(stats.memberships);
+        self.nodes_visited.add(stats.nodes_visited);
+        self.backtracks.add(stats.backtracks);
+    }
+}
+
 /// State shared by the accept loop and every worker.
 pub struct ServerState {
     /// The served engine, behind a read-write lock: requests take read,
@@ -81,12 +110,24 @@ pub struct ServerState {
     pub engine: RwLock<Engine>,
     /// Per-op latency histograms.
     pub stats: StatsRegistry,
+    /// The unified metrics registry behind the `METRICS` opcode and the
+    /// `bst-server metrics` CLI scrape.
+    pub metrics: MetricsRegistry,
     cfg: ServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
     sessions_served: AtomicU64,
     sessions_refused: AtomicU64,
     frames_served: AtomicU64,
+    /// Frames refused before dispatch: zero-length, over-limit, or
+    /// undecodable payloads.
+    frame_errors: Counter,
+    /// Warm [`Session`] handle slots currently held across all live
+    /// connections (stored + ad-hoc caches).
+    session_slots: Gauge,
+    pub(crate) engine_ops: EngineOpTotals,
+    pub(crate) trace: Arc<RingRecorder>,
+    pub(crate) batch_obs: Arc<BatchObs>,
 }
 
 impl ServerState {
@@ -94,12 +135,18 @@ impl ServerState {
         ServerState {
             engine: RwLock::new(Engine { epoch: 0, system }),
             stats: StatsRegistry::new(),
+            metrics: MetricsRegistry::new(),
             cfg,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             sessions_served: AtomicU64::new(0),
             sessions_refused: AtomicU64::new(0),
             frames_served: AtomicU64::new(0),
+            frame_errors: Counter::new(),
+            session_slots: Gauge::new(),
+            engine_ops: EngineOpTotals::default(),
+            trace: Arc::new(RingRecorder::new(TRACE_RING_CAP)),
+            batch_obs: Arc::new(BatchObs::unregistered()),
         }
     }
 
@@ -131,6 +178,160 @@ impl ServerState {
     /// Frames processed since startup.
     pub fn frames_served(&self) -> u64 {
         self.frames_served.load(Ordering::Relaxed)
+    }
+
+    /// Folds one served query's drained [`OpStats`] into the cumulative
+    /// engine totals (STATS `engine_*` fields, `bst_engine_ops_total`).
+    pub(crate) fn note_engine_stats(&self, stats: OpStats) {
+        self.engine_ops.note(stats);
+    }
+
+    /// The most recent spans emitted by the engine's tracer (core query
+    /// ops and shard batches), oldest first — the in-process trace-dump
+    /// surface for embedders and tests.
+    pub fn trace_dump(&self) -> Vec<SpanEvent> {
+        self.trace.recent()
+    }
+
+    /// Installs the trace ring and batch-phase histograms into `system`
+    /// — called at startup and again after every wire `LOAD`, so a
+    /// replacement engine keeps reporting into the same sinks.
+    pub(crate) fn instrument_engine(&self, system: &ShardedBstSystem) {
+        system.set_recorder(Some(self.trace.clone() as Arc<dyn Recorder>));
+        system.set_batch_obs(Some(Arc::clone(&self.batch_obs)));
+    }
+}
+
+/// Registers every server- and engine-level series on `state.metrics`.
+/// Engine-shape and weight-cache series read through a [`Weak`] back
+/// into the state at scrape time, so they follow the engine across wire
+/// `LOAD` swaps instead of pinning a dead engine's counters.
+fn install_metrics(state: &Arc<ServerState>) {
+    let m = &state.metrics;
+    let weak = |f: fn(&ServerState) -> f64| {
+        let w = std::sync::Arc::downgrade(state);
+        move || w.upgrade().map_or(0.0, |s| f(&s))
+    };
+
+    m.gauge_fn(
+        "bst_server_active_connections",
+        "Connections currently being served",
+        &[],
+        weak(|s| s.active_connections() as f64),
+    );
+    m.gauge_fn(
+        "bst_server_sessions_served_total",
+        "Connections accepted and served since startup",
+        &[],
+        weak(|s| s.sessions_served() as f64),
+    );
+    m.gauge_fn(
+        "bst_server_sessions_refused_total",
+        "Connections refused by the max-connections policy",
+        &[],
+        weak(|s| s.sessions_refused() as f64),
+    );
+    m.gauge_fn(
+        "bst_server_frames_served_total",
+        "Frames processed since startup",
+        &[],
+        weak(|s| s.frames_served() as f64),
+    );
+    m.register_counter(
+        "bst_server_frame_errors_total",
+        "Frames refused before dispatch (zero-length, over-limit, or undecodable)",
+        &[],
+        state.frame_errors.clone(),
+    );
+    m.register_gauge(
+        "bst_server_session_slots",
+        "Warm query-handle slots held across all live sessions",
+        &[],
+        state.session_slots.clone(),
+    );
+    for class in OpClass::ALL {
+        m.register_histogram(
+            "bst_server_request_latency_us",
+            "Served request latency in microseconds, by operation class",
+            &[("op", class.name())],
+            state.stats.class_histogram(class),
+        );
+    }
+    for (kind, handle) in [
+        ("intersections", &state.engine_ops.intersections),
+        ("memberships", &state.engine_ops.memberships),
+        ("nodes_visited", &state.engine_ops.nodes_visited),
+        ("backtracks", &state.engine_ops.backtracks),
+    ] {
+        m.register_counter(
+            "bst_engine_ops_total",
+            "Cumulative engine OpStats drained from served queries (paper \u{a7}7.1 units)",
+            &[("kind", kind)],
+            handle.clone(),
+        );
+    }
+    m.register_counter(
+        "bst_engine_batches_total",
+        "Two-phase scatter-gather batches served",
+        &[],
+        state.batch_obs.batches.clone(),
+    );
+    m.register_histogram(
+        "bst_engine_batch_weigh_us",
+        "Batch phase-1 (weighing) wall time in microseconds",
+        &[],
+        state.batch_obs.weigh_us.clone(),
+    );
+    m.register_histogram(
+        "bst_engine_batch_sample_us",
+        "Batch phase-2 (sampling) wall time in microseconds",
+        &[],
+        state.batch_obs.sample_us.clone(),
+    );
+    for (name, help, read) in [
+        (
+            "bst_engine_namespace",
+            "Namespace size M",
+            (|s: &ServerState| s.engine.read().system.namespace() as f64)
+                as fn(&ServerState) -> f64,
+        ),
+        ("bst_engine_shards", "Shard count S", |s| {
+            s.engine.read().system.shard_count() as f64
+        }),
+        ("bst_engine_sets", "Registered stored sets", |s| {
+            s.engine.read().system.len() as f64
+        }),
+        ("bst_engine_occupied", "Occupied namespace ids", |s| {
+            s.engine.read().system.occupied_count() as f64
+        }),
+        (
+            "bst_engine_epoch",
+            "Engine epoch (bumps on every wire LOAD)",
+            |s| s.engine.read().epoch as f64,
+        ),
+    ] {
+        m.gauge_fn(name, help, &[], weak(read));
+    }
+    for (kind, read) in [
+        (
+            "hits",
+            (|s: &ServerState| s.engine.read().system.weight_cache_stats().hits)
+                as fn(&ServerState) -> u64,
+        ),
+        ("misses", |s| {
+            s.engine.read().system.weight_cache_stats().misses
+        }),
+        ("repairs", |s| {
+            s.engine.read().system.weight_cache_stats().repairs
+        }),
+    ] {
+        let w = std::sync::Arc::downgrade(state);
+        m.counter_fn(
+            "bst_engine_weight_cache_total",
+            "Persistent weight-cache probe outcomes (follows the engine across LOAD)",
+            &[("kind", kind)],
+            move || w.upgrade().map_or(0, |s| read(&s)),
+        );
     }
 }
 
@@ -186,6 +387,8 @@ pub fn serve<A: ToSocketAddrs>(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState::new(system, cfg));
+    state.instrument_engine(&state.engine.read().system);
+    install_metrics(&state);
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("bst-server-accept".into())
@@ -307,11 +510,38 @@ fn drain(stream: &mut TcpStream, state: &ServerState, mut len: u64) -> io::Resul
     Ok(())
 }
 
+/// Keeps the shared session-slot gauge honest for one connection: holds
+/// the slots this session last reported and gives them back when the
+/// connection ends on any path (EOF, shutdown, socket error).
+struct SlotGuard<'a> {
+    gauge: &'a Gauge,
+    held: i64,
+}
+
+impl SlotGuard<'_> {
+    fn update(&mut self, session: &Session) {
+        let (stored, adhoc) = session.cached();
+        let now = (stored + adhoc) as i64;
+        self.gauge.add(now - self.held);
+        self.held = now;
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-self.held);
+    }
+}
+
 /// Serves one connection until EOF, shutdown, or a fatal socket error.
 fn connection_loop(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut session = Session::new(state.engine.read().epoch);
+    let mut slots = SlotGuard {
+        gauge: &state.session_slots,
+        held: 0,
+    };
     loop {
         // Frame header.
         let mut header = [0u8; 4];
@@ -320,6 +550,7 @@ fn connection_loop(mut stream: TcpStream, state: &ServerState) -> io::Result<()>
         }
         let len = u32::from_le_bytes(header) as u64;
         if len == 0 {
+            state.frame_errors.inc();
             write_frame(
                 &mut stream,
                 &protocol::encode_error(&WireError::Malformed {
@@ -329,6 +560,7 @@ fn connection_loop(mut stream: TcpStream, state: &ServerState) -> io::Result<()>
             continue;
         }
         if len > state.cfg.max_frame {
+            state.frame_errors.inc();
             drain(&mut stream, state, len)?;
             write_frame(
                 &mut stream,
@@ -353,7 +585,10 @@ fn connection_loop(mut stream: TcpStream, state: &ServerState) -> io::Result<()>
 
         // Decode, dispatch, time, record, reply.
         let reply_bytes = match protocol::decode_request(&payload) {
-            Err(e) => protocol::encode_error(&e),
+            Err(e) => {
+                state.frame_errors.inc();
+                protocol::encode_error(&e)
+            }
             Ok(req) => {
                 let class = OpClass::classify(&req);
                 let started = Instant::now();
@@ -361,6 +596,7 @@ fn connection_loop(mut stream: TcpStream, state: &ServerState) -> io::Result<()>
                 state
                     .stats
                     .record(class, started.elapsed().as_secs_f64() * 1e6);
+                slots.update(&session);
                 let bytes = match &outcome.reply {
                     Ok(resp) => protocol::encode_response(resp),
                     Err(e) => protocol::encode_error(e),

@@ -6,8 +6,8 @@
 //! a grand total built with [`Histogram::merge`] — merging is exact, so
 //! the total row equals recording every request into one histogram.
 
+use bst_obs::AtomicHistogram;
 use bst_stats::histogram::Histogram;
-use parking_lot::Mutex;
 
 use crate::protocol::{OpLatencyRow, Request};
 
@@ -37,7 +37,8 @@ pub enum OpClass {
     Batch = 5,
     /// `SAVE` and `LOAD`.
     Snapshot = 6,
-    /// Everything else: `PING`, `GET`, `LIST_SETS`, `STATS`, `SHUTDOWN`.
+    /// Everything else: `PING`, `GET`, `LIST_SETS`, `STATS`, `METRICS`,
+    /// `SHUTDOWN`.
     Admin = 7,
 }
 
@@ -97,43 +98,54 @@ impl OpClass {
             | Request::Get { .. }
             | Request::ListSets
             | Request::Stats
+            | Request::Metrics
             | Request::Shutdown => OpClass::Admin,
         }
     }
 }
 
 /// Thread-safe per-class latency histograms, shared by every worker.
+///
+/// Each class is a [`bst_obs::AtomicHistogram`], so recording on the
+/// serving path is two relaxed atomic ops — no lock — and the same
+/// handles double as the `bst_server_request_latency_us` series on the
+/// server's metrics registry ([`Self::class_histogram`]): STATS rows
+/// and a METRICS scrape read the very same cells.
 pub struct StatsRegistry {
-    hists: Mutex<Vec<Histogram>>,
+    hists: Vec<AtomicHistogram>,
 }
 
 impl StatsRegistry {
     /// An empty registry (one histogram per [`OpClass`]).
     pub fn new() -> Self {
         StatsRegistry {
-            hists: Mutex::new(
-                OpClass::ALL
-                    .iter()
-                    .map(|_| Histogram::new(HIST_LO_US, HIST_HI_US, HIST_BINS))
-                    .collect(),
-            ),
+            hists: OpClass::ALL
+                .iter()
+                .map(|_| AtomicHistogram::new(HIST_LO_US, HIST_HI_US, HIST_BINS))
+                .collect(),
         }
     }
 
     /// Records one served request of class `op` that took `micros` µs.
     pub fn record(&self, op: OpClass, micros: f64) {
-        self.hists.lock()[op.tag() as usize].record(micros);
+        self.hists[op.tag() as usize].record(micros);
+    }
+
+    /// A clone of one class's histogram handle — shares cells with the
+    /// registry, for registration on a [`bst_obs::MetricsRegistry`].
+    pub fn class_histogram(&self, op: OpClass) -> AtomicHistogram {
+        self.hists[op.tag() as usize].clone()
     }
 
     /// Percentile rows for every class with at least one observation,
     /// plus the merged grand total (`None` while nothing was recorded).
     pub fn rows(&self) -> (Vec<OpLatencyRow>, Option<OpLatencyRow>) {
-        let hists = self.hists.lock();
         let mut rows = Vec::new();
         let mut merged = Histogram::new(HIST_LO_US, HIST_HI_US, HIST_BINS);
-        for (class, h) in OpClass::ALL.iter().zip(hists.iter()) {
-            merged.merge(h);
-            if let Some(row) = row_of(class.tag(), h) {
+        for (class, h) in OpClass::ALL.iter().zip(self.hists.iter()) {
+            let snap = h.snapshot();
+            merged.merge(&snap);
+            if let Some(row) = row_of(class.tag(), &snap) {
                 rows.push(row);
             }
         }

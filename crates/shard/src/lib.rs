@@ -91,5 +91,5 @@ pub mod system;
 pub mod weight_cache;
 
 pub use query::ShardQuery;
-pub use system::{shard_boundaries, ShardedBstSystem, ShardedBstSystemBuilder};
+pub use system::{shard_boundaries, BatchObs, ShardedBstSystem, ShardedBstSystemBuilder};
 pub use weight_cache::{filter_content_hash, CachedWeight, WeightCacheStats};

@@ -10,6 +10,7 @@ use bst_core::metrics::OpStats;
 use bst_core::persistence::{self, PersistError, ShardManifest};
 use bst_core::store::FilterId;
 use bst_core::system::{BstConfig, BstSystem};
+use bst_obs::{AtomicHistogram, Counter, Recorder, Tracer};
 use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -220,6 +221,8 @@ impl ShardedBstSystemBuilder {
                     map: BTreeMap::new(),
                 }),
                 weight_cache: WeightCache::new(shard_count, self.weight_cache),
+                tracer: Tracer::disabled(),
+                batch_obs: RwLock::new(None),
             }),
         })
     }
@@ -231,6 +234,40 @@ struct Registry {
     map: BTreeMap<u64, Vec<FilterId>>,
 }
 
+/// Metrics handles the two-phase batch path reports into once a serving
+/// layer installs them ([`ShardedBstSystem::set_batch_obs`]). The
+/// handles are plain `bst-obs` clones, so the installer keeps its own
+/// copies registered on a [`bst_obs::MetricsRegistry`] — and can
+/// re-install the same `Arc` into a replacement engine (a wire `LOAD`)
+/// without losing continuity.
+#[derive(Debug)]
+pub struct BatchObs {
+    /// Batches served through the two-phase scatter-gather.
+    pub batches: Counter,
+    /// Phase-1 (weighing) wall time per batch, microseconds. A warm
+    /// batch over an unchanged filter population records ~0 here.
+    pub weigh_us: AtomicHistogram,
+    /// Phase-2 (sampling) wall time per batch, microseconds.
+    pub sample_us: AtomicHistogram,
+}
+
+impl BatchObs {
+    /// The `[lo, hi)` microsecond range and bin count of the phase
+    /// histograms (1 s ceiling at µs resolution ÷ 10).
+    pub const PHASE_US: (f64, f64, usize) = (0.0, 1_000_000.0, 100_000);
+
+    /// Fresh handles not yet registered anywhere (the installer
+    /// registers clones under its own naming).
+    pub fn unregistered() -> Self {
+        let (lo, hi, bins) = Self::PHASE_US;
+        BatchObs {
+            batches: Counter::new(),
+            weigh_us: AtomicHistogram::new(lo, hi, bins),
+            sample_us: AtomicHistogram::new(lo, hi, bins),
+        }
+    }
+}
+
 struct Shared {
     /// `S + 1` ascending values; shard `s` owns `[b[s], b[s+1])`.
     boundaries: Vec<u64>,
@@ -239,6 +276,12 @@ struct Shared {
     /// Engine-level persistent per-(filter, shard) weight cache for the
     /// batch entry points (see [`crate::weight_cache`]).
     weight_cache: WeightCache,
+    /// Engine-level tracing facade: batch spans go here; per-op spans go
+    /// through each shard's own tracer (kept in lockstep by
+    /// [`ShardedBstSystem::set_recorder`]).
+    tracer: Tracer,
+    /// Batch phase metrics, absent until a serving layer installs them.
+    batch_obs: RwLock<Option<Arc<BatchObs>>>,
 }
 
 /// A sharded BloomSampleTree engine over one namespace: `S` contiguous
@@ -508,6 +551,48 @@ impl ShardedBstSystem {
         self.shared.weight_cache.stats()
     }
 
+    /// Clones of the weight cache's `(hits, misses, repairs)` counter
+    /// handles, for registration on a [`bst_obs::MetricsRegistry`].
+    /// They share cells with the cache itself, so registered series and
+    /// [`Self::weight_cache_stats`] always agree — including across a
+    /// [`Self::clear_weight_cache`] reset.
+    pub fn weight_cache_counters(&self) -> (Counter, Counter, Counter) {
+        self.shared.weight_cache.counters()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (the `bst-obs` wiring).
+    // ------------------------------------------------------------------
+
+    /// The engine-level tracing facade (batch spans). Disabled by
+    /// default; install a recorder with [`Self::set_recorder`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Installs (or with `None`, removes) one span recorder everywhere:
+    /// the engine's own batch spans and every shard's per-op core spans
+    /// report into it.
+    pub fn set_recorder(&self, recorder: Option<Arc<dyn Recorder>>) {
+        for sys in &self.shared.shards {
+            sys.set_recorder(recorder.clone());
+        }
+        self.shared.tracer.set_recorder(recorder);
+    }
+
+    /// Installs (or with `None`, removes) the batch phase metrics sink
+    /// the two-phase scatter reports into. The installer keeps its own
+    /// clones of the handles (they are `Arc`-backed), so the same
+    /// [`BatchObs`] can be re-installed into a replacement engine.
+    pub fn set_batch_obs(&self, obs: Option<Arc<BatchObs>>) {
+        *self.shared.batch_obs.write() = obs;
+    }
+
+    /// The installed batch phase metrics sink, if any.
+    pub fn batch_obs(&self) -> Option<Arc<BatchObs>> {
+        self.shared.batch_obs.read().clone()
+    }
+
     /// Introspection/test hook: the cached per-shard weight cells for a
     /// stored sharded id, in shard order, if the cache holds an entry
     /// for it. Cells may be stale (lazy invalidation); their stamps say
@@ -669,6 +754,10 @@ impl ShardedBstSystem {
         if slots == 0 {
             return (Vec::new(), OpStats::new());
         }
+        // Observability: both reads are one uncontended lock/atomic each
+        // and resolve to `None` until a serving layer installs sinks.
+        let obs = self.shared.batch_obs.read().clone();
+        let span = self.shared.tracer.start();
         let cells = shard_count * slots;
         let workers = if threads == 0 {
             std::thread::available_parallelism()
@@ -703,6 +792,7 @@ impl ShardedBstSystem {
         let mut stats = OpStats::new();
 
         // Phase 1: weigh only the missing cells, chunked across the pool.
+        let weigh_started = obs.as_ref().map(|_| std::time::Instant::now());
         if !missing.is_empty() {
             let weigh_workers = workers.min(missing.len());
             let chunk = missing.len().div_ceil(weigh_workers);
@@ -744,6 +834,11 @@ impl ShardedBstSystem {
                     grid[cell] = weighed_cell;
                 }
             }
+        }
+        if let (Some(obs), Some(t0)) = (obs.as_ref(), weigh_started) {
+            // Recorded even for fully-warm batches: a ~0 µs weighing
+            // phase *is* the cache working.
+            obs.weigh_us.record(t0.elapsed().as_secs_f64() * 1e6);
         }
 
         // Gather: per slot, merge verdicts, total the weights and pick a
@@ -822,6 +917,7 @@ impl ShardedBstSystem {
         // alone, so placement cannot change a draw — and a cache-hit
         // cell's freshly opened handle draws exactly what a phase-1-
         // warmed one would (warm-equals-cold).
+        let sample_started = obs.as_ref().map(|_| std::time::Instant::now());
         if !chosen.is_empty() {
             let workers = workers.min(chosen.len());
             let chunk = chosen.len().div_ceil(workers);
@@ -874,6 +970,23 @@ impl ShardedBstSystem {
                 stats += sample_stats;
             }
         }
+        if let Some(obs) = obs.as_ref() {
+            if let Some(t0) = sample_started {
+                obs.sample_us.record(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            obs.batches.inc();
+        }
+        self.shared.tracer.record(
+            "bst.shard.batch",
+            span,
+            &[
+                ("slots", slots as u64),
+                ("weighed_cells", missing.len() as u64),
+                ("sampled_cells", chosen.len() as u64),
+                ("intersections", stats.intersections),
+                ("memberships", stats.memberships),
+            ],
+        );
         (results, stats)
     }
 
@@ -1046,6 +1159,10 @@ impl ShardedBstSystem {
                 // The cache is derived state and never persisted; a
                 // restored engine starts cold with the default policy.
                 weight_cache: WeightCache::new(shard_count, true),
+                // Observability wiring is process state, not snapshot
+                // state: the installer re-attaches after a restore.
+                tracer: Tracer::disabled(),
+                batch_obs: RwLock::new(None),
             }),
         })
     }
@@ -1729,6 +1846,73 @@ mod tests {
         // Dropping the set garbage-collects its entry.
         sys.drop_set(id).expect("drop");
         assert!(sys.cached_weights(id).is_none());
+    }
+
+    #[test]
+    fn batch_obs_and_spans_track_scatter_gather_phases() {
+        use bst_obs::RingRecorder;
+        let sys = engine(4);
+        let obs = std::sync::Arc::new(BatchObs::unregistered());
+        sys.set_batch_obs(Some(obs.clone()));
+        let ring = std::sync::Arc::new(RingRecorder::new(64));
+        sys.set_recorder(Some(ring.clone()));
+
+        let filters: Vec<_> = (0..3u64)
+            .map(|f| sys.store((0..80u64).map(move |i| (i * 131 + f * 7) % 8_192)))
+            .collect();
+        let (results, _) = sys.query_batch(&filters, 5, 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+
+        assert_eq!(obs.batches.get(), 1);
+        // Cold batch: every (shard, filter) cell is weighed; both phase
+        // histograms record once per batch, even when a phase is empty.
+        assert_eq!(obs.weigh_us.count(), 1);
+        assert_eq!(obs.sample_us.count(), 1);
+
+        let spans = ring.recent();
+        let batch = spans
+            .iter()
+            .find(|s| s.name == "bst.shard.batch")
+            .expect("batch span");
+        let attr = |name: &str| {
+            batch
+                .attrs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .expect("attr")
+        };
+        assert_eq!(attr("slots"), 3);
+        assert_eq!(attr("weighed_cells"), 12, "4 shards x 3 filters, cold");
+        assert_eq!(attr("sampled_cells"), 3, "one chosen shard per slot");
+
+        // Warm repeat: cache serves every weight, so no cells are
+        // weighed, but the phase histogram still records the (near-zero)
+        // phase time and the batch counter advances.
+        let (results, _) = sys.query_batch(&filters, 6, 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(obs.batches.get(), 2);
+        assert_eq!(obs.weigh_us.count(), 2);
+        let spans = ring.recent();
+        let warm = spans
+            .iter()
+            .rfind(|s| s.name == "bst.shard.batch")
+            .expect("warm batch span");
+        let warm_weighed = warm
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "weighed_cells")
+            .map(|(_, v)| *v)
+            .expect("attr");
+        assert_eq!(warm_weighed, 0, "warm batch serves weights from cache");
+
+        // Detaching both sinks stops all emission and recording.
+        sys.set_recorder(None);
+        sys.set_batch_obs(None);
+        let before = ring.recorded_total();
+        let _ = sys.query_batch(&filters, 7, 2);
+        assert_eq!(ring.recorded_total(), before);
+        assert_eq!(obs.batches.get(), 2);
     }
 
     #[test]

@@ -49,12 +49,13 @@
 //! perform no filter operations.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use bst_bloom::filter::BloomFilter;
 use bst_core::error::BstError;
 use bst_core::store::FilterId;
 use bst_core::system::BstSystem;
+use bst_obs::Counter;
 use parking_lot::RwLock;
 
 /// Bound on distinct interned ad-hoc filters (FIFO eviction beyond it).
@@ -177,9 +178,13 @@ pub(crate) struct WeightCache {
     enabled: AtomicBool,
     stored: RwLock<StoredSide>,
     adhoc: RwLock<AdhocSide>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    repairs: AtomicU64,
+    /// Effectiveness counters as `bst-obs` handles, so a serving layer
+    /// can register clones on its metrics registry and scrape them
+    /// without an extra copy (recording cost is identical: one relaxed
+    /// `fetch_add`).
+    hits: Counter,
+    misses: Counter,
+    repairs: Counter,
 }
 
 impl WeightCache {
@@ -192,9 +197,9 @@ impl WeightCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            repairs: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            repairs: Counter::new(),
         }
     }
 
@@ -219,9 +224,9 @@ impl WeightCache {
         adhoc.map.clear();
         adhoc.order.clear();
         drop(adhoc);
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.repairs.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.repairs.reset();
     }
 
     /// Retires a dropped stored set: removes its entry and tombstones
@@ -237,10 +242,19 @@ impl WeightCache {
 
     pub(crate) fn stats(&self) -> WeightCacheStats {
         WeightCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            repairs: self.repairs.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            repairs: self.repairs.get(),
         }
+    }
+
+    /// Clones of the effectiveness counter handles `(hits, misses,
+    /// repairs)` — for registration on a metrics registry. Note a
+    /// [`Self::clear`] resets them through any registered clone (shared
+    /// cells), so scrape-time callbacks over [`Self::stats`] and
+    /// registered handles always agree.
+    pub(crate) fn counters(&self) -> (Counter, Counter, Counter) {
+        (self.hits.clone(), self.misses.clone(), self.repairs.clone())
     }
 
     /// Introspection: the cached per-shard cells for a stored id, if an
@@ -301,8 +315,8 @@ impl WeightCache {
         }
         for served in &out {
             match served {
-                Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-                None => self.misses.fetch_add(1, Ordering::Relaxed),
+                Some(_) => self.hits.inc(),
+                None => self.misses.inc(),
             };
         }
         out
@@ -356,7 +370,7 @@ impl WeightCache {
                 sys.repair_live_weight(&filter, cell.tree_generation, weight)?
             }
         };
-        self.repairs.fetch_add(1, Ordering::Relaxed);
+        self.repairs.inc();
         self.fill(
             shard,
             key,

@@ -29,6 +29,24 @@ impl Histogram {
         }
     }
 
+    /// Builds a histogram directly from pre-counted bins — the snapshot
+    /// path for concurrent collectors (`bst-obs`) that accumulate counts
+    /// in atomics and materialise a queryable `Histogram` on demand.
+    /// Bin `i` covers the same interval [`Self::new`] would give it.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty or `lo >= hi`.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>, outliers: u64) -> Self {
+        assert!(!counts.is_empty(), "need at least one bin");
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            bins: counts,
+            outliers,
+        }
+    }
+
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
         if x < self.lo || x >= self.hi {
@@ -167,6 +185,25 @@ mod tests {
         h.record(9.99);
         assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
         assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn from_counts_equals_recording() {
+        let mut recorded = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 9.99, -1.0, 12.0] {
+            recorded.record(v);
+        }
+        let rebuilt = Histogram::from_counts(0.0, 10.0, recorded.counts().to_vec(), 2);
+        assert_eq!(rebuilt.counts(), recorded.counts());
+        assert_eq!(rebuilt.outliers(), recorded.outliers());
+        assert_eq!(rebuilt.p50(), recorded.p50());
+        assert_eq!(rebuilt.range(), recorded.range());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn from_counts_rejects_empty() {
+        let _ = Histogram::from_counts(0.0, 1.0, vec![], 0);
     }
 
     #[test]
