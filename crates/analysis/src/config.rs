@@ -59,6 +59,7 @@ impl Config {
             ],
             codec_files: vec![
                 p("crates/core/src/persistence.rs"),
+                p("crates/core/src/wal.rs"),
                 p("crates/bloom/src/codec.rs"),
                 p("crates/server/src/frame.rs"),
                 p("crates/server/src/protocol.rs"),

@@ -218,7 +218,16 @@ pub fn l003_lock_discipline(file: &SourceFile) -> Vec<Diagnostic> {
         }
         if line.code.contains("std::sync::") {
             for prim in STD_SYNC_BANNED {
-                if line.code.contains(prim) {
+                // The primitive must be part of the `std::sync` path
+                // itself — directly (`std::sync::Mutex`) or via a
+                // brace import (`use std::sync::{mpsc, Mutex}`). A
+                // line that pairs `parking_lot::Mutex` with a benign
+                // `std::sync::mpsc` path is clean.
+                let direct = line.code.contains(&format!("std::sync::{prim}"));
+                let braced = line.code.contains("use std::sync::{")
+                    && line.code.contains(prim)
+                    && !line.code.contains(&format!("mpsc::{prim}"));
+                if direct || braced {
                     out.push(finding(
                         Code::L003,
                         file,
@@ -419,6 +428,21 @@ mod tests {
     #[test]
     fn l003_allows_std_sync_atomics_and_arc() {
         let f = scan("use std::sync::Arc;\nuse std::sync::atomic::AtomicBool;\n");
+        assert!(l003_lock_discipline(&f).is_empty());
+    }
+
+    #[test]
+    fn l003_flags_braced_std_sync_import() {
+        let f = scan("use std::sync::{mpsc, Mutex};\n");
+        let d = l003_lock_discipline(&f);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn l003_allows_parking_lot_lock_beside_std_mpsc() {
+        // A parking_lot Mutex whose payload names a std::sync::mpsc
+        // type is not a std::sync lock.
+        let f = scan("signal: Mutex<Option<std::sync::mpsc::Sender<Signal>>>,\n");
         assert!(l003_lock_discipline(&f).is_empty());
     }
 

@@ -1,0 +1,193 @@
+//! Durability overhead: the same acked mutation through the plain
+//! sharded facade vs `DurableBstSystem` (log-before-ack) under both
+//! fsync policies, plus the cost of a full checkpoint. The mutation
+//! under test is an insert/remove key pair on one stored set — net
+//! zero, so state stays constant across criterion's iterations and
+//! the WAL is the only thing that grows.
+//!
+//! Numbers land in `results/wal.md`; the PR 9 acceptance bar is the
+//! `--fsync never` durable path within 2× of the non-durable one.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bst_core::wal::FsyncPolicy;
+use bst_shard::{DurableBstSystem, DurableConfig, ShardedBstSystem};
+
+const NAMESPACE: u64 = 65_536;
+const SHARDS: usize = 4;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bst-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build() -> ShardedBstSystem {
+    ShardedBstSystem::builder(NAMESPACE)
+        .shards(SHARDS)
+        .expected_set_size(64)
+        .seed(17)
+        .build()
+}
+
+fn open_durable(tag: &str, fsync: FsyncPolicy) -> (DurableBstSystem, PathBuf) {
+    let dir = scratch_dir(tag);
+    let durable = DurableBstSystem::open(
+        &dir,
+        DurableConfig {
+            fsync,
+            checkpoint_every: 0, // no compactor: measure the append alone
+        },
+        build,
+    )
+    .expect("open durable scratch dir");
+    (durable, dir)
+}
+
+/// One stored set per engine; the benched op churns a key in and out.
+fn seed_set_plain(sys: &ShardedBstSystem) -> bst_core::store::FilterId {
+    sys.create((0..64u64).map(|j| j * 131 % NAMESPACE))
+        .expect("create")
+}
+
+/// The mutation the serving layer actually logs: a multi-key insert
+/// followed by the matching remove (cf. `loadgen` / the e2e traffic —
+/// 20-key creates, batched key churn). Net zero per iteration.
+const CHURN: [u64; 16] = [
+    101, 202, 303, 404, 505, 606, 707, 808, 909, 1_010, 1_111, 1_212, 1_313, 1_414, 1_515, 1_616,
+];
+
+fn bench_mutation_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal-mutation-ack");
+
+    let plain = build();
+    let id = seed_set_plain(&plain);
+    group.bench_function("plain-16key-churn", |b| {
+        b.iter(|| {
+            plain.insert_keys(id, CHURN).expect("insert");
+            plain.remove_keys(id, CHURN).expect("remove");
+        })
+    });
+    group.bench_function("plain-1key-churn", |b| {
+        b.iter(|| {
+            plain.insert_keys(id, [4_242]).expect("insert");
+            plain.remove_keys(id, [4_242]).expect("remove");
+        })
+    });
+    group.bench_function("plain-create20-drop", |b| {
+        b.iter(|| {
+            let id = plain
+                .create((0..20u64).map(|j| j * 257 % NAMESPACE))
+                .expect("create");
+            plain.drop_set(id).expect("drop");
+        })
+    });
+    group.bench_function("plain-occ-churn", |b| {
+        b.iter(|| {
+            plain.remove_occupied(9_999).expect("occ remove");
+            plain.insert_occupied(9_999).expect("occ insert");
+        })
+    });
+
+    // Fresh WAL directory per benched case: criterion runs millions of
+    // iterations, and letting one case's multi-hundred-MB log linger
+    // into the next would measure page-writeback pressure, not the
+    // append.
+    {
+        let (durable, dir) = open_durable("never-16", FsyncPolicy::Never);
+        let id = durable
+            .create((0..64u64).map(|j| j * 131 % NAMESPACE))
+            .expect("create");
+        group.bench_function("durable-16key-churn-fsync-never", |b| {
+            b.iter(|| {
+                durable.insert_keys(id, CHURN).expect("insert");
+                durable.remove_keys(id, CHURN).expect("remove");
+            })
+        });
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    {
+        let (durable, dir) = open_durable("never-1", FsyncPolicy::Never);
+        let id = durable
+            .create((0..64u64).map(|j| j * 131 % NAMESPACE))
+            .expect("create");
+        group.bench_function("durable-1key-churn-fsync-never", |b| {
+            b.iter(|| {
+                durable.insert_keys(id, [4_242]).expect("insert");
+                durable.remove_keys(id, [4_242]).expect("remove");
+            })
+        });
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    {
+        let (durable, dir) = open_durable("never-create", FsyncPolicy::Never);
+        group.bench_function("durable-create20-drop-fsync-never", |b| {
+            b.iter(|| {
+                let id = durable
+                    .create((0..20u64).map(|j| j * 257 % NAMESPACE))
+                    .expect("create");
+                durable.drop_set(id).expect("drop");
+            })
+        });
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    {
+        let (durable, dir) = open_durable("never-occ", FsyncPolicy::Never);
+        group.bench_function("durable-occ-churn-fsync-never", |b| {
+            b.iter(|| {
+                durable.remove_occupied(9_999).expect("occ remove");
+                durable.insert_occupied(9_999).expect("occ insert");
+            })
+        });
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Per-record fsync is orders of magnitude slower; keep the sample
+    // budget small so the run stays bounded.
+    let (durable, dir) = open_durable("always", FsyncPolicy::Always);
+    let id = durable
+        .create((0..64u64).map(|j| j * 131 % NAMESPACE))
+        .expect("create");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("durable-16key-churn-fsync-always", |b| {
+        b.iter(|| {
+            durable.insert_keys(id, CHURN).expect("insert");
+            durable.remove_keys(id, CHURN).expect("remove");
+        })
+    });
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
+/// A checkpoint = encode the whole engine + tmp-write + rename +
+/// truncate; benched over a populated engine so the snapshot is not
+/// trivially empty.
+fn bench_checkpoint(c: &mut Criterion) {
+    let (durable, dir) = open_durable("checkpoint", FsyncPolicy::Never);
+    for s in 0..64u64 {
+        durable
+            .create((0..64u64).map(|j| (s * 4_099 + j * 131) % NAMESPACE))
+            .expect("create");
+    }
+    let mut group = c.benchmark_group("wal-checkpoint");
+    group.sample_size(20);
+    group.bench_function("checkpoint-64-sets", |b| {
+        b.iter(|| durable.checkpoint().expect("checkpoint"))
+    });
+    group.finish();
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_mutation_ack, bench_checkpoint);
+criterion_main!(benches);

@@ -91,8 +91,9 @@ impl TreeBackend {
 
     /// Wraps a pruned tree. The tree generation mirrors the tree's own
     /// mutation [`PrunedBloomSampleTree::version`] exactly (0 for a
-    /// freshly built or decoded tree), so generation gaps index directly
-    /// into the tree's mutation journal for cache repair.
+    /// freshly built tree; a decoded tree resumes the persisted count),
+    /// so generation gaps index directly into the tree's mutation
+    /// journal for cache repair and stamps never alias across a reload.
     pub fn pruned(tree: PrunedBloomSampleTree) -> Self {
         TreeBackend::Pruned(PrunedBackend {
             plan: tree.plan().clone(),
@@ -195,6 +196,15 @@ impl TreeBackend {
         }
     }
 
+    /// Applies a mutation-journal retention bound (see
+    /// [`PrunedBloomSampleTree::set_journal_cap`]). No-op for dense
+    /// backends, whose occupancy never mutates.
+    pub fn set_journal_cap(&self, cap: usize) {
+        if let TreeBackend::Pruned(p) = self {
+            p.tree.write().set_journal_cap(cap);
+        }
+    }
+
     /// Acquires a read view for sampling/reconstruction. Occupancy
     /// writers block until the view is dropped, so everything computed
     /// through one view is consistent with its [`TreeView::generation`].
@@ -265,8 +275,8 @@ impl TreeBackend {
 
     /// Serializes the backend as `tag u8 | len u64 | tree bytes`, appended
     /// to `buf` (each tree keeps its own magic/version inside the payload).
-    /// The tree generation is *not* persisted: it only sequences live
-    /// handles, and a restored system starts a fresh handle population.
+    /// The pruned tree persists its generation counter inside its own
+    /// payload, so a restored backend continues stamping monotonically.
     pub(crate) fn put_bytes(&self, buf: &mut bytes::BytesMut) {
         let (tag, payload) = match self {
             TreeBackend::Dense(t) => (TAG_DENSE, t.to_bytes()),

@@ -24,7 +24,9 @@
 //!   database `D̄` of counting-filter-backed sets (§3.2);
 //! * [`query::Query`] — the per-filter handle with amortized descent
 //!   state, opened via [`system::BstSystem::query`] or (generation-
-//!   stamped, mutation-safe) [`system::BstSystem::query_id`].
+//!   stamped, mutation-safe) [`system::BstSystem::query_id`];
+//! * [`wal`] — the append-only durability log: checksummed replayable
+//!   mutation records, with recovery = checkpoint + tail replay.
 //!
 //! ## Example
 //!
@@ -69,6 +71,7 @@ pub mod sampler;
 pub mod store;
 pub mod system;
 pub mod tree;
+pub mod wal;
 
 pub use backend::{TreeBackend, TreeView};
 pub use error::BstError;
@@ -81,3 +84,4 @@ pub use sampler::{BstSampler, QueryMemo, SamplerConfig};
 pub use store::{BstStore, FilterId};
 pub use system::{BstConfig, BstSystem};
 pub use tree::{BloomSampleTree, SampleTree};
+pub use wal::{FsyncPolicy, Wal, WalRecord};

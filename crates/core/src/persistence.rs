@@ -13,9 +13,10 @@
 //! ```text
 //! complete: "BSTC" v1 | plan | node words × node_count
 //! pruned:   "BSTP" v1 | plan | node_count u32 | root u32(MAX=none)
+//!           | version u64 (mutation counter, resumed on decode)
 //!           | per node: start u64, end u64, level u32, left u32, right u32,
 //!             occupied_len u32, occupied ids…, filter words
-//! system:   "BSTS" v1 | sampler cfg | reconstruct cfg
+//! system:   "BSTS" v1 | sampler cfg | reconstruct cfg | journal_cap u32
 //!           | backend tag u8 | backend len u64 | backend bytes
 //!           | store next_id u64 | set count u32
 //!           | per set: id u64, generation u64, len u64, counting bytes

@@ -59,9 +59,11 @@ struct PrunedNode {
     weight: u64,
 }
 
-/// Mutations remembered by the journal; older history forces readers
-/// through a full cache reset, so this bounds repair work per sync.
-const JOURNAL_CAP: usize = 256;
+/// Default bound on mutations remembered by the journal; older history
+/// forces readers through a full cache reset, so this bounds repair
+/// work per sync. Tunable per system via
+/// [`crate::system::BstConfig::journal_cap`].
+pub const DEFAULT_JOURNAL_CAP: usize = 256;
 
 /// An occupancy-aware BloomSampleTree.
 pub struct PrunedBloomSampleTree {
@@ -69,11 +71,16 @@ pub struct PrunedBloomSampleTree {
     hasher: Arc<BloomHasher>,
     nodes: Vec<PrunedNode>,
     root: Option<NodeId>,
-    /// Count of successful mutations since construction (decode resets it).
+    /// Count of successful mutations over this tree's lifetime. The
+    /// snapshot codec persists it, so a decoded tree continues the
+    /// counter monotonically instead of restarting at 0 (which would
+    /// alias stamps held by warm handles across a reload).
     version: u64,
-    /// The last `JOURNAL_CAP` mutations as `(id, inserted)`, oldest
+    /// The last `journal_cap` mutations as `(id, inserted)`, oldest
     /// first (`inserted` false = removal).
     journal: VecDeque<(u64, bool)>,
+    /// Journal retention bound; always ≥ 1.
+    journal_cap: usize,
     /// The collision census: occupied ids probing fewer than `k`
     /// distinct bit positions, sorted ascending. Such ids weaken the
     /// `t∧ ≥ k` soundness argument, so exact-count fast paths consult
@@ -128,6 +135,7 @@ impl PrunedBloomSampleTree {
             root: None,
             version: 0,
             journal: VecDeque::new(),
+            journal_cap: DEFAULT_JOURNAL_CAP,
             colliding,
         };
         tree.root = tree.build_node(0..plan.namespace, occupied, 0);
@@ -376,7 +384,7 @@ impl PrunedBloomSampleTree {
     /// keeps the collision census in step with the occupancy.
     fn log_mutation(&mut self, id: u64, inserted: bool) {
         self.version += 1;
-        if self.journal.len() == JOURNAL_CAP {
+        while self.journal.len() >= self.journal_cap {
             self.journal.pop_front();
         }
         self.journal.push_back((id, inserted));
@@ -399,10 +407,25 @@ impl PrunedBloomSampleTree {
         &self.colliding
     }
 
-    /// Count of successful mutations since this tree value was built or
-    /// decoded. The facade's tree generation mirrors this exactly.
+    /// Count of successful mutations over this tree's lifetime,
+    /// including the history encoded in a snapshot it was decoded from.
+    /// The facade's tree generation mirrors this exactly.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The journal retention bound (mutations kept for cache repair).
+    pub fn journal_cap(&self) -> usize {
+        self.journal_cap
+    }
+
+    /// Sets the journal retention bound (clamped to ≥ 1), trimming the
+    /// oldest remembered mutations if the new bound is smaller.
+    pub fn set_journal_cap(&mut self, cap: usize) {
+        self.journal_cap = cap.max(1);
+        while self.journal.len() > self.journal_cap {
+            self.journal.pop_front();
+        }
     }
 
     /// The `(id, inserted)` mutations in `(since, version]`, oldest
@@ -537,6 +560,10 @@ impl PrunedBloomSampleTree {
         crate::persistence::put_plan(&mut buf, &self.plan);
         buf.put_u32_le(live);
         buf.put_u32_le(link(self.root));
+        // Generation continuity: the mutation counter rides along so a
+        // restored tree keeps stamping monotonically (warm handles and
+        // weight-cache cells never see a reused generation).
+        buf.put_u64_le(self.version);
         for (node, _) in self
             .nodes
             .iter()
@@ -579,6 +606,10 @@ impl PrunedBloomSampleTree {
         }
         let node_count = input.get_u32_le() as usize;
         let root_raw = input.get_u32_le();
+        if input.remaining() < 8 {
+            return Err(PersistError::Truncated);
+        }
+        let version = input.get_u64_le();
         let hasher = Arc::new(plan.build_hasher());
         let words_per_node = plan.m.div_ceil(64);
         let mut nodes = Vec::with_capacity(node_count);
@@ -630,13 +661,18 @@ impl PrunedBloomSampleTree {
         } else {
             return Err(PersistError::Corrupt("root link out of range"));
         };
+        // The journal itself is not persisted: a decoded tree resumes at
+        // the encoded version with empty history, so a reader stamped
+        // before the snapshot falls back to a full reset (past-horizon)
+        // rather than silently replaying a hole.
         let mut tree = PrunedBloomSampleTree {
             plan,
             hasher,
             nodes,
             root,
-            version: 0,
+            version,
             journal: VecDeque::new(),
+            journal_cap: DEFAULT_JOURNAL_CAP,
             colliding: Vec::new(),
         };
         // Maintained weights and the collision census are derivable
@@ -1081,9 +1117,20 @@ mod removal_tests {
         assert!(back.verify_weights(), "decoded weights must pass a recount");
         assert_eq!(back.occupied_count(), t.occupied_count());
         assert_eq!(back.occupied_ids(), t.occupied_ids());
-        // Decode resets the mutation journal: version restarts at 0.
-        assert_eq!(back.version(), 0);
+        // Generation continuity: the decoded tree resumes the mutation
+        // counter where the snapshot left off, and further mutations
+        // keep counting monotonically — stamps issued before the
+        // snapshot are never reused after it.
+        assert_eq!(back.version(), t.version());
         assert_eq!(back.to_bytes(), bytes, "byte-deterministic round-trip");
+        let mut back = back;
+        let v = back.version();
+        assert!(back.remove(3));
+        assert_eq!(back.version(), v + 1);
+        // The journal itself is not persisted: pre-snapshot stamps fall
+        // past the horizon (full-reset fallback), never a silent hole.
+        assert!(back.mutations_since(v).is_some(), "fresh tail covered");
+        assert!(back.mutations_since(v - 1).is_none(), "history truncated");
     }
 
     #[test]
@@ -1134,12 +1181,13 @@ mod removal_tests {
         let p = plan();
         let tree = PrunedBloomSampleTree::build(&p, &occ);
         let mut bytes = tree.to_bytes();
-        // Layout: "BSTP" v(1) | plan(47) | live u32 | root u32 | nodes.
+        // Layout: "BSTP" v(1) | plan(47) | live u32 | root u32 |
+        // version u64 | nodes.
         // Node: start u64 | end u64 | level u32 | left u32 | right u32 |
         // occ_len u32 | occ ids | m/64 filter words.
         let words = p.m.div_ceil(64);
         let live = u32::from_le_bytes(bytes[52..56].try_into().unwrap()) as usize;
-        let mut off = 60usize;
+        let mut off = 68usize;
         let mut patched = false;
         for i in 0..live {
             let level = u32::from_le_bytes(bytes[off + 16..off + 20].try_into().unwrap());
@@ -1179,19 +1227,46 @@ mod removal_tests {
             "future stamps are not covered"
         );
         // Overflow the journal: history older than the cap is gone.
-        for i in 0..JOURNAL_CAP as u64 {
+        for i in 0..DEFAULT_JOURNAL_CAP as u64 {
             let id = (i * 2 + 100) % (1 << 14);
             let _ = t.insert(id);
             let _ = t.remove(id);
         }
         assert!(t.mutations_since(0).is_none(), "truncated history");
         assert!(t
-            .mutations_since(t.version() - JOURNAL_CAP as u64)
+            .mutations_since(t.version() - DEFAULT_JOURNAL_CAP as u64)
             .is_some());
         // No-ops do not advance the version or the journal.
         let v = t.version();
         assert!(!t.remove(12_345));
         assert_eq!(t.version(), v);
+    }
+
+    #[test]
+    fn journal_cap_knob_pins_horizon_at_the_boundary() {
+        // A configured cap moves the repair horizon exactly: `cap`
+        // mutations back is covered, `cap + 1` falls to the full-reset
+        // path. Shrinking the cap trims remembered history immediately.
+        let mut t = PrunedBloomSampleTree::empty(&plan());
+        assert_eq!(t.journal_cap(), DEFAULT_JOURNAL_CAP);
+        t.set_journal_cap(4);
+        assert_eq!(t.journal_cap(), 4);
+        for id in 0..10u64 {
+            assert!(t.insert(id));
+        }
+        let v = t.version();
+        assert_eq!(v, 10);
+        // Boundary: exactly cap mutations of history are replayable...
+        let tail: Vec<(u64, bool)> = t.mutations_since(v - 4).expect("at the cap").collect();
+        assert_eq!(tail, vec![(6, true), (7, true), (8, true), (9, true)]);
+        // ...one more is past the horizon.
+        assert!(t.mutations_since(v - 5).is_none(), "past the cap");
+        // Shrinking trims eagerly; clamping keeps the journal usable.
+        t.set_journal_cap(1);
+        assert!(t.mutations_since(v - 1).is_some());
+        assert!(t.mutations_since(v - 2).is_none());
+        t.set_journal_cap(0);
+        assert_eq!(t.journal_cap(), 1, "cap clamps to >= 1");
     }
 
     #[test]

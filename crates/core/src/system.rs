@@ -65,12 +65,29 @@ const SYSTEM_MAGIC: &[u8; 4] = b"BSTS";
 
 /// Unified behaviour configuration for a [`BstSystem`]: the sampling and
 /// reconstruction knobs in one place, set once at build time.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BstConfig {
     /// Sampling behaviour (liveness rule, ratio estimator, correction).
     pub sampler: SamplerConfig,
     /// Reconstruction behaviour (pruning discipline).
     pub reconstruct: ReconstructConfig,
+    /// Mutation-journal retention bound for pruned backends (must be
+    /// ≥ 1): how many occupancy mutations stay replayable for warm
+    /// cache repair before readers fall back to a full reset. Raise it
+    /// when checkpoints (WAL compaction) are spaced far apart and warm
+    /// handles sync rarely; the default is
+    /// [`crate::pruned::DEFAULT_JOURNAL_CAP`].
+    pub journal_cap: usize,
+}
+
+impl Default for BstConfig {
+    fn default() -> Self {
+        BstConfig {
+            sampler: SamplerConfig::default(),
+            reconstruct: ReconstructConfig::default(),
+            journal_cap: crate::pruned::DEFAULT_JOURNAL_CAP,
+        }
+    }
 }
 
 impl BstConfig {
@@ -81,6 +98,7 @@ impl BstConfig {
         BstConfig {
             sampler: SamplerConfig::paper(),
             reconstruct: ReconstructConfig::paper(),
+            ..Self::default()
         }
     }
 
@@ -105,10 +123,20 @@ impl BstConfig {
         self
     }
 
+    /// Replaces the mutation-journal retention bound.
+    pub fn with_journal_cap(mut self, cap: usize) -> Self {
+        self.journal_cap = cap;
+        self
+    }
+
     /// Checks both algorithm configurations, naming the broken invariant.
     pub fn validate(&self) -> Result<(), BstError> {
         self.sampler.validate()?;
-        self.reconstruct.validate()
+        self.reconstruct.validate()?;
+        if self.journal_cap == 0 {
+            return Err(BstError::InvalidConfig("journal cap must be >= 1"));
+        }
+        Ok(())
     }
 }
 
@@ -192,6 +220,12 @@ impl BstSystemBuilder {
         self
     }
 
+    /// Mutation-journal retention bound (pruned backends; must be ≥ 1).
+    pub fn journal_cap(mut self, cap: usize) -> Self {
+        self.cfg.journal_cap = cap;
+        self
+    }
+
     /// Pins the tree depth instead of deriving it from the cost model.
     pub fn depth(mut self, depth: u32) -> Self {
         self.depth_override = Some(depth);
@@ -263,7 +297,9 @@ impl BstSystemBuilder {
                 if occ.last().is_some_and(|&last| last >= self.namespace) {
                     return Err(BstError::InvalidConfig("occupied id outside the namespace"));
                 }
-                TreeBackend::pruned(PrunedBloomSampleTree::build(&plan, &occ))
+                let mut pruned = PrunedBloomSampleTree::build(&plan, &occ);
+                pruned.set_journal_cap(self.cfg.journal_cap);
+                TreeBackend::pruned(pruned)
             }
         };
         let store = BstStore::new(Arc::clone(tree.hasher()), tree.namespace());
@@ -557,6 +593,7 @@ impl BstSystem {
         buf.put_u8(persistence::VERSION);
         persistence::put_sampler_config(&mut buf, &self.shared.cfg.sampler);
         persistence::put_reconstruct_config(&mut buf, &self.shared.cfg.reconstruct);
+        buf.put_u32_le(self.shared.cfg.journal_cap.min(u32::MAX as usize) as u32);
         self.shared.tree.put_bytes(&mut buf);
         self.shared.store.put_bytes(&mut buf);
         buf.to_vec()
@@ -571,13 +608,19 @@ impl BstSystem {
         persistence::check_header(&mut input, SYSTEM_MAGIC)?;
         let sampler = persistence::get_sampler_config(&mut input)?;
         let reconstruct = persistence::get_reconstruct_config(&mut input)?;
+        if bytes::Buf::remaining(&input) < 4 {
+            return Err(BstError::Persist(PersistError::Truncated));
+        }
+        let journal_cap = bytes::Buf::get_u32_le(&mut input) as usize;
         let cfg = BstConfig {
             sampler,
             reconstruct,
+            journal_cap,
         };
         cfg.validate()
             .map_err(|_| PersistError::Corrupt("snapshot configuration invalid"))?;
         let tree = TreeBackend::get_bytes(&mut input)?;
+        tree.set_journal_cap(journal_cap);
         let store = BstStore::get_bytes(&mut input, Arc::clone(tree.hasher()), tree.namespace())?;
         if !input.is_empty() {
             return Err(BstError::Persist(PersistError::Corrupt(

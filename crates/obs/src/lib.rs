@@ -44,6 +44,8 @@
 pub mod expo;
 pub mod metrics;
 pub mod trace;
+pub mod wal;
 
 pub use metrics::{AtomicHistogram, Counter, Gauge, MetricsRegistry, Observation, Sample};
 pub use trace::{NoopRecorder, Recorder, RingRecorder, SpanEvent, Tracer};
+pub use wal::WalObs;

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use bst_core::error::BstError;
 use bst_core::store::FilterId;
-use bst_shard::ShardedBstSystem;
+use bst_shard::{DurableError, ShardedBstSystem};
 
 use crate::protocol::{Request, Response, StatsReply, Target, WireError};
 use crate::server::ServerState;
@@ -37,6 +37,18 @@ impl Outcome {
     }
 }
 
+/// Maps a durability failure onto the wire: engine rejections keep
+/// their own typed variants; disk and replay trouble surfaces as
+/// [`WireError::Persist`].
+fn wire_durable(e: DurableError) -> WireError {
+    match e {
+        DurableError::Engine(e) => WireError::from(e),
+        other => WireError::Persist {
+            message: other.to_string(),
+        },
+    }
+}
+
 /// Serves one request against the shared state and this connection's
 /// session. Never panics on adversarial input: decode failures arrive
 /// pre-typed, and engine errors map through `WireError::from`.
@@ -46,36 +58,71 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
     let sys = &engine.system;
     match req {
         Request::Ping => Outcome::reply(Ok(Response::Pong)),
-        Request::Create { keys } => Outcome::reply(
-            sys.create(keys)
+        // Mutations: with a durability layer present they route through
+        // it — applied *and* logged before the reply frame is written,
+        // so every acked mutation survives a crash. The durable engine
+        // slot and `sys` are clones of the same shared system, so the
+        // effect is visible to queries either way.
+        Request::Create { keys } => Outcome::reply(match &state.durable {
+            Some(d) => d
+                .create(keys)
+                .map(|id| Response::Created { id: id.raw() })
+                .map_err(wire_durable),
+            None => sys
+                .create(keys)
                 .map(|id| Response::Created { id: id.raw() })
                 .map_err(WireError::from),
-        ),
-        Request::InsertKeys { id, keys } => Outcome::reply(
-            sys.insert_keys(FilterId::from_raw(id), keys)
+        }),
+        Request::InsertKeys { id, keys } => Outcome::reply(match &state.durable {
+            Some(d) => d
+                .insert_keys(FilterId::from_raw(id), keys)
+                .map(|()| Response::Ok)
+                .map_err(wire_durable),
+            None => sys
+                .insert_keys(FilterId::from_raw(id), keys)
                 .map(|()| Response::Ok)
                 .map_err(WireError::from),
-        ),
-        Request::RemoveKeys { id, keys } => Outcome::reply(
-            sys.remove_keys(FilterId::from_raw(id), keys)
+        }),
+        Request::RemoveKeys { id, keys } => Outcome::reply(match &state.durable {
+            Some(d) => d
+                .remove_keys(FilterId::from_raw(id), keys)
+                .map(|()| Response::Ok)
+                .map_err(wire_durable),
+            None => sys
+                .remove_keys(FilterId::from_raw(id), keys)
                 .map(|()| Response::Ok)
                 .map_err(WireError::from),
-        ),
+        }),
         Request::DropSet { id } => {
-            let out = sys.drop_set(FilterId::from_raw(id));
+            let out = match &state.durable {
+                Some(d) => d.drop_set(FilterId::from_raw(id)).map_err(wire_durable),
+                None => sys
+                    .drop_set(FilterId::from_raw(id))
+                    .map_err(WireError::from),
+            };
             session.evict_stored(id);
-            Outcome::reply(out.map(|()| Response::Ok).map_err(WireError::from))
+            Outcome::reply(out.map(|()| Response::Ok))
         }
-        Request::OccInsert { key } => Outcome::reply(
-            sys.insert_occupied(key)
+        Request::OccInsert { key } => Outcome::reply(match &state.durable {
+            Some(d) => d
+                .insert_occupied(key)
+                .map(|generation| Response::Generation { generation })
+                .map_err(wire_durable),
+            None => sys
+                .insert_occupied(key)
                 .map(|generation| Response::Generation { generation })
                 .map_err(WireError::from),
-        ),
-        Request::OccRemove { key } => Outcome::reply(
-            sys.remove_occupied(key)
+        }),
+        Request::OccRemove { key } => Outcome::reply(match &state.durable {
+            Some(d) => d
+                .remove_occupied(key)
+                .map(|generation| Response::Generation { generation })
+                .map_err(wire_durable),
+            None => sys
+                .remove_occupied(key)
                 .map(|generation| Response::Generation { generation })
                 .map_err(WireError::from),
-        ),
+        }),
         Request::Get { id } => Outcome::reply(
             sys.get(FilterId::from_raw(id))
                 .map(|f| Response::Filter {
@@ -115,13 +162,50 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
             .map(|keys| Response::Keys { keys }),
         ),
         Request::Batch { targets, seed } => Outcome::reply(batch(state, sys, &targets, seed)),
-        Request::Save => Outcome::reply(Ok(Response::Snapshot {
-            bytes: sys.to_bytes(),
-        })),
+        Request::Save => {
+            // With a durability layer, SAVE is "checkpoint + truncate":
+            // the snapshot is published atomically on disk and the log's
+            // covered tail drops. The reply still carries the snapshot
+            // bytes, so clients work identically in both modes.
+            if let Some(d) = &state.durable {
+                if let Err(e) = d.checkpoint() {
+                    return Outcome::reply(Err(wire_durable(e)));
+                }
+            }
+            Outcome::reply(Ok(Response::Snapshot {
+                bytes: sys.to_bytes(),
+            }))
+        }
         Request::Load { bytes } => {
             // Decode outside any lock, swap under the write lock; the
             // epoch bump tells every session its handles are orphans.
             drop(engine);
+            if let Some(d) = &state.durable {
+                // Durable LOAD: an empty body recovers from disk
+                // (newest checkpoint + log-tail replay); a snapshot
+                // body is adopted as the new durable state.
+                let recovered = if bytes.is_empty() {
+                    d.recover_from_disk().map_err(wire_durable)
+                } else {
+                    match ShardedBstSystem::from_bytes(&bytes) {
+                        Ok(system) => d
+                            .adopt(system.clone())
+                            .map_err(wire_durable)
+                            .map(|()| system),
+                        Err(e) => Err(WireError::from(e)),
+                    }
+                };
+                return match recovered {
+                    Ok(system) => {
+                        state.instrument_engine(&system);
+                        let mut engine = state.engine.write();
+                        engine.system = system;
+                        engine.epoch += 1;
+                        Outcome::reply(Ok(Response::Ok))
+                    }
+                    Err(e) => Outcome::reply(Err(e)),
+                };
+            }
             match ShardedBstSystem::from_bytes(&bytes) {
                 Ok(system) => {
                     // The replacement engine reports into the same trace

@@ -5,8 +5,11 @@
 //! ```text
 //! bst-server serve [--addr 127.0.0.1:7878] [--namespace 65536]
 //!                  [--shards 4] [--seed 42] [--max-conns 64]
-//!                  [--max-frame-mib 64]
+//!                  [--max-frame-mib 64] [--wal-dir DIR]
+//!                  [--fsync never|always] [--checkpoint-every 4096]
 //! bst-server ping     [--addr 127.0.0.1:7878]
+//! bst-server loadgen  [--addr 127.0.0.1:7878] [--sets 32] [--keys 64]
+//!                     [--seed 42]
 //! bst-server stats    [--addr 127.0.0.1:7878]
 //! bst-server metrics  [--addr 127.0.0.1:7878]
 //! bst-server shutdown [--addr 127.0.0.1:7878]
@@ -19,15 +22,25 @@
 //!
 //! `serve` builds a fully occupied engine (every namespace id live, as
 //! in the paper's dense experiments) and blocks until a client sends
-//! SHUTDOWN or the process is killed. Flag parsing is hand-rolled; no
-//! CLI dependency exists in the offline vendor set.
+//! SHUTDOWN or the process is killed. With `--wal-dir` the engine is
+//! crash-safe: on a fresh directory the built engine is checkpointed
+//! there, on a populated one the directory's state wins (checkpoint +
+//! log-tail replay — the builder flags only describe the *initial*
+//! engine), and every acked mutation hits the log before its reply.
+//! `--fsync always` additionally flushes to stable storage per record.
+//!
+//! `loadgen` drives a deterministic burst of mutations (creates, key
+//! inserts, occupancy churn) through a running server — the WAL crash
+//! drill in CI uses it to populate state worth recovering. Flag parsing
+//! is hand-rolled; no CLI dependency exists in the offline vendor set.
 
 use std::process::ExitCode;
 
+use bst_core::wal::FsyncPolicy;
 use bst_server::client::Client;
-use bst_server::server::{serve, ServerConfig};
+use bst_server::server::{serve, serve_durable, ServerConfig};
 use bst_server::stats::OpClass;
-use bst_shard::ShardedBstSystem;
+use bst_shard::{DurableBstSystem, DurableConfig, ShardedBstSystem};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +51,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "ping" => cmd_ping(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "shutdown" => cmd_shutdown(&args[1..]),
@@ -101,6 +115,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--seed",
             "--max-conns",
             "--max-frame-mib",
+            "--wal-dir",
+            "--fsync",
+            "--checkpoint-every",
         ],
     )?;
     let addr = addr_of(args)?;
@@ -115,17 +132,49 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ServerConfig::default().max_frame >> 20,
         )? << 20,
     };
-    let engine = ShardedBstSystem::builder(namespace)
-        .shards(shards)
-        .seed(seed)
-        .build();
-    let handle = serve(engine, &addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let wal_dir = flag_value(args, "--wal-dir")?;
+    let fsync = match flag_value(args, "--fsync")?.as_deref() {
+        None | Some("never") => FsyncPolicy::Never,
+        Some("always") => FsyncPolicy::Always,
+        Some(other) => {
+            return Err(format!(
+                "flag --fsync: expected never|always, got `{other}`"
+            ))
+        }
+    };
+    let checkpoint_every: u64 = parse(args, "--checkpoint-every", 4096)?;
+    let build = || {
+        ShardedBstSystem::builder(namespace)
+            .shards(shards)
+            .seed(seed)
+            .build()
+    };
+    let handle = match &wal_dir {
+        Some(dir) => {
+            let durable = DurableBstSystem::open(
+                std::path::Path::new(dir),
+                DurableConfig {
+                    fsync,
+                    checkpoint_every,
+                },
+                build,
+            )
+            .map_err(|e| format!("open wal dir {dir}: {e}"))?;
+            serve_durable(durable, &addr, cfg)
+        }
+        None => serve(build(), &addr, cfg),
+    }
+    .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "bst-server listening on {} ({} ids, {} shards, max {} conns)",
+        "bst-server listening on {} ({} ids, {} shards, max {} conns{})",
         handle.addr(),
         namespace,
         shards,
-        cfg.max_connections
+        cfg.max_connections,
+        match &wal_dir {
+            Some(dir) => format!(", wal {dir}"),
+            None => String::new(),
+        }
     );
     handle.join();
     println!("bst-server stopped");
@@ -141,6 +190,46 @@ fn connect(args: &[String]) -> Result<Client, String> {
 fn cmd_ping(args: &[String]) -> Result<(), String> {
     connect(args)?.ping().map_err(|e| e.to_string())?;
     println!("pong");
+    Ok(())
+}
+
+/// Drives a deterministic mutation burst through a running server:
+/// `--sets` creates of `--keys` members each, a follow-up key insert
+/// per set, and occupancy churn on a handful of ids. Every op is acked
+/// before the next is sent, so against a WAL-backed server each printed
+/// count is durably logged — the CI crash drill relies on that.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    check_known_flags(args, &["--addr", "--sets", "--keys", "--seed"])?;
+    let addr = addr_of(args)?;
+    let sets: u64 = parse(args, "--sets", 32)?;
+    let keys_per_set: u64 = parse(args, "--keys", 64)?;
+    let seed: u64 = parse(args, "--seed", 42)?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let namespace = client.stats().map_err(|e| e.to_string())?.namespace;
+    if namespace == 0 {
+        return Err("server namespace is empty".into());
+    }
+    let mut mutations = 0u64;
+    for s in 0..sets {
+        let base = seed.wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let members: Vec<u64> = (0..keys_per_set)
+            .map(|j| base.wrapping_add(j.wrapping_mul(0x1000_0000_01B3)) % namespace)
+            .collect();
+        let id = client.create(members).map_err(|e| e.to_string())?;
+        client
+            .insert_keys(id, vec![base % namespace, base.wrapping_add(1) % namespace])
+            .map_err(|e| e.to_string())?;
+        mutations += 2;
+        // Occupancy churn on a shifting window: vacate one id, restore
+        // it, so the tree generation advances without shrinking state.
+        if s % 4 == 0 {
+            let key = base % namespace;
+            client.occ_remove(key).map_err(|e| e.to_string())?;
+            client.occ_insert(key).map_err(|e| e.to_string())?;
+            mutations += 2;
+        }
+    }
+    println!("loadgen: {sets} sets created, {mutations} follow-up mutations acked");
     Ok(())
 }
 

@@ -37,7 +37,7 @@ use parking_lot::RwLock;
 
 use bst_core::OpStats;
 use bst_obs::{Counter, Gauge, MetricsRegistry, Recorder, RingRecorder, SpanEvent};
-use bst_shard::{BatchObs, ShardedBstSystem};
+use bst_shard::{BatchObs, DurableBstSystem, ShardedBstSystem};
 
 use crate::frame::write_frame;
 use crate::handler;
@@ -47,6 +47,16 @@ use crate::stats::{OpClass, StatsRegistry};
 
 /// How often blocked loops re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Accept-loop idle backoff: first retry after an empty accept. Arrivals
+/// during a quiet spell wait at most the current backoff, so the floor
+/// keeps post-idle connection latency in the sub-millisecond range.
+const ACCEPT_IDLE_MIN: Duration = Duration::from_micros(200);
+
+/// Accept-loop idle backoff ceiling. A long-idle listener burns one poll
+/// every 5ms instead of spinning, and still answers a new connection
+/// within 5ms worst-case.
+const ACCEPT_IDLE_MAX: Duration = Duration::from_millis(5);
 
 /// Spans kept by the server's trace ring (oldest evicted first).
 const TRACE_RING_CAP: usize = 1024;
@@ -128,10 +138,15 @@ pub struct ServerState {
     pub(crate) engine_ops: EngineOpTotals,
     pub(crate) trace: Arc<RingRecorder>,
     pub(crate) batch_obs: Arc<BatchObs>,
+    /// The durability layer, when serving with a WAL directory: every
+    /// mutation routes through it (logged before the ack), `SAVE` maps
+    /// to checkpoint + log truncation, and `LOAD` with an empty body
+    /// maps to recovery from disk.
+    pub(crate) durable: Option<DurableBstSystem>,
 }
 
 impl ServerState {
-    fn new(system: ShardedBstSystem, cfg: ServerConfig) -> Self {
+    fn new(system: ShardedBstSystem, cfg: ServerConfig, durable: Option<DurableBstSystem>) -> Self {
         ServerState {
             engine: RwLock::new(Engine { epoch: 0, system }),
             stats: StatsRegistry::new(),
@@ -147,7 +162,14 @@ impl ServerState {
             engine_ops: EngineOpTotals::default(),
             trace: Arc::new(RingRecorder::new(TRACE_RING_CAP)),
             batch_obs: Arc::new(BatchObs::unregistered()),
+            durable,
         }
+    }
+
+    /// The durability layer, if this server was started with one
+    /// ([`serve_durable`]) — test and embedding visibility.
+    pub fn durable(&self) -> Option<&DurableBstSystem> {
+        self.durable.as_ref()
     }
 
     /// Whether shutdown has been requested.
@@ -383,12 +405,40 @@ pub fn serve<A: ToSocketAddrs>(
     addr: A,
     cfg: ServerConfig,
 ) -> io::Result<ServerHandle> {
+    serve_inner(system, None, addr, cfg)
+}
+
+/// Like [`serve`], but crash-safe: serves the engine recovered inside
+/// `durable` and routes every mutation through its write-ahead log.
+/// `SAVE` becomes "checkpoint + truncate the log" and `LOAD` with an
+/// empty body becomes "recover from disk"; the WAL metrics bundle joins
+/// the `METRICS` exposition page.
+pub fn serve_durable<A: ToSocketAddrs>(
+    durable: DurableBstSystem,
+    addr: A,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let system = durable.system();
+    serve_inner(system, Some(durable), addr, cfg)
+}
+
+fn serve_inner<A: ToSocketAddrs>(
+    system: ShardedBstSystem,
+    durable: Option<DurableBstSystem>,
+    addr: A,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(ServerState::new(system, cfg));
+    let state = Arc::new(ServerState::new(system, cfg, durable));
     state.instrument_engine(&state.engine.read().system);
     install_metrics(&state);
+    if let Some(durable) = &state.durable {
+        // WAL series are owned by the durability layer, not the engine,
+        // so plain handle registration survives LOAD engine swaps.
+        durable.obs().register(&state.metrics);
+    }
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("bst-server-accept".into())
@@ -400,11 +450,29 @@ pub fn serve<A: ToSocketAddrs>(
     })
 }
 
+/// Sleeps `total` in short slices, returning early the moment shutdown
+/// is requested — the accept loop's backoff must never delay shutdown.
+fn idle_sleep(state: &ServerState, total: Duration) {
+    const SLICE: Duration = Duration::from_millis(1);
+    let mut left = total;
+    while !left.is_zero() && !state.shutting_down() {
+        let nap = left.min(SLICE);
+        std::thread::sleep(nap);
+        left = left.saturating_sub(nap);
+    }
+}
+
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // Exponential idle backoff instead of a fixed 20ms nap: a fresh
+    // arrival after a quiet spell is picked up within ACCEPT_IDLE_MIN..
+    // ACCEPT_IDLE_MAX rather than a full fixed poll interval, and a
+    // long-idle listener still converges to one syscall per 5ms.
+    let mut idle = ACCEPT_IDLE_MIN;
     while !state.shutting_down() {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                idle = ACCEPT_IDLE_MIN;
                 workers.retain(|w| !w.is_finished());
                 // Accepted sockets inherit the listener's nonblocking
                 // flag on some platforms; workers use timeout-based
@@ -433,10 +501,13 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
                     }
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                idle_sleep(&state, idle);
+                idle = (idle * 2).min(ACCEPT_IDLE_MAX);
+            }
             // Transient accept errors (per-connection resets) do not
             // take the listener down.
-            Err(_) => std::thread::sleep(POLL),
+            Err(_) => idle_sleep(&state, POLL),
         }
     }
     for w in workers {

@@ -1,0 +1,509 @@
+//! Crash-safe persistence for the sharded engine: WAL + background
+//! checkpoints.
+//!
+//! [`DurableBstSystem`] wraps a [`ShardedBstSystem`] so that every
+//! acked mutation is **logged before the ack**: the mutation applies to
+//! the in-memory engine and appends one [`WalRecord`] to an append-only
+//! log, both under one log mutex, so log order always equals
+//! application order. Recovery is then deterministic: decode the newest
+//! checkpoint (the ordinary byte-deterministic snapshot) and replay the
+//! log tail through the same facade methods — set-id allocation is a
+//! deterministic function of prior state, so replay re-derives every id
+//! and the recovered engine answers queries bit-identically to the
+//! uncrashed one.
+//!
+//! ## Lock order and the read path
+//!
+//! Two locks exist here, acquired in a fixed order: the **log mutex**
+//! first, then the **engine slot** (`RwLock<ShardedBstSystem>`, write
+//! side only for engine swaps). Queries clone the engine handle through
+//! the slot's read side and never touch the log mutex, so a checkpoint
+//! — which holds the log mutex while encoding the engine through
+//! per-shard *read* locks (copy-on-read of locked tree state) — never
+//! blocks the read path. Writers stall for the duration of a
+//! checkpoint's encode; readers do not.
+//!
+//! ## Checkpoints
+//!
+//! A background compactor thread checkpoints after every
+//! [`DurableConfig::checkpoint_every`] appended records (and on
+//! demand via [`DurableBstSystem::checkpoint`]): snapshot bytes go to a
+//! temp file, `rename(2)` publishes them atomically, the directory is
+//! fsynced, and only then is the log truncated — at every instant the
+//! disk holds a checkpoint plus the exact tail of records after it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bst_core::error::BstError;
+use bst_core::store::FilterId;
+use bst_core::wal::{self, FsyncPolicy, Wal, WalRecord};
+use bst_obs::WalObs;
+use parking_lot::{Mutex, RwLock};
+
+use crate::system::ShardedBstSystem;
+
+/// Checkpoint file name inside the WAL directory.
+const CHECKPOINT_FILE: &str = "checkpoint.bst";
+/// Temp file the checkpoint is staged in before the atomic rename.
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+/// Log file name inside the WAL directory.
+const LOG_FILE: &str = "wal.log";
+
+/// Durability knobs for a [`DurableBstSystem`].
+#[derive(Clone, Copy, Debug)]
+pub struct DurableConfig {
+    /// When the log is flushed to stable storage (default: `Never` —
+    /// survives SIGKILL; `Always` survives power loss).
+    pub fsync: FsyncPolicy,
+    /// Appended records between automatic background checkpoints;
+    /// 0 disables the compactor (checkpoints happen only via
+    /// [`DurableBstSystem::checkpoint`]).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 4096,
+        }
+    }
+}
+
+/// Failures of the durable layer: disk IO, the wrapped engine's own
+/// typed errors, or a replay that diverged from the recorded history.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The log or checkpoint file could not be read or written.
+    Io(io::Error),
+    /// The wrapped engine rejected an operation (or a snapshot failed
+    /// to decode).
+    Engine(BstError),
+    /// Replay re-derived a different set id than the log recorded —
+    /// the checkpoint and log disagree (mixed-up files, manual edits).
+    ReplayDiverged {
+        /// The id the log recorded at ack time.
+        expected: u64,
+        /// The id replay allocated.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable io: {e}"),
+            DurableError::Engine(e) => write!(f, "durable engine: {e}"),
+            DurableError::ReplayDiverged { expected, got } => write!(
+                f,
+                "wal replay diverged: log recorded set id {expected}, replay allocated {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<BstError> for DurableError {
+    fn from(e: BstError) -> Self {
+        DurableError::Engine(e)
+    }
+}
+
+/// The open log plus its checkpoint bookkeeping, all behind one mutex.
+struct LogState {
+    wal: Wal,
+    /// Records appended since the last checkpoint (drives the
+    /// compactor's cadence).
+    since_checkpoint: u64,
+}
+
+/// Message to the compactor thread.
+enum Signal {
+    /// The append path crossed the checkpoint cadence.
+    Kick,
+    /// The durable handle is dropping; exit after the current cycle.
+    Stop,
+}
+
+struct DurableShared {
+    dir: PathBuf,
+    cfg: DurableConfig,
+    /// The engine slot. Mutations and queries *read* it (cloning the
+    /// `Arc`-backed handle); only engine swaps (recovery, adoption)
+    /// write it. Always acquired after the log mutex, never before.
+    engine: RwLock<ShardedBstSystem>,
+    /// The log mutex: held across apply + append so log order equals
+    /// application order, and across a whole checkpoint.
+    log: Mutex<LogState>,
+    obs: WalObs,
+    /// Wake-up channel into the compactor thread (None when the
+    /// compactor is disabled). `mpsc::Sender` predates `Sync` on some
+    /// toolchains, so it sits behind a mutex; sends are rare and brief.
+    signal: Mutex<Option<std::sync::mpsc::Sender<Signal>>>,
+    /// The last background-checkpoint failure, if any (surfaced to
+    /// embedders; a failed checkpoint leaves the previous one valid).
+    checkpoint_error: Mutex<Option<String>>,
+}
+
+/// A [`ShardedBstSystem`] with crash-safe persistence: write-ahead
+/// logging before every ack, background checkpoint compaction, and
+/// recovery = newest checkpoint + log-tail replay.
+///
+/// Not `Clone`: the value owns the compactor thread and the log file
+/// handle. Share the wrapped engine for read-side work via
+/// [`Self::system`] (a cheap `Arc`-bump clone).
+pub struct DurableBstSystem {
+    inner: Arc<DurableShared>,
+    compactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DurableBstSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DurableBstSystem({:?}, {:?})",
+            self.inner.dir, self.inner.cfg
+        )
+    }
+}
+
+/// Writes `bytes` as the new checkpoint: temp file → fsync → atomic
+/// rename → directory fsync. A crash at any point leaves either the old
+/// or the new checkpoint fully intact, never a mix.
+fn publish_checkpoint(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(CHECKPOINT_TMP);
+    let dst = dir.join(CHECKPOINT_FILE);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, &dst)?;
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Decodes the checkpoint (if present) and replays the log tail through
+/// the facade. Returns the recovered engine, the number of replayed
+/// records, and where the valid log prefix ends.
+fn recover_state(
+    dir: &Path,
+    fallback: Option<ShardedBstSystem>,
+) -> Result<(ShardedBstSystem, wal::Recovery), DurableError> {
+    let checkpoint = dir.join(CHECKPOINT_FILE);
+    let system = match std::fs::read(&checkpoint) {
+        Ok(bytes) => ShardedBstSystem::from_bytes(&bytes)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => match fallback {
+            Some(system) => system,
+            None => return Err(DurableError::Io(e)),
+        },
+        Err(e) => return Err(DurableError::Io(e)),
+    };
+    let recovery = wal::recover(&dir.join(LOG_FILE))?;
+    for record in &recovery.records {
+        replay(&system, record)?;
+    }
+    Ok((system, recovery))
+}
+
+/// Applies one logged record through the ordinary facade, checking that
+/// deterministic id allocation re-derives what the log recorded.
+fn replay(system: &ShardedBstSystem, record: &WalRecord) -> Result<(), DurableError> {
+    match record {
+        WalRecord::Create { id, keys } => {
+            let got = system.create(keys.iter().copied())?;
+            if got.raw() != *id {
+                return Err(DurableError::ReplayDiverged {
+                    expected: *id,
+                    got: got.raw(),
+                });
+            }
+        }
+        WalRecord::InsertKeys { id, keys } => {
+            system.insert_keys(FilterId::from_raw(*id), keys.iter().copied())?;
+        }
+        WalRecord::RemoveKeys { id, keys } => {
+            system.remove_keys(FilterId::from_raw(*id), keys.iter().copied())?;
+        }
+        WalRecord::DropSet { id } => {
+            system.drop_set(FilterId::from_raw(*id))?;
+        }
+        WalRecord::OccInsert { id } => {
+            system.insert_occupied(*id)?;
+        }
+        WalRecord::OccRemove { id } => {
+            system.remove_occupied(*id)?;
+        }
+    }
+    Ok(())
+}
+
+impl DurableBstSystem {
+    /// Opens (or creates) a durable engine rooted at `dir`.
+    ///
+    /// With a checkpoint on disk, `build` is never called: the engine is
+    /// the checkpoint plus the replayed log tail, torn tail truncated.
+    /// On a fresh directory `build` supplies the initial engine, which
+    /// is checkpointed immediately — from then on the directory always
+    /// holds a checkpoint, so recovery never needs the builder again.
+    pub fn open(
+        dir: &Path,
+        cfg: DurableConfig,
+        build: impl FnOnce() -> ShardedBstSystem,
+    ) -> Result<DurableBstSystem, DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let had_checkpoint = dir.join(CHECKPOINT_FILE).exists();
+        let (system, recovery) = recover_state(dir, (!had_checkpoint).then(build))?;
+        if !had_checkpoint {
+            publish_checkpoint(dir, &system.to_bytes())?;
+        }
+        let obs = WalObs::new();
+        obs.replayed.set(recovery.records.len() as i64);
+        obs.torn_bytes.set(recovery.torn_bytes as i64);
+        obs.log_bytes.set(recovery.valid_len as i64);
+        let wal = Wal::open(&dir.join(LOG_FILE), cfg.fsync, recovery.valid_len)?;
+        let shared = Arc::new(DurableShared {
+            dir: dir.to_path_buf(),
+            cfg,
+            engine: RwLock::new(system),
+            log: Mutex::new(LogState {
+                wal,
+                since_checkpoint: recovery.records.len() as u64,
+            }),
+            obs,
+            signal: Mutex::new(None),
+            checkpoint_error: Mutex::new(None),
+        });
+        let compactor = if cfg.checkpoint_every > 0 {
+            let (tx, rx) = std::sync::mpsc::channel();
+            *shared.signal.lock() = Some(tx);
+            let worker = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("bst-wal-compactor".into())
+                .spawn(move || compactor_loop(&worker, &rx))
+                .map_err(DurableError::Io)?;
+            Some(handle)
+        } else {
+            None
+        };
+        Ok(DurableBstSystem {
+            inner: shared,
+            compactor,
+        })
+    }
+
+    /// A handle to the wrapped engine for read-side work (queries,
+    /// batches, stats). Mutating *through this handle* bypasses the log
+    /// — always mutate through the durable facade instead.
+    pub fn system(&self) -> ShardedBstSystem {
+        self.inner.engine.read().clone()
+    }
+
+    /// The WAL instrumentation bundle (cloned handles share atomics).
+    pub fn obs(&self) -> WalObs {
+        self.inner.obs.clone()
+    }
+
+    /// The durability configuration this engine was opened with.
+    pub fn config(&self) -> DurableConfig {
+        self.inner.cfg
+    }
+
+    /// The directory holding the checkpoint and log.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// The last background-checkpoint failure, if any.
+    pub fn last_checkpoint_error(&self) -> Option<String> {
+        self.inner.checkpoint_error.lock().clone()
+    }
+
+    /// Registers a set durably: applies, logs, then acks with the id.
+    pub fn create<I: IntoIterator<Item = u64>>(&self, keys: I) -> Result<FilterId, DurableError> {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut log = self.inner.log.lock();
+        let engine = self.inner.engine.read().clone();
+        let id = engine.create(keys.iter().copied())?;
+        self.append(&mut log, WalRecord::Create { id: id.raw(), keys })?;
+        Ok(id)
+    }
+
+    /// Durable [`ShardedBstSystem::insert_keys`].
+    pub fn insert_keys<I: IntoIterator<Item = u64>>(
+        &self,
+        id: FilterId,
+        keys: I,
+    ) -> Result<(), DurableError> {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut log = self.inner.log.lock();
+        let engine = self.inner.engine.read().clone();
+        engine.insert_keys(id, keys.iter().copied())?;
+        self.append(&mut log, WalRecord::InsertKeys { id: id.raw(), keys })
+    }
+
+    /// Durable [`ShardedBstSystem::remove_keys`].
+    pub fn remove_keys<I: IntoIterator<Item = u64>>(
+        &self,
+        id: FilterId,
+        keys: I,
+    ) -> Result<(), DurableError> {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut log = self.inner.log.lock();
+        let engine = self.inner.engine.read().clone();
+        engine.remove_keys(id, keys.iter().copied())?;
+        self.append(&mut log, WalRecord::RemoveKeys { id: id.raw(), keys })
+    }
+
+    /// Durable [`ShardedBstSystem::drop_set`].
+    pub fn drop_set(&self, id: FilterId) -> Result<(), DurableError> {
+        let mut log = self.inner.log.lock();
+        let engine = self.inner.engine.read().clone();
+        engine.drop_set(id)?;
+        self.append(&mut log, WalRecord::DropSet { id: id.raw() })
+    }
+
+    /// Durable [`ShardedBstSystem::insert_occupied`]. Returns the
+    /// resulting tree generation of the owning shard.
+    pub fn insert_occupied(&self, key: u64) -> Result<u64, DurableError> {
+        let mut log = self.inner.log.lock();
+        let engine = self.inner.engine.read().clone();
+        let generation = engine.insert_occupied(key)?;
+        self.append(&mut log, WalRecord::OccInsert { id: key })?;
+        Ok(generation)
+    }
+
+    /// Durable [`ShardedBstSystem::remove_occupied`].
+    pub fn remove_occupied(&self, key: u64) -> Result<u64, DurableError> {
+        let mut log = self.inner.log.lock();
+        let engine = self.inner.engine.read().clone();
+        let generation = engine.remove_occupied(key)?;
+        self.append(&mut log, WalRecord::OccRemove { id: key })?;
+        Ok(generation)
+    }
+
+    /// Logs `record` under the held log mutex and updates the metrics
+    /// bundle. An append failure is surfaced without acking; the
+    /// in-memory engine is then *ahead* of the log until the next
+    /// successful checkpoint reconciles them.
+    fn append(&self, log: &mut LogState, record: WalRecord) -> Result<(), DurableError> {
+        let fsyncs_before = log.wal.fsyncs();
+        log.wal.append(&record)?;
+        log.since_checkpoint += 1;
+        let obs = &self.inner.obs;
+        obs.appended.inc();
+        obs.fsyncs.add(log.wal.fsyncs() - fsyncs_before);
+        obs.log_bytes.set(log.wal.len() as i64);
+        if self.inner.cfg.checkpoint_every > 0
+            && log.since_checkpoint >= self.inner.cfg.checkpoint_every
+        {
+            if let Some(tx) = self.inner.signal.lock().as_ref() {
+                // A closed channel means the compactor already exited
+                // (shutdown); nothing to wake.
+                let _ = tx.send(Signal::Kick);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoints now: encodes the engine (per-shard read locks only —
+    /// concurrent queries proceed), publishes the snapshot atomically,
+    /// and truncates the log. SAVE-over-the-wire maps here.
+    pub fn checkpoint(&self) -> Result<(), DurableError> {
+        let mut log = self.inner.log.lock();
+        checkpoint_locked(&self.inner, &mut log)
+    }
+
+    /// Replaces the engine with `system`, making it the new durable
+    /// state: the adopted engine is checkpointed and the log emptied
+    /// (wire `LOAD` with an explicit snapshot maps here).
+    pub fn adopt(&self, system: ShardedBstSystem) -> Result<(), DurableError> {
+        let mut log = self.inner.log.lock();
+        publish_checkpoint(&self.inner.dir, &system.to_bytes())?;
+        log.wal.truncate()?;
+        log.since_checkpoint = 0;
+        self.inner.obs.log_bytes.set(0);
+        *self.inner.engine.write() = system;
+        Ok(())
+    }
+
+    /// Re-runs recovery from disk — newest checkpoint + log-tail replay
+    /// — and swaps the recovered engine in (wire `LOAD` with an empty
+    /// body maps here). The log keeps its acked tail: recovery is
+    /// read-only on disk state.
+    pub fn recover_from_disk(&self) -> Result<ShardedBstSystem, DurableError> {
+        let mut log = self.inner.log.lock();
+        // No fallback: open() guarantees a checkpoint exists from the
+        // moment the directory is created, so a missing one is an error.
+        let (system, recovery) = recover_state(&self.inner.dir, None)?;
+        self.inner.obs.replayed.set(recovery.records.len() as i64);
+        self.inner.obs.torn_bytes.set(recovery.torn_bytes as i64);
+        log.since_checkpoint = recovery.records.len() as u64;
+        *self.inner.engine.write() = system.clone();
+        Ok(system)
+    }
+}
+
+/// The shared checkpoint body: runs with the log mutex held, so no
+/// mutation can ack between the snapshot encode and the log truncation
+/// (records covered by the checkpoint are exactly the records removed).
+fn checkpoint_locked(shared: &DurableShared, log: &mut LogState) -> Result<(), DurableError> {
+    let started = Instant::now();
+    let engine = shared.engine.read().clone();
+    let bytes = engine.to_bytes();
+    publish_checkpoint(&shared.dir, &bytes)?;
+    let fsyncs_before = log.wal.fsyncs();
+    log.wal.truncate()?;
+    log.since_checkpoint = 0;
+    let obs = &shared.obs;
+    obs.fsyncs.add(log.wal.fsyncs() - fsyncs_before);
+    obs.checkpoints.inc();
+    obs.last_checkpoint_us
+        .set(started.elapsed().as_micros().min(i64::MAX as u128) as i64);
+    obs.log_bytes.set(0);
+    Ok(())
+}
+
+/// Background compactor: waits for kicks from the append path and
+/// checkpoints once per kick (queued duplicate kicks find
+/// `since_checkpoint == 0` and skip cheaply). Failures leave the
+/// previous checkpoint valid and are surfaced through
+/// [`DurableBstSystem::last_checkpoint_error`].
+fn compactor_loop(shared: &DurableShared, rx: &std::sync::mpsc::Receiver<Signal>) {
+    loop {
+        match rx.recv() {
+            Ok(Signal::Kick) => {}
+            // Stop, or every sender dropped: either way, shut down.
+            Ok(Signal::Stop) | Err(_) => return,
+        }
+        let mut log = shared.log.lock();
+        // A manual checkpoint may have raced ahead of this kick.
+        if log.since_checkpoint == 0 {
+            continue;
+        }
+        let outcome = checkpoint_locked(shared, &mut log);
+        drop(log);
+        *shared.checkpoint_error.lock() = outcome.err().map(|e| e.to_string());
+    }
+}
+
+impl Drop for DurableBstSystem {
+    fn drop(&mut self) {
+        if let Some(handle) = self.compactor.take() {
+            if let Some(tx) = self.inner.signal.lock().take() {
+                let _ = tx.send(Signal::Stop);
+            }
+            let _ = handle.join();
+        }
+    }
+}

@@ -86,10 +86,12 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod query;
 pub mod system;
 pub mod weight_cache;
 
+pub use durable::{DurableBstSystem, DurableConfig, DurableError};
 pub use query::ShardQuery;
 pub use system::{shard_boundaries, BatchObs, ShardedBstSystem, ShardedBstSystemBuilder};
 pub use weight_cache::{filter_content_hash, CachedWeight, WeightCacheStats};

@@ -121,6 +121,12 @@ impl BytesMut {
         Bytes { data: self.data }
     }
 
+    /// Empties the buffer, keeping its capacity (as in the real crate:
+    /// the reuse idiom for steady-state-allocation-free encoders).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Copies the contents into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.clone()
