@@ -169,9 +169,9 @@ fn bench_mutation_ack(c: &mut Criterion) {
     group.finish();
 }
 
-/// A checkpoint = encode the whole engine + tmp-write + rename +
-/// truncate; benched over a populated engine so the snapshot is not
-/// trivially empty.
+/// A checkpoint = rotate to a fresh log segment + encode the whole
+/// engine + tmp-write + rename + retire covered segments; benched over
+/// a populated engine so the snapshot is not trivially empty.
 fn bench_checkpoint(c: &mut Criterion) {
     let (durable, dir) = open_durable("checkpoint", FsyncPolicy::Never);
     for s in 0..64u64 {

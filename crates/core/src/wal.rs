@@ -24,6 +24,13 @@
 //!   6 OccRemove  id u64
 //! ```
 //!
+//! A checkpoint file ([`encode_checkpoint`]) is
+//! `BSTCKPT1 | covered_seq u64 LE | snapshot`: the embedded sequence
+//! number names the newest log segment the snapshot covers, so recovery
+//! replays only strictly newer segments and a complete-but-stale
+//! segment lying next to a fresh checkpoint is skipped, never
+//! double-applied.
+//!
 //! A crash mid-append leaves a **torn tail**: a final frame whose
 //! length, checksum, or payload is incomplete or inconsistent.
 //! [`recover`] replays the longest valid prefix and reports where it
@@ -222,6 +229,44 @@ pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
         return None;
     }
     Some(record)
+}
+
+/// Magic prefixing a checkpoint file: format identifier plus revision.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"BSTCKPT1";
+
+/// Checkpoint header size: magic + covered segment sequence (`u64 LE`).
+const CHECKPOINT_HEADER: usize = 8 + 8;
+
+/// Encodes a checkpoint file: the magic, the sequence number of the
+/// newest log segment the snapshot covers (recovery replays only
+/// strictly newer segments), then the engine snapshot bytes. The
+/// embedded sequence is what makes checkpoint-plus-truncation a single
+/// atomic transition: publishing the checkpoint *is* the truncation,
+/// because covered segments stop being replayed the instant the rename
+/// lands, whether or not their files have been unlinked yet.
+pub fn encode_checkpoint(covered_seq: u64, snapshot: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHECKPOINT_HEADER + snapshot.len());
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&covered_seq.to_le_bytes());
+    out.extend_from_slice(snapshot);
+    out
+}
+
+/// Splits a checkpoint file into its covered-segment sequence number
+/// and the snapshot bytes. Borrows the input — the decode path
+/// allocates nothing; a short header or wrong magic is `InvalidData`.
+pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<(u64, &[u8])> {
+    let mut input = bytes;
+    if input.remaining() < CHECKPOINT_HEADER || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a bst checkpoint file (short header or bad magic)",
+        ));
+    }
+    input.advance(CHECKPOINT_MAGIC.len());
+    let covered = input.get_u64_le();
+    Ok((covered, input))
 }
 
 /// What [`recover`] found in a log file: the longest valid record
@@ -600,6 +645,23 @@ mod tests {
         );
         assert_eq!(recovery.torn_bytes, 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_header_roundtrips_and_rejects_garbage() {
+        let snapshot = b"engine snapshot bytes".to_vec();
+        let encoded = encode_checkpoint(41, &snapshot);
+        let (covered, body) = decode_checkpoint(&encoded).unwrap();
+        assert_eq!(covered, 41);
+        assert_eq!(body, &snapshot[..]);
+        // Empty snapshots are legal (header only).
+        let header_only = encode_checkpoint(0, &[]);
+        let (covered, body) = decode_checkpoint(&header_only).unwrap();
+        assert_eq!((covered, body.len()), (0, 0));
+        // Short header, wrong magic, raw snapshot bytes: all rejected.
+        assert!(decode_checkpoint(&encoded[..15]).is_err());
+        assert!(decode_checkpoint(b"NOTCKPT0________body").is_err());
+        assert!(decode_checkpoint(&snapshot).is_err());
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! the in-memory engine and appends one [`WalRecord`] to an append-only
 //! log, both under one log mutex, so log order always equals
 //! application order. Recovery is then deterministic: decode the newest
-//! checkpoint (the ordinary byte-deterministic snapshot) and replay the
-//! log tail through the same facade methods — set-id allocation is a
-//! deterministic function of prior state, so replay re-derives every id
-//! and the recovered engine answers queries bit-identically to the
-//! uncrashed one.
+//! checkpoint (the ordinary byte-deterministic snapshot behind a small
+//! header) and replay the uncovered log segments through the same
+//! facade methods — set-id allocation is a deterministic function of
+//! prior state, so replay re-derives every id and the recovered engine
+//! answers queries bit-identically to the uncrashed one.
 //!
 //! ## Lock order and the read path
 //!
@@ -25,12 +25,33 @@
 //!
 //! ## Checkpoints
 //!
-//! A background compactor thread checkpoints after every
-//! [`DurableConfig::checkpoint_every`] appended records (and on
-//! demand via [`DurableBstSystem::checkpoint`]): snapshot bytes go to a
-//! temp file, `rename(2)` publishes them atomically, the directory is
-//! fsynced, and only then is the log truncated — at every instant the
-//! disk holds a checkpoint plus the exact tail of records after it.
+//! The log is a series of numbered segment files (`wal.<seq>.log`) and
+//! the checkpoint embeds the sequence number of the newest segment it
+//! covers ([`wal::encode_checkpoint`]); recovery replays only strictly
+//! newer segments. That linkage makes the checkpoint transition atomic
+//! with respect to crashes: appends first rotate into a fresh segment
+//! the snapshot will not cover, the snapshot is staged and published
+//! with `rename(2)` naming the rotated-away segment as covered, and
+//! only then are covered segments unlinked. Dying between any two
+//! steps recovers exactly — before the rename the old checkpoint still
+//! replays every uncovered segment (the fresh one is empty), and after
+//! it the old segments are stale *by sequence number*: skipped on
+//! replay even when the crash kept them from being unlinked, and swept
+//! at the next open. A background compactor thread runs this after
+//! every [`DurableConfig::checkpoint_every`] appended records (and on
+//! demand via [`DurableBstSystem::checkpoint`]).
+//!
+//! ## Append failures wedge the facade
+//!
+//! A failed append leaves the in-memory engine one mutation ahead of
+//! the log; any later record would presuppose state the log never
+//! captured, so the facade **fail-stops**: mutations are rejected with
+//! [`DurableError::Wedged`] until a successful checkpoint — whose
+//! snapshot includes the unlogged mutation — reconciles log and engine
+//! (the compactor is kicked immediately; with the compactor disabled,
+//! call [`DurableBstSystem::checkpoint`], or roll the engine back to
+//! the acked state with [`DurableBstSystem::recover_from_disk`]).
+//! Queries keep serving throughout.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -49,8 +70,33 @@ use crate::system::ShardedBstSystem;
 const CHECKPOINT_FILE: &str = "checkpoint.bst";
 /// Temp file the checkpoint is staged in before the atomic rename.
 const CHECKPOINT_TMP: &str = "checkpoint.tmp";
-/// Log file name inside the WAL directory.
-const LOG_FILE: &str = "wal.log";
+
+/// The log segment with sequence `seq`: `wal.<seq>.log`, zero-padded
+/// for readable listings but parsed numerically.
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal.{seq:08}.log"))
+}
+
+/// Parses a segment file name back to its sequence number.
+fn segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("wal.")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Every log segment in `dir`, ascending by sequence number.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(segment_seq) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
 
 /// Durability knobs for a [`DurableBstSystem`].
 #[derive(Clone, Copy, Debug)]
@@ -74,7 +120,8 @@ impl Default for DurableConfig {
 }
 
 /// Failures of the durable layer: disk IO, the wrapped engine's own
-/// typed errors, or a replay that diverged from the recorded history.
+/// typed errors, a replay that diverged from the recorded history, or
+/// a wedged facade awaiting its reconciling checkpoint.
 #[derive(Debug)]
 pub enum DurableError {
     /// The log or checkpoint file could not be read or written.
@@ -90,6 +137,14 @@ pub enum DurableError {
         /// The id replay allocated.
         got: u64,
     },
+    /// A mutation applied in memory but its log append failed, so the
+    /// engine is ahead of the log. Mutations are refused until a
+    /// successful checkpoint (or [`DurableBstSystem::recover_from_disk`])
+    /// reconciles them; queries keep serving.
+    Wedged {
+        /// The append failure that wedged the facade.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -100,6 +155,10 @@ impl std::fmt::Display for DurableError {
             DurableError::ReplayDiverged { expected, got } => write!(
                 f,
                 "wal replay diverged: log recorded set id {expected}, replay allocated {got}"
+            ),
+            DurableError::Wedged { reason } => write!(
+                f,
+                "durable engine wedged until a checkpoint reconciles an unlogged mutation: {reason}"
             ),
         }
     }
@@ -122,6 +181,13 @@ impl From<BstError> for DurableError {
 /// The open log plus its checkpoint bookkeeping, all behind one mutex.
 struct LogState {
     wal: Wal,
+    /// Sequence number of the active segment `wal` appends into.
+    seq: u64,
+    /// Valid bytes in uncovered segments *before* the active one —
+    /// nonzero only after a checkpoint publish failed post-rotation or
+    /// a multi-segment recovery; the `log_bytes` gauge reports this
+    /// plus the active segment.
+    prior_uncovered: u64,
     /// Records appended since the last checkpoint (drives the
     /// compactor's cadence).
     since_checkpoint: u64,
@@ -129,7 +195,8 @@ struct LogState {
 
 /// Message to the compactor thread.
 enum Signal {
-    /// The append path crossed the checkpoint cadence.
+    /// The append path crossed the checkpoint cadence (or wedged and
+    /// wants its reconciling checkpoint).
     Kick,
     /// The durable handle is dropping; exit after the current cycle.
     Stop,
@@ -153,11 +220,17 @@ struct DurableShared {
     /// The last background-checkpoint failure, if any (surfaced to
     /// embedders; a failed checkpoint leaves the previous one valid).
     checkpoint_error: Mutex<Option<String>>,
+    /// Fail-stop latch: the reason the engine is ahead of the log, set
+    /// when an append fails after its mutation applied. Mutations are
+    /// rejected while set; a successful checkpoint or disk recovery
+    /// clears it. Read and written only under the log mutex, so the
+    /// check cannot race the reconciliation.
+    wedged: Mutex<Option<String>>,
 }
 
 /// A [`ShardedBstSystem`] with crash-safe persistence: write-ahead
 /// logging before every ack, background checkpoint compaction, and
-/// recovery = newest checkpoint + log-tail replay.
+/// recovery = newest checkpoint + uncovered-segment replay.
 ///
 /// Not `Clone`: the value owns the compactor thread and the log file
 /// handle. Share the wrapped engine for read-side work via
@@ -179,7 +252,8 @@ impl std::fmt::Debug for DurableBstSystem {
 
 /// Writes `bytes` as the new checkpoint: temp file → fsync → atomic
 /// rename → directory fsync. A crash at any point leaves either the old
-/// or the new checkpoint fully intact, never a mix.
+/// or the new checkpoint fully intact, never a mix (a stranded temp
+/// file is swept at the next open).
 fn publish_checkpoint(dir: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = dir.join(CHECKPOINT_TMP);
     let dst = dir.join(CHECKPOINT_FILE);
@@ -193,27 +267,74 @@ fn publish_checkpoint(dir: &Path, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
-/// Decodes the checkpoint (if present) and replays the log tail through
-/// the facade. Returns the recovered engine, the number of replayed
-/// records, and where the valid log prefix ends.
+/// What disk recovery established beyond the engine itself.
+struct DiskRecovery {
+    /// Newest segment the checkpoint covers (0 with no checkpoint).
+    covered_seq: u64,
+    /// Replayed records across every uncovered segment.
+    replayed: u64,
+    /// Torn/corrupt bytes dropped after the last valid record.
+    torn_bytes: u64,
+    /// The segment appends continue into.
+    tail_seq: u64,
+    /// Valid byte length of that segment.
+    tail_valid_len: u64,
+    /// Valid bytes across replayed segments before the tail one.
+    prior_uncovered: u64,
+}
+
+/// Decodes the checkpoint (if present) and replays every uncovered log
+/// segment through the facade, in sequence order. Segments at or below
+/// the checkpoint's covered sequence are stale leftovers of an
+/// interrupted checkpoint and are skipped; a torn tail or a sequence
+/// gap ends the trustworthy history (nothing after it is replayed).
 fn recover_state(
     dir: &Path,
     fallback: Option<ShardedBstSystem>,
-) -> Result<(ShardedBstSystem, wal::Recovery), DurableError> {
+) -> Result<(ShardedBstSystem, DiskRecovery), DurableError> {
     let checkpoint = dir.join(CHECKPOINT_FILE);
-    let system = match std::fs::read(&checkpoint) {
-        Ok(bytes) => ShardedBstSystem::from_bytes(&bytes)?,
+    let (system, covered_seq) = match std::fs::read(&checkpoint) {
+        Ok(bytes) => {
+            let (covered, snapshot) = wal::decode_checkpoint(&bytes)?;
+            (ShardedBstSystem::from_bytes(snapshot)?, covered)
+        }
         Err(e) if e.kind() == io::ErrorKind::NotFound => match fallback {
-            Some(system) => system,
+            Some(system) => (system, 0),
             None => return Err(DurableError::Io(e)),
         },
         Err(e) => return Err(DurableError::Io(e)),
     };
-    let recovery = wal::recover(&dir.join(LOG_FILE))?;
-    for record in &recovery.records {
-        replay(&system, record)?;
+    let mut rec = DiskRecovery {
+        covered_seq,
+        replayed: 0,
+        torn_bytes: 0,
+        tail_seq: covered_seq + 1,
+        tail_valid_len: 0,
+        prior_uncovered: 0,
+    };
+    let mut next = covered_seq + 1;
+    for (seq, path) in list_segments(dir)? {
+        if seq <= covered_seq {
+            continue; // covered by the checkpoint: stale, never replayed
+        }
+        if seq != next {
+            break; // a gap: nothing after it is trustworthy
+        }
+        let recovery = wal::recover(&path)?;
+        for record in &recovery.records {
+            replay(&system, record)?;
+        }
+        rec.replayed += recovery.records.len() as u64;
+        rec.torn_bytes += recovery.torn_bytes;
+        rec.prior_uncovered += rec.tail_valid_len;
+        rec.tail_seq = seq;
+        rec.tail_valid_len = recovery.valid_len;
+        next = seq + 1;
+        if recovery.torn_bytes > 0 {
+            break; // a tear ends the trustworthy history
+        }
     }
-    Ok((system, recovery))
+    Ok((system, rec))
 }
 
 /// Applies one logged record through the ordinary facade, checking that
@@ -252,37 +373,66 @@ impl DurableBstSystem {
     /// Opens (or creates) a durable engine rooted at `dir`.
     ///
     /// With a checkpoint on disk, `build` is never called: the engine is
-    /// the checkpoint plus the replayed log tail, torn tail truncated.
-    /// On a fresh directory `build` supplies the initial engine, which
-    /// is checkpointed immediately — from then on the directory always
-    /// holds a checkpoint, so recovery never needs the builder again.
+    /// the checkpoint plus the replayed uncovered segments, torn tail
+    /// truncated. On a fresh directory `build` supplies the initial
+    /// engine, which is checkpointed immediately — from then on the
+    /// directory always holds a checkpoint, so recovery never needs the
+    /// builder again.
     pub fn open(
         dir: &Path,
         cfg: DurableConfig,
         build: impl FnOnce() -> ShardedBstSystem,
     ) -> Result<DurableBstSystem, DurableError> {
         std::fs::create_dir_all(dir)?;
+        // A crash between staging and renaming a checkpoint strands the
+        // temp file; it is never read, so sweep it.
+        let _ = std::fs::remove_file(dir.join(CHECKPOINT_TMP));
         let had_checkpoint = dir.join(CHECKPOINT_FILE).exists();
-        let (system, recovery) = recover_state(dir, (!had_checkpoint).then(build))?;
+        let (system, mut rec) = recover_state(dir, (!had_checkpoint).then(build))?;
         if !had_checkpoint {
-            publish_checkpoint(dir, &system.to_bytes())?;
+            // First open of this directory: checkpoint the initial
+            // engine, covering anything replayed, and start fresh.
+            publish_checkpoint(
+                dir,
+                &wal::encode_checkpoint(rec.tail_seq, &system.to_bytes()),
+            )?;
+            rec.covered_seq = rec.tail_seq;
+            rec.tail_seq += 1;
+            rec.tail_valid_len = 0;
+            rec.prior_uncovered = 0;
+            rec.replayed = 0;
+        }
+        let wal = Wal::open(
+            &segment_path(dir, rec.tail_seq),
+            cfg.fsync,
+            rec.tail_valid_len,
+        )?;
+        // Sweep segments recovery will never read again: covered ones a
+        // crash kept from being unlinked, and anything past a tear/gap.
+        for (seq, path) in list_segments(dir)? {
+            if seq <= rec.covered_seq || seq > rec.tail_seq {
+                let _ = std::fs::remove_file(path);
+            }
         }
         let obs = WalObs::new();
-        obs.replayed.set(recovery.records.len() as i64);
-        obs.torn_bytes.set(recovery.torn_bytes as i64);
-        obs.log_bytes.set(recovery.valid_len as i64);
-        let wal = Wal::open(&dir.join(LOG_FILE), cfg.fsync, recovery.valid_len)?;
+        obs.replayed.set(rec.replayed as i64);
+        obs.torn_bytes.set(rec.torn_bytes as i64);
+        obs.log_bytes
+            .set((rec.prior_uncovered + rec.tail_valid_len) as i64);
         let shared = Arc::new(DurableShared {
             dir: dir.to_path_buf(),
             cfg,
             engine: RwLock::new(system),
             log: Mutex::new(LogState {
                 wal,
-                since_checkpoint: recovery.records.len() as u64,
+                seq: rec.tail_seq,
+                prior_uncovered: rec.prior_uncovered,
+                since_checkpoint: rec.replayed,
             }),
             obs,
             signal: Mutex::new(None),
             checkpoint_error: Mutex::new(None),
+            wedged: Mutex::new(None),
         });
         let compactor = if cfg.checkpoint_every > 0 {
             let (tx, rx) = std::sync::mpsc::channel();
@@ -319,7 +469,7 @@ impl DurableBstSystem {
         self.inner.cfg
     }
 
-    /// The directory holding the checkpoint and log.
+    /// The directory holding the checkpoint and log segments.
     pub fn dir(&self) -> &Path {
         &self.inner.dir
     }
@@ -329,10 +479,23 @@ impl DurableBstSystem {
         self.inner.checkpoint_error.lock().clone()
     }
 
+    /// Rejects mutations while the engine is ahead of the log (see
+    /// [`DurableError::Wedged`]). Called with the log mutex held, so
+    /// the check cannot race a reconciling checkpoint.
+    fn ensure_unwedged(&self) -> Result<(), DurableError> {
+        match self.inner.wedged.lock().as_ref() {
+            Some(reason) => Err(DurableError::Wedged {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Registers a set durably: applies, logs, then acks with the id.
     pub fn create<I: IntoIterator<Item = u64>>(&self, keys: I) -> Result<FilterId, DurableError> {
         let keys: Vec<u64> = keys.into_iter().collect();
         let mut log = self.inner.log.lock();
+        self.ensure_unwedged()?;
         let engine = self.inner.engine.read().clone();
         let id = engine.create(keys.iter().copied())?;
         self.append(&mut log, WalRecord::Create { id: id.raw(), keys })?;
@@ -347,6 +510,7 @@ impl DurableBstSystem {
     ) -> Result<(), DurableError> {
         let keys: Vec<u64> = keys.into_iter().collect();
         let mut log = self.inner.log.lock();
+        self.ensure_unwedged()?;
         let engine = self.inner.engine.read().clone();
         engine.insert_keys(id, keys.iter().copied())?;
         self.append(&mut log, WalRecord::InsertKeys { id: id.raw(), keys })
@@ -360,6 +524,7 @@ impl DurableBstSystem {
     ) -> Result<(), DurableError> {
         let keys: Vec<u64> = keys.into_iter().collect();
         let mut log = self.inner.log.lock();
+        self.ensure_unwedged()?;
         let engine = self.inner.engine.read().clone();
         engine.remove_keys(id, keys.iter().copied())?;
         self.append(&mut log, WalRecord::RemoveKeys { id: id.raw(), keys })
@@ -368,6 +533,7 @@ impl DurableBstSystem {
     /// Durable [`ShardedBstSystem::drop_set`].
     pub fn drop_set(&self, id: FilterId) -> Result<(), DurableError> {
         let mut log = self.inner.log.lock();
+        self.ensure_unwedged()?;
         let engine = self.inner.engine.read().clone();
         engine.drop_set(id)?;
         self.append(&mut log, WalRecord::DropSet { id: id.raw() })
@@ -377,6 +543,7 @@ impl DurableBstSystem {
     /// resulting tree generation of the owning shard.
     pub fn insert_occupied(&self, key: u64) -> Result<u64, DurableError> {
         let mut log = self.inner.log.lock();
+        self.ensure_unwedged()?;
         let engine = self.inner.engine.read().clone();
         let generation = engine.insert_occupied(key)?;
         self.append(&mut log, WalRecord::OccInsert { id: key })?;
@@ -386,6 +553,7 @@ impl DurableBstSystem {
     /// Durable [`ShardedBstSystem::remove_occupied`].
     pub fn remove_occupied(&self, key: u64) -> Result<u64, DurableError> {
         let mut log = self.inner.log.lock();
+        self.ensure_unwedged()?;
         let engine = self.inner.engine.read().clone();
         let generation = engine.remove_occupied(key)?;
         self.append(&mut log, WalRecord::OccRemove { id: key })?;
@@ -393,84 +561,140 @@ impl DurableBstSystem {
     }
 
     /// Logs `record` under the held log mutex and updates the metrics
-    /// bundle. An append failure is surfaced without acking; the
-    /// in-memory engine is then *ahead* of the log until the next
-    /// successful checkpoint reconciles them.
+    /// bundle. An append failure is surfaced without acking — and since
+    /// the mutation already applied in memory, it wedges the facade
+    /// (see [`DurableError::Wedged`]) and kicks the compactor for the
+    /// reconciling checkpoint.
     fn append(&self, log: &mut LogState, record: WalRecord) -> Result<(), DurableError> {
         let fsyncs_before = log.wal.fsyncs();
-        log.wal.append(&record)?;
+        if let Err(e) = log.wal.append(&record) {
+            *self.inner.wedged.lock() = Some(e.to_string());
+            self.kick_compactor();
+            return Err(DurableError::Io(e));
+        }
         log.since_checkpoint += 1;
         let obs = &self.inner.obs;
         obs.appended.inc();
         obs.fsyncs.add(log.wal.fsyncs() - fsyncs_before);
-        obs.log_bytes.set(log.wal.len() as i64);
+        obs.log_bytes
+            .set((log.prior_uncovered + log.wal.len()) as i64);
         if self.inner.cfg.checkpoint_every > 0
             && log.since_checkpoint >= self.inner.cfg.checkpoint_every
         {
-            if let Some(tx) = self.inner.signal.lock().as_ref() {
-                // A closed channel means the compactor already exited
-                // (shutdown); nothing to wake.
-                let _ = tx.send(Signal::Kick);
-            }
+            self.kick_compactor();
         }
         Ok(())
     }
 
+    /// Wakes the compactor thread, if one is running. A closed channel
+    /// means it already exited (shutdown); nothing to wake.
+    fn kick_compactor(&self) {
+        if let Some(tx) = self.inner.signal.lock().as_ref() {
+            let _ = tx.send(Signal::Kick);
+        }
+    }
+
     /// Checkpoints now: encodes the engine (per-shard read locks only —
-    /// concurrent queries proceed), publishes the snapshot atomically,
-    /// and truncates the log. SAVE-over-the-wire maps here.
+    /// concurrent queries proceed), rotates the log, and publishes the
+    /// snapshot atomically. SAVE-over-the-wire maps here.
     pub fn checkpoint(&self) -> Result<(), DurableError> {
         let mut log = self.inner.log.lock();
         checkpoint_locked(&self.inner, &mut log)
     }
 
     /// Replaces the engine with `system`, making it the new durable
-    /// state: the adopted engine is checkpointed and the log emptied
-    /// (wire `LOAD` with an explicit snapshot maps here).
+    /// state: the adopted engine is checkpointed and prior log segments
+    /// retired (wire `LOAD` with an explicit snapshot maps here).
     pub fn adopt(&self, system: ShardedBstSystem) -> Result<(), DurableError> {
         let mut log = self.inner.log.lock();
-        publish_checkpoint(&self.inner.dir, &system.to_bytes())?;
-        log.wal.truncate()?;
-        log.since_checkpoint = 0;
-        self.inner.obs.log_bytes.set(0);
-        *self.inner.engine.write() = system;
+        // Swap first: if the publish then fails partway, the rename may
+        // or may not have landed, so memory and disk could disagree —
+        // wedge, and the next successful checkpoint (which snapshots
+        // the adopted in-memory engine) republishes either way.
+        *self.inner.engine.write() = system.clone();
+        if let Err(e) = publish_and_rotate(&self.inner, &mut log, &system.to_bytes()) {
+            *self.inner.wedged.lock() =
+                Some(format!("adopt could not publish its checkpoint: {e}"));
+            self.kick_compactor();
+            return Err(e);
+        }
         Ok(())
     }
 
-    /// Re-runs recovery from disk — newest checkpoint + log-tail replay
-    /// — and swaps the recovered engine in (wire `LOAD` with an empty
-    /// body maps here). The log keeps its acked tail: recovery is
-    /// read-only on disk state.
+    /// Re-runs recovery from disk — newest checkpoint + uncovered
+    /// segment replay — and swaps the recovered engine in (wire `LOAD`
+    /// with an empty body maps here). The log keeps its acked tail:
+    /// recovery is read-only on disk state. Clears a wedge, if any: the
+    /// swapped-in engine equals checkpoint + every logged record, so an
+    /// unlogged (never acked) mutation is rolled back here.
     pub fn recover_from_disk(&self) -> Result<ShardedBstSystem, DurableError> {
         let mut log = self.inner.log.lock();
         // No fallback: open() guarantees a checkpoint exists from the
         // moment the directory is created, so a missing one is an error.
-        let (system, recovery) = recover_state(&self.inner.dir, None)?;
-        self.inner.obs.replayed.set(recovery.records.len() as i64);
-        self.inner.obs.torn_bytes.set(recovery.torn_bytes as i64);
-        log.since_checkpoint = recovery.records.len() as u64;
+        let (system, rec) = recover_state(&self.inner.dir, None)?;
+        self.inner.obs.replayed.set(rec.replayed as i64);
+        self.inner.obs.torn_bytes.set(rec.torn_bytes as i64);
+        log.since_checkpoint = rec.replayed;
+        *self.inner.wedged.lock() = None;
         *self.inner.engine.write() = system.clone();
         Ok(system)
     }
 }
 
 /// The shared checkpoint body: runs with the log mutex held, so no
-/// mutation can ack between the snapshot encode and the log truncation
-/// (records covered by the checkpoint are exactly the records removed).
+/// mutation can ack between the snapshot encode and the rotation
+/// (records covered by the checkpoint are exactly the records in the
+/// rotated-away segments). On success a wedge is cleared — the snapshot
+/// included any unlogged mutation, so log and engine agree again.
 fn checkpoint_locked(shared: &DurableShared, log: &mut LogState) -> Result<(), DurableError> {
     let started = Instant::now();
     let engine = shared.engine.read().clone();
     let bytes = engine.to_bytes();
-    publish_checkpoint(&shared.dir, &bytes)?;
-    let fsyncs_before = log.wal.fsyncs();
-    log.wal.truncate()?;
-    log.since_checkpoint = 0;
+    publish_and_rotate(shared, log, &bytes)?;
     let obs = &shared.obs;
-    obs.fsyncs.add(log.wal.fsyncs() - fsyncs_before);
     obs.checkpoints.inc();
     obs.last_checkpoint_us
         .set(started.elapsed().as_micros().min(i64::MAX as u128) as i64);
-    obs.log_bytes.set(0);
+    Ok(())
+}
+
+/// The atomic checkpoint transition, with the log mutex held:
+///
+/// 1. rotate — appends move to a fresh segment the snapshot does not
+///    cover;
+/// 2. publish — the checkpoint lands via `rename(2)`, naming the
+///    rotated-away segment as covered (this is the commit point: from
+///    here recovery ignores the old segments, unlinked or not);
+/// 3. retire — covered segments are unlinked, best-effort (a crash or
+///    failure here leaves stale files recovery skips by sequence and
+///    the next open sweeps).
+///
+/// An error between steps is equally safe: after a failed publish the
+/// old checkpoint still covers exactly the old segments and replaying
+/// them (plus the fresh, possibly now-appended segment) reproduces the
+/// snapshot state, so appends continue and the next checkpoint retries.
+fn publish_and_rotate(
+    shared: &DurableShared,
+    log: &mut LogState,
+    snapshot: &[u8],
+) -> Result<(), DurableError> {
+    let covered = log.seq;
+    let next_wal = Wal::open(&segment_path(&shared.dir, covered + 1), shared.cfg.fsync, 0)?;
+    log.prior_uncovered += log.wal.len();
+    log.wal = next_wal;
+    log.seq = covered + 1;
+    publish_checkpoint(&shared.dir, &wal::encode_checkpoint(covered, snapshot))?;
+    log.prior_uncovered = 0;
+    log.since_checkpoint = 0;
+    *shared.wedged.lock() = None;
+    if let Ok(segments) = list_segments(&shared.dir) {
+        for (seq, path) in segments {
+            if seq <= covered {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+    shared.obs.log_bytes.set(0);
     Ok(())
 }
 
@@ -487,8 +711,9 @@ fn compactor_loop(shared: &DurableShared, rx: &std::sync::mpsc::Receiver<Signal>
             Ok(Signal::Stop) | Err(_) => return,
         }
         let mut log = shared.log.lock();
-        // A manual checkpoint may have raced ahead of this kick.
-        if log.since_checkpoint == 0 {
+        // A manual checkpoint may have raced ahead of this kick — but a
+        // wedged facade needs its reconciling checkpoint regardless.
+        if log.since_checkpoint == 0 && shared.wedged.lock().is_none() {
             continue;
         }
         let outcome = checkpoint_locked(shared, &mut log);
@@ -505,5 +730,110 @@ impl Drop for DurableBstSystem {
             }
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bst-durable-unit-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manual_only() -> DurableConfig {
+        DurableConfig {
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 0,
+        }
+    }
+
+    fn base() -> ShardedBstSystem {
+        ShardedBstSystem::builder(1_024)
+            .shards(2)
+            .expected_set_size(16)
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(segment_seq("wal.00000001.log"), Some(1));
+        assert_eq!(segment_seq("wal.12345678901.log"), Some(12_345_678_901));
+        let path = segment_path(Path::new("/d"), 42);
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap();
+        assert_eq!(segment_seq(name), Some(42));
+        assert_eq!(segment_seq("wal.log"), None);
+        assert_eq!(segment_seq("checkpoint.bst"), None);
+        assert_eq!(segment_seq("wal..log"), None);
+    }
+
+    /// The medium-severity review fix: once a mutation applies in
+    /// memory but misses the log, the facade must refuse every further
+    /// mutation (their records would presuppose unlogged state) until a
+    /// checkpoint — whose snapshot includes the unlogged mutation —
+    /// reconciles log and engine.
+    #[test]
+    fn wedged_facade_rejects_mutations_until_a_checkpoint_reconciles() {
+        let dir = scratch("wedge-checkpoint");
+        let durable = DurableBstSystem::open(&dir, manual_only(), base).unwrap();
+        let id = durable.create([1u64, 2]).unwrap();
+        // Engine-ahead-of-log, exactly what a failed append leaves
+        // behind: the mutation is in memory, no record was written.
+        durable.system().insert_keys(id, [7u64]).unwrap();
+        *durable.inner.wedged.lock() = Some("injected: append failed".into());
+
+        assert!(matches!(
+            durable.insert_keys(id, [9u64]),
+            Err(DurableError::Wedged { .. })
+        ));
+        assert!(matches!(
+            durable.create([5u64]),
+            Err(DurableError::Wedged { .. })
+        ));
+        assert!(matches!(
+            durable.remove_occupied(3),
+            Err(DurableError::Wedged { .. })
+        ));
+        // Queries keep serving while wedged.
+        assert!(durable.system().query_id(id).is_ok());
+
+        durable.checkpoint().unwrap();
+        assert!(durable.inner.wedged.lock().is_none());
+        durable.insert_keys(id, [9u64]).unwrap();
+
+        // Recovery lands on the reconciled state, unlogged key included.
+        let live = durable.system().to_bytes();
+        drop(durable);
+        let reopened =
+            DurableBstSystem::open(&dir, manual_only(), || panic!("must recover")).unwrap();
+        assert_eq!(reopened.system().to_bytes(), live);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The other way out of a wedge: disk recovery rolls the engine
+    /// back to the acked history and unwedges.
+    #[test]
+    fn recover_from_disk_rolls_back_the_unlogged_mutation_and_unwedges() {
+        let dir = scratch("wedge-recover");
+        let durable = DurableBstSystem::open(&dir, manual_only(), base).unwrap();
+        let id = durable.create([1u64, 2]).unwrap();
+        let acked = durable.system().to_bytes();
+        durable.system().insert_keys(id, [7u64]).unwrap();
+        *durable.inner.wedged.lock() = Some("injected: append failed".into());
+
+        let recovered = durable.recover_from_disk().unwrap();
+        assert_eq!(recovered.to_bytes(), acked, "unlogged mutation rolled back");
+        assert!(durable.inner.wedged.lock().is_none());
+        durable.insert_keys(id, [9u64]).unwrap();
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,6 +40,29 @@ fn build_base(namespace: u64, shards: usize) -> ShardedBstSystem {
         .build()
 }
 
+/// Every `wal.<seq>.log` segment in `dir`, ascending by name (the
+/// zero-padded sequence makes lexicographic = numeric order here).
+fn wal_segments(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal.") && n.ends_with(".log"))
+        })
+        .collect();
+    segments.sort();
+    segments
+}
+
+/// The single live segment of a quiesced log directory.
+fn only_segment(dir: &PathBuf) -> PathBuf {
+    let segments = wal_segments(dir);
+    assert_eq!(segments.len(), 1, "expected one segment, got {segments:?}");
+    segments.into_iter().next().unwrap()
+}
+
 /// One replayable mutation, mirrored onto the durable engine and (for
 /// the surviving prefix) onto the plain uncrashed twin.
 #[derive(Clone, Debug)]
@@ -161,7 +184,7 @@ proptest! {
         } // drop = crash after the last ack (compactor disabled)
 
         // Cut the log at a random byte offset.
-        let log_path = dir.join("wal.log");
+        let log_path = only_segment(&dir);
         let full = std::fs::read(&log_path).unwrap();
         let cut = ((full.len() as f64) * cut_fraction) as u64;
         std::fs::OpenOptions::new()
@@ -354,6 +377,114 @@ fn decoded_engine_continues_generations_warm_equals_cold() {
     for (a, b) in warm_batch.iter().zip(&cold_batch) {
         assert_eq!(a.as_ref().ok(), b.as_ref().ok());
     }
+}
+
+/// The checkpoint crash window: a SIGKILL after the checkpoint's
+/// `rename(2)` but before covered segments are unlinked leaves the new
+/// checkpoint AND the complete old log side by side. The sequence
+/// number embedded in the checkpoint must make recovery skip the
+/// covered segment — replaying it would re-derive a diverging set id
+/// (startup failure) and double-apply key churn (silent corruption).
+#[test]
+fn stale_covered_segment_next_to_a_fresh_checkpoint_is_not_replayed() {
+    let dir = scratch_dir("crash-window");
+    let durable = DurableBstSystem::open(&dir, no_compactor(), || build_base(1_024, 2)).unwrap();
+    let id = durable.create([1u64, 2, 3]).unwrap();
+    durable.insert_keys(id, [10u64, 11]).unwrap();
+    durable.remove_occupied(77).unwrap();
+    // Save the pre-checkpoint segment, checkpoint, then put the segment
+    // back: exactly the disk state the crash window leaves behind.
+    let covered = only_segment(&dir);
+    let covered_bytes = std::fs::read(&covered).unwrap();
+    assert!(!covered_bytes.is_empty());
+    durable.checkpoint().unwrap();
+    let state = durable.system().to_bytes();
+    drop(durable);
+    assert!(!covered.exists(), "a checkpoint unlinks covered segments");
+    std::fs::write(&covered, &covered_bytes).unwrap();
+
+    let reopened = DurableBstSystem::open(&dir, no_compactor(), || panic!("must recover")).unwrap();
+    assert_eq!(
+        reopened.obs().replayed.get(),
+        0,
+        "the covered segment must be skipped, not replayed"
+    );
+    assert_eq!(reopened.system().to_bytes(), state);
+    assert!(!covered.exists(), "open sweeps stale covered segments");
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint that rotated but failed to publish leaves several
+/// uncovered segments; recovery must replay them all, in sequence
+/// order, and resume appending in the newest one.
+#[test]
+fn recovery_replays_multiple_uncovered_segments_in_order() {
+    use bst_core::wal::{encode_checkpoint, Wal, WalRecord};
+    let dir = scratch_dir("multi-segment");
+    std::fs::create_dir_all(&dir).unwrap();
+    // What id does the engine hand out first? Learn it from a probe so
+    // the hand-written log records the genuine allocation.
+    let first_id = build_base(1_024, 2).create([1u64, 2, 3]).unwrap().raw();
+    std::fs::write(
+        dir.join("checkpoint.bst"),
+        encode_checkpoint(0, &build_base(1_024, 2).to_bytes()),
+    )
+    .unwrap();
+    let mut seg1 = Wal::open(&dir.join("wal.00000001.log"), FsyncPolicy::Never, 0).unwrap();
+    seg1.append(&WalRecord::Create {
+        id: first_id,
+        keys: vec![1, 2, 3],
+    })
+    .unwrap();
+    drop(seg1);
+    let mut seg2 = Wal::open(&dir.join("wal.00000002.log"), FsyncPolicy::Never, 0).unwrap();
+    seg2.append(&WalRecord::InsertKeys {
+        id: first_id,
+        keys: vec![9],
+    })
+    .unwrap();
+    seg2.append(&WalRecord::OccRemove { id: 55 }).unwrap();
+    drop(seg2);
+
+    let twin = build_base(1_024, 2);
+    let tid = twin.create([1u64, 2, 3]).unwrap();
+    twin.insert_keys(tid, [9u64]).unwrap();
+    twin.remove_occupied(55).unwrap();
+
+    let recovered =
+        DurableBstSystem::open(&dir, no_compactor(), || panic!("must recover")).unwrap();
+    assert_eq!(recovered.obs().replayed.get(), 3);
+    assert_eq!(recovered.system().to_bytes(), twin.to_bytes());
+    // Appends resume in the newest segment; another recovery still
+    // replays the full uncovered history plus the new record.
+    recovered.insert_occupied(55).unwrap();
+    twin.insert_occupied(55).unwrap();
+    drop(recovered);
+    let reopened = DurableBstSystem::open(&dir, no_compactor(), || panic!("must recover")).unwrap();
+    assert_eq!(reopened.obs().replayed.get(), 4);
+    assert_eq!(reopened.system().to_bytes(), twin.to_bytes());
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash between staging `checkpoint.tmp` and renaming it strands the
+/// temp file; reopening the directory sweeps it.
+#[test]
+fn open_sweeps_a_stale_checkpoint_tmp() {
+    let dir = scratch_dir("tmp-sweep");
+    {
+        let durable =
+            DurableBstSystem::open(&dir, no_compactor(), || build_base(1_024, 2)).unwrap();
+        durable.create([4u64, 5]).unwrap();
+    }
+    let tmp = dir.join("checkpoint.tmp");
+    std::fs::write(&tmp, b"half-written checkpoint junk").unwrap();
+    let reopened = DurableBstSystem::open(&dir, no_compactor(), || panic!("must recover")).unwrap();
+    assert!(!tmp.exists(), "open must sweep the stranded temp file");
+    assert_eq!(reopened.obs().replayed.get(), 1);
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// SAVE-equivalent checkpoint + adopt round-trip: adopting a snapshot
