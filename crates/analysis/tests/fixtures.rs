@@ -75,6 +75,7 @@ fn l002_fixture_exact_findings() {
             (Code::L002, "src/codec.rs", 9),  // to_be_bytes
             (Code::L002, "src/codec.rs", 14), // unguarded decode alloc
             (Code::L002, "src/codec.rs", 38), // from_ne_bytes
+            (Code::L002, "src/codec.rs", 43), // alloc sized from unvalidated claimed count
         ])
     );
 }

@@ -37,3 +37,18 @@ pub fn encode_keys(keys: &[u64]) -> Vec<u8> {
 pub fn read_header(bytes: [u8; 4]) -> u32 {
     u32::from_ne_bytes(bytes)
 }
+
+pub fn get_blocked_words(input: &[u8]) -> Vec<u64> {
+    let n_words = input.len(); // stand-in for the decoded word-count field
+    Vec::with_capacity(n_words * 8) // sized from the unvalidated claim: flagged
+}
+
+pub fn decode_blocked(input: &[u8], m: usize) -> Vec<u64> {
+    // blocked-codec shape: the claimed word count is pinned to the
+    // declared geometry and the byte budget before any allocation
+    let n_words = m.div_ceil(64);
+    if input.remaining() < n_words * 8 {
+        return Vec::new();
+    }
+    Vec::with_capacity(n_words)
+}

@@ -42,6 +42,59 @@ fn bench_hashes(c: &mut Criterion) {
     }
     group.finish();
 
+    // Bulk-membership loop at a cache-exceeding filter size: the blocked
+    // layout touches one 64-byte line per key (one or two masked word
+    // loads), the classic layouts k scattered cache lines. The kernel
+    // (`for_each_member`) hoists hasher dispatch out of the loop.
+    // Memory-resident contains loop: the filter (2^32 bits = 512 MiB)
+    // is far larger than the last-level cache, so every probe is a
+    // memory access — the regime the blocked layout targets. k = 7 (the
+    // high-accuracy end of the planner's range): a classic member test
+    // must touch 7 scattered cache lines, a blocked one exactly 1.
+    let mut group = c.benchmark_group("contains-loop");
+    group.sample_size(20);
+    for kind in [HashKind::Murmur3, HashKind::DeltaBlocked] {
+        let hasher = Arc::new(BloomHasher::new(kind, 7, 1 << 32, 1 << 30, 1));
+        let mut f = BloomFilter::new(Arc::clone(&hasher));
+        let members: Vec<u64> = (0..8_000_000u64)
+            .map(|x| x.wrapping_mul(0x9E37_79B9) % (1 << 30))
+            .collect();
+        for &x in &members {
+            f.insert(x);
+        }
+        // Miss-heavy batch: classic short-circuits on the first unset
+        // bit (fill ≈ 1.3%), so both layouts pay ~one line per key.
+        let misses: Vec<u64> = (0..1_024u64)
+            .map(|i| i.wrapping_mul(0x2545_F491) % (1 << 30))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("batch1024-misses", kind.name()),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut found = 0u64;
+                    f.for_each_member(misses.iter().copied(), |_| found += 1);
+                    found
+                })
+            },
+        );
+        // Member-heavy batch: every key probes all k bits — 7 scattered
+        // lines for the classic layout, one line for blocked.
+        let hits: Vec<u64> = members.iter().copied().step_by(6011).take(1_024).collect();
+        group.bench_with_input(
+            BenchmarkId::new("batch1024-members", kind.name()),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut found = 0u64;
+                    f.for_each_member(hits.iter().copied(), |_| found += 1);
+                    found
+                })
+            },
+        );
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("inversion");
     let hasher = BloomHasher::new(HashKind::Simple, 3, 60_000, 1 << 20, 1);
     group.bench_function("affine-invert-one-bit", |b| {

@@ -96,6 +96,28 @@ impl BitVec {
         self.words.len() * std::mem::size_of::<u64>()
     }
 
+    /// Reads word `i` of the backing storage. The word-level probe fast
+    /// path for blocked filters: one load answers up to 64 bit tests.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        debug_assert!(i < self.words.len(), "word index {i} out of range");
+        self.words[i]
+    }
+
+    /// ORs `mask` into word `i`. Callers must not set bits past `len`
+    /// (the blocked probe geometry guarantees this by construction);
+    /// the tail invariant is checked in debug builds.
+    #[inline]
+    pub fn or_word(&mut self, i: usize, mask: u64) {
+        debug_assert!(i < self.words.len(), "word index {i} out of range");
+        debug_assert!(
+            i + 1 < self.words.len() || mask & !tail_mask(self.len) == 0,
+            "mask would set bits past len {}",
+            self.len
+        );
+        self.words[i] |= mask;
+    }
+
     /// Reads bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
@@ -557,6 +579,29 @@ mod tests {
             bv.set(i);
         }
         assert!((bv.fill_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_and_or_word() {
+        let mut bv = BitVec::new(192);
+        bv.or_word(1, 0b1010_0001);
+        assert_eq!(bv.word(1), 0b1010_0001);
+        assert_eq!(bv.word(0), 0);
+        assert!(bv.get(64) && bv.get(69) && bv.get(71));
+        assert_eq!(bv.count_ones(), 3);
+        bv.or_word(1, 0b0100);
+        assert_eq!(bv.word(1), 0b1010_0101);
+        // Word reads agree with per-bit reads everywhere.
+        bv.set(190);
+        for w in 0..3 {
+            let mut expect = 0u64;
+            for b in 0..64 {
+                if bv.get(w * 64 + b) {
+                    expect |= 1 << b;
+                }
+            }
+            assert_eq!(bv.word(w), expect, "word {w}");
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn kind_tag(kind: HashKind) -> u8 {
         HashKind::Simple => 0,
         HashKind::Murmur3 => 1,
         HashKind::Md5 => 2,
+        HashKind::DeltaBlocked => 3,
     }
 }
 
@@ -75,19 +76,23 @@ fn kind_from_tag(tag: u8) -> Result<HashKind, CodecError> {
         0 => Ok(HashKind::Simple),
         1 => Ok(HashKind::Murmur3),
         2 => Ok(HashKind::Md5),
+        3 => Ok(HashKind::DeltaBlocked),
         other => Err(CodecError::BadKind(other)),
     }
 }
 
-/// Rejects `(k, m)` values the hash families cannot represent, so corrupt
-/// headers fail with a typed error here instead of panicking (or dividing
-/// by zero) on first use of the decoded filter.
-fn check_params(k: usize, m: usize) -> Result<(), CodecError> {
+/// Rejects `(kind, k, m)` values the hash families cannot represent, so
+/// corrupt headers fail with a typed error here instead of panicking (or
+/// dividing by zero) on first use of the decoded filter.
+fn check_params(kind: HashKind, k: usize, m: usize) -> Result<(), CodecError> {
     if k == 0 || k > MAX_K {
         return Err(CodecError::BadParams("k outside 1..=MAX_K"));
     }
     if m < 2 {
         return Err(CodecError::BadParams("m below 2"));
+    }
+    if kind == HashKind::DeltaBlocked && m < crate::hash::MIN_BLOCKED_BITS {
+        return Err(CodecError::BadParams("m below one block for DeltaBlocked"));
     }
     Ok(())
 }
@@ -131,19 +136,22 @@ pub fn decode(mut input: &[u8]) -> Result<BloomFilter, CodecError> {
     let kind = kind_from_tag(input.get_u8())?;
     let k = input.get_u16_le() as usize;
     let m = input.get_u64_le() as usize;
-    check_params(k, m)?;
+    check_params(kind, k, m)?;
     let namespace = input.get_u64_le();
     let seed = input.get_u64_le();
     let n_words = input.get_u64_le() as usize;
+    // Validate the claimed word count against `m` *before* sizing any
+    // allocation from it: `m.div_ceil(64)` fits in usize/8, so the
+    // byte-length product below cannot overflow either.
+    if n_words != m.div_ceil(64) {
+        return Err(CodecError::BadLength);
+    }
     if input.remaining() < n_words * 8 {
         return Err(CodecError::BadLength);
     }
     let mut words = Vec::with_capacity(n_words);
     for _ in 0..n_words {
         words.push(input.get_u64_le());
-    }
-    if n_words != m.div_ceil(64) {
-        return Err(CodecError::BadLength);
     }
     let bits = BitVec::from_words(words, m);
     let hasher = Arc::new(BloomHasher::new(kind, k, m, namespace.max(1), seed));
@@ -186,7 +194,7 @@ pub fn decode_counting(mut input: &[u8]) -> Result<CountingBloomFilter, CodecErr
     let kind = kind_from_tag(input.get_u8())?;
     let k = input.get_u16_le() as usize;
     let m = input.get_u64_le() as usize;
-    check_params(k, m)?;
+    check_params(kind, k, m)?;
     let namespace = input.get_u64_le();
     let seed = input.get_u64_le();
     let n_bytes = input.get_u64_le() as usize;
@@ -311,6 +319,20 @@ mod tests {
                 Some(CodecError::BadParams(_))
             ));
         }
+    }
+
+    #[test]
+    fn rejects_sub_block_m_for_blocked_kind() {
+        // A header claiming the blocked layout with fewer bits than one
+        // two-word block is unrepresentable: typed error, no panic.
+        let f = BloomFilter::with_params(HashKind::Murmur3, 3, 64, 1000, 1);
+        let mut v = encode(&f).to_vec();
+        v[5] = 3; // kind tag: DeltaBlocked
+        assert!(matches!(decode(&v), Err(CodecError::BadParams(_))));
+        let c = CountingBloomFilter::new(Arc::clone(f.hasher()));
+        let mut v = encode_counting(&c).to_vec();
+        v[5] = 3;
+        assert!(matches!(decode_counting(&v), Err(CodecError::BadParams(_))));
     }
 
     #[test]

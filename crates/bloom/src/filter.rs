@@ -84,8 +84,14 @@ impl BloomFilter {
         &self.bits
     }
 
-    /// Inserts key `x` (sets its `k` bit positions).
+    /// Inserts key `x` (sets its `k` bit positions). Blocked layouts OR
+    /// at most two whole words; classic layouts set `k` individual bits.
     pub fn insert(&mut self, x: u64) {
+        if let Some(p) = self.hasher.block_probe(x) {
+            self.bits.or_word(p.word0, p.mask0);
+            self.bits.or_word(p.word1, p.mask1);
+            return;
+        }
         let mut pos = [0usize; MAX_K];
         let k = self.k();
         self.hasher.positions(x, &mut pos[..k]);
@@ -95,12 +101,54 @@ impl BloomFilter {
     }
 
     /// Membership query: true when all `k` positions of `x` are set.
-    /// May be a false positive; never a false negative.
+    /// May be a false positive; never a false negative. Blocked layouts
+    /// answer with one or two masked word loads from a single cache
+    /// line; classic layouts probe `k` scattered bits.
     pub fn contains(&self, x: u64) -> bool {
+        if let Some(p) = self.hasher.block_probe(x) {
+            return self.bits.word(p.word0) & p.mask0 == p.mask0
+                && self.bits.word(p.word1) & p.mask1 == p.mask1;
+        }
         let mut pos = [0usize; MAX_K];
         let k = self.k();
         self.hasher.positions(x, &mut pos[..k]);
         pos[..k].iter().all(|&p| self.bits.get(p))
+    }
+
+    /// Bulk-membership kernel: probes every candidate in order, calling
+    /// `visit(x)` for each member, and returns the number of candidates
+    /// probed. Hoists the hasher-layout dispatch out of the loop; for
+    /// blocked layouts the inner loop is two masked word loads per key.
+    /// For classic layouts this is exactly a [`Self::contains`] loop, so
+    /// results (and visit order) are bit-identical to the naive scan.
+    pub fn for_each_member<I, F>(&self, candidates: I, mut visit: F) -> u64
+    where
+        I: IntoIterator<Item = u64>,
+        F: FnMut(u64),
+    {
+        let mut probed = 0u64;
+        match self.hasher.as_ref() {
+            BloomHasher::Blocked(fam) => {
+                for x in candidates {
+                    probed += 1;
+                    let p = fam.block_probe(x);
+                    if self.bits.word(p.word0) & p.mask0 == p.mask0
+                        && self.bits.word(p.word1) & p.mask1 == p.mask1
+                    {
+                        visit(x);
+                    }
+                }
+            }
+            _ => {
+                for x in candidates {
+                    probed += 1;
+                    if self.contains(x) {
+                        visit(x);
+                    }
+                }
+            }
+        }
+        probed
     }
 
     /// True when no bit is set (the empty-set filter).
@@ -371,6 +419,48 @@ mod tests {
         f.clear();
         assert!(f.is_empty());
         assert!(!f.contains(42));
+    }
+
+    #[test]
+    fn blocked_word_paths_match_positions_reference() {
+        // The word-mask insert/contains fast paths must agree exactly
+        // with a per-bit implementation driven by `positions()`.
+        let h = hasher(HashKind::DeltaBlocked);
+        let mut fast = BloomFilter::new(h.clone());
+        let mut reference = crate::bitvec::BitVec::new(4096);
+        let keys: Vec<u64> = (0..400).map(|i| i * 13 + 1).collect();
+        for &x in &keys {
+            fast.insert(x);
+            let mut pos = [0usize; MAX_K];
+            h.positions(x, &mut pos[..h.k()]);
+            for &p in &pos[..h.k()] {
+                reference.set(p);
+            }
+        }
+        assert_eq!(fast.bits(), &reference, "insert fast path diverged");
+        for x in 0..2000u64 {
+            let mut pos = [0usize; MAX_K];
+            h.positions(x, &mut pos[..h.k()]);
+            let naive = pos[..h.k()].iter().all(|&p| reference.get(p));
+            assert_eq!(fast.contains(x), naive, "contains diverged for {x}");
+        }
+    }
+
+    #[test]
+    fn for_each_member_matches_contains_loop() {
+        for kind in HashKind::ALL {
+            let f = BloomFilter::from_keys(hasher(kind), (0..300).map(|i| i * 11));
+            let candidates: Vec<u64> = (0..5000).collect();
+            let mut kernel = Vec::new();
+            let probed = f.for_each_member(candidates.iter().copied(), |x| kernel.push(x));
+            assert_eq!(probed, candidates.len() as u64);
+            let naive: Vec<u64> = candidates
+                .iter()
+                .copied()
+                .filter(|&x| f.contains(x))
+                .collect();
+            assert_eq!(kernel, naive, "kernel diverged under {kind}");
+        }
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Cache-line-blocked Bloom probe family (`HashKind::DeltaBlocked`).
+//!
+//! The classic double-hash family scatters a key's `k` probes across the
+//! whole `m`-bit filter, so a cold membership test costs up to `k` cache
+//! misses. The blocked layout confines all `k` probes of a key to one
+//! 64-byte-aligned region: the first hash half picks a *block* of up to
+//! eight consecutive words, a second draw picks **two distinct words**
+//! inside it, and odd-stride delta double hashing places the `k` bit
+//! offsets inside that 128-bit word pair. Membership then reads one or
+//! two `u64` words and compares masks; insertion ORs the same masks in.
+//!
+//! Two structural properties the rest of the tree relies on:
+//!
+//! * **Determinism across filters.** Like every family here, positions
+//!   are a pure function of `(key, k, m, seed)`, so all filters in a tree
+//!   agree on where a key lives — the `t∧ ≥ k` descent soundness argument
+//!   (DESIGN.md "Filter layouts") carries over unchanged.
+//! * **Probes are always distinct.** The offset stride is forced odd, so
+//!   `i ↦ o₁ + i·o₂ (mod 128)` is a permutation and the `k ≤ 32` probes
+//!   hit `k` distinct bits. `BloomHasher::probes_distinct_bits` is
+//!   constantly `true` for this family, so the collision census that guards
+//!   count-delta repairs stays empty for blocked trees.
+
+use super::murmur3::murmur3_u64;
+
+/// Words per block: 8 × 64 bits = one 64-byte cache line.
+pub const BLOCK_WORDS: usize = 8;
+
+/// Minimum filter size for the blocked layout: two full words, so a
+/// block always holds a distinct word pair.
+pub const MIN_BLOCKED_BITS: usize = 128;
+
+/// The resolved probe footprint of one key: two word indices into the
+/// filter's backing `u64` array and the bit masks to test/OR there.
+/// `mask1` may be zero when every probe lands in the first word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockProbe {
+    /// Index of the first probed word in the filter's word array.
+    pub word0: usize,
+    /// Index of the second probed word (distinct from `word0`).
+    pub word1: usize,
+    /// Bits of `word0` the key occupies.
+    pub mask0: u64,
+    /// Bits of `word1` the key occupies (possibly empty).
+    pub mask1: u64,
+}
+
+/// Blocked delta-double-hash family onto `[0, m)`.
+///
+/// Blocks tile the first `⌊m/64⌋` full words in groups of
+/// [`BLOCK_WORDS`] (fewer when the filter is smaller than one line);
+/// trailing words that don't fill a block — and the partial tail word —
+/// are simply never probed. All produced positions are `< m`, so the
+/// [`crate::BitVec`] tail invariant is preserved by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockedFamily {
+    k: usize,
+    m: usize,
+    seed: u32,
+    /// Words per block (`min(BLOCK_WORDS, full words)`, always ≥ 2).
+    block_words: usize,
+    /// Number of non-overlapping blocks.
+    n_blocks: usize,
+}
+
+impl BlockedFamily {
+    /// Creates a `k`-probe blocked family onto `[0, m)` from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k` is outside `1..=32` or `m <` [`MIN_BLOCKED_BITS`]
+    /// (the layout needs at least one two-word block). Fallible entry
+    /// points (codec decode, system builders) check these bounds first
+    /// and return typed errors.
+    pub fn new(k: usize, m: usize, seed: u32) -> Self {
+        assert!((1..=32).contains(&k), "k must be in 1..=32, got {k}");
+        assert!(
+            m >= MIN_BLOCKED_BITS,
+            "blocked layout needs m >= {MIN_BLOCKED_BITS} bits, got {m}"
+        );
+        let full_words = m / 64;
+        let block_words = BLOCK_WORDS.min(full_words);
+        let n_blocks = full_words / block_words;
+        BlockedFamily {
+            k,
+            m,
+            seed,
+            block_words,
+            n_blocks,
+        }
+    }
+
+    /// Number of probes `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Filter size `m` in bits.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The seed the family was derived from.
+    #[inline]
+    pub fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// The block/word/offset draws for key `x`: absolute indices of the
+    /// two distinct probed words plus the offset-generation parameters.
+    /// One murmur3 evaluation feeds everything.
+    #[inline]
+    fn draws(&self, x: u64) -> (usize, usize, u64, u64) {
+        let (h1, h2) = murmur3_u64(x, self.seed);
+        // This runs once per key on the membership/weighing hot path, so
+        // no runtime integer division is allowed anywhere in it (~20-40
+        // cycles each would dominate the two word loads that follow):
+        // the block index uses a Lemire multiply-shift range reduction,
+        // and the word picks use constant divisors the compiler strength-
+        // reduces to multiplies.
+        let base = ((h1 as u128 * self.n_blocks as u128) >> 64) as usize * self.block_words;
+        let (w0, w1) = if self.block_words == BLOCK_WORDS {
+            // Full 8-word block: distinct second word via an offset in
+            // 1..=7 from the first, everything constant-divisor.
+            let w0 = h2 & 7;
+            let w1 = (w0 + 1 + (h2 >> 8) % 7) & 7;
+            (w0, w1)
+        } else {
+            // Narrow block (m < 512): runtime divisors, cold by
+            // construction — such filters are a few cache lines total.
+            let bw = self.block_words as u64;
+            let w0 = h2 % bw;
+            let w1 = (w0 + 1 + (h2 >> 8) % (bw - 1)) % bw;
+            (w0, w1)
+        };
+        // Offsets into the 128-bit word pair: odd stride ⇒ the map
+        // i ↦ o1 + i·o2 (mod 128) is a permutation, so all k ≤ 32
+        // probes hit distinct bits.
+        let o1 = (h1 >> 16) % 128;
+        let o2 = ((h2 >> 16) % 128) | 1;
+        (base + w0 as usize, base + w1 as usize, o1, o2)
+    }
+
+    /// The full word-level probe footprint of `x`.
+    #[inline]
+    pub fn block_probe(&self, x: u64) -> BlockProbe {
+        let (word0, word1, o1, o2) = self.draws(x);
+        // Branchless mask build: accumulate all k probes into one u128
+        // (a variable 128-bit shift instead of a taken/not-taken split
+        // on which word the bit lands in), then split into the word
+        // pair's masks.
+        let mut mask = 0u128;
+        let mut off = o1;
+        for _ in 0..self.k {
+            mask |= 1u128 << (off % 128);
+            off = off.wrapping_add(o2);
+        }
+        BlockProbe {
+            word0,
+            word1,
+            mask0: mask as u64,
+            mask1: (mask >> 64) as u64,
+        }
+    }
+
+    /// Bit position of key `x` under probe `i`, consistent with
+    /// [`Self::block_probe`]: probe `i` is bit `o1 + i·o2 (mod 128)` of
+    /// the `(word0, word1)` pair.
+    #[inline]
+    pub fn position(&self, x: u64, i: usize) -> usize {
+        let (word0, word1, o1, o2) = self.draws(x);
+        let bit = (o1.wrapping_add((i as u64).wrapping_mul(o2)) % 128) as usize;
+        if bit < 64 {
+            word0 * 64 + bit
+        } else {
+            word1 * 64 + (bit - 64)
+        }
+    }
+
+    /// All `k` positions of `x`, from a single base-hash evaluation.
+    #[inline]
+    pub fn positions(&self, x: u64, out: &mut [usize]) {
+        debug_assert!(out.len() >= self.k);
+        let (word0, word1, o1, o2) = self.draws(x);
+        let mut off = o1;
+        for slot in out.iter_mut().take(self.k) {
+            let bit = (off % 128) as usize;
+            *slot = if bit < 64 {
+                word0 * 64 + bit
+            } else {
+                word1 * 64 + (bit - 64)
+            };
+            off = off.wrapping_add(o2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_agree_with_block_probe() {
+        for m in [128usize, 192, 512, 4096, 60_000] {
+            let f = BlockedFamily::new(7, m, 9);
+            for x in 0u64..500 {
+                let p = f.block_probe(x);
+                let mut out = [0usize; 7];
+                f.positions(x, &mut out);
+                let (mut mask0, mut mask1) = (0u64, 0u64);
+                for (i, &pos) in out.iter().enumerate() {
+                    assert_eq!(pos, f.position(x, i), "x {x} probe {i}");
+                    assert!(pos < m, "position {pos} out of range for m {m}");
+                    if pos / 64 == p.word0 {
+                        mask0 |= 1 << (pos % 64);
+                    } else {
+                        assert_eq!(pos / 64, p.word1, "x {x} probe {i} off-block");
+                        mask1 |= 1 << (pos % 64);
+                    }
+                }
+                assert_eq!((mask0, mask1), (p.mask0, p.mask1), "x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn probes_always_distinct() {
+        // Odd stride mod 128 is a permutation: even k = 32 probes are
+        // all distinct, the property the census logic relies on.
+        let f = BlockedFamily::new(32, 8192, 3);
+        let mut out = [0usize; 32];
+        for x in 0u64..2000 {
+            f.positions(x, &mut out);
+            let mut seen = out.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 32, "duplicate probe bits for key {x}");
+        }
+    }
+
+    #[test]
+    fn probe_words_stay_inside_one_block() {
+        let f = BlockedFamily::new(5, 4096, 11);
+        for x in 0u64..1000 {
+            let p = f.block_probe(x);
+            assert_ne!(p.word0, p.word1, "key {x} probes one word twice");
+            assert_eq!(p.word0 / BLOCK_WORDS, p.word1 / BLOCK_WORDS, "key {x}");
+            assert!(p.word1 < 4096 / 64);
+        }
+    }
+
+    #[test]
+    fn small_filters_use_narrow_blocks() {
+        // 192 bits = 3 full words: one 3-word block, nothing probed in
+        // any partial tail.
+        let f = BlockedFamily::new(4, 192, 5);
+        for x in 0u64..500 {
+            let p = f.block_probe(x);
+            assert!(p.word0 < 3 && p.word1 < 3, "key {x} outside block");
+        }
+    }
+
+    #[test]
+    fn unblocked_tail_words_never_probed() {
+        // 1234 bits = 19 full words → two 8-word blocks; words 16..19
+        // and the 18-bit tail are dead by construction.
+        let f = BlockedFamily::new(6, 1234, 7);
+        let mut out = [0usize; 6];
+        for x in 0u64..2000 {
+            f.positions(x, &mut out);
+            assert!(out.iter().all(|&p| p < 16 * 64), "key {x}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = BlockedFamily::new(3, 2048, 1);
+        let b = BlockedFamily::new(3, 2048, 1);
+        let c = BlockedFamily::new(3, 2048, 2);
+        assert_eq!(a.block_probe(42), b.block_probe(42));
+        assert_ne!(a.block_probe(42), c.block_probe(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked layout needs m >= 128")]
+    fn rejects_sub_block_m() {
+        let _ = BlockedFamily::new(3, 127, 0);
+    }
+}

@@ -13,11 +13,13 @@
 //!   trade-off.
 
 pub mod affine;
+pub mod blocked;
 pub mod md5;
 pub mod murmur3;
 pub mod prime;
 
 pub use affine::{AffineFamily, Preimages};
+pub use blocked::{BlockProbe, BlockedFamily, BLOCK_WORDS, MIN_BLOCKED_BITS};
 
 /// Which base hash a family uses. Runtime-selectable because the experiments
 /// sweep over families.
@@ -29,11 +31,21 @@ pub enum HashKind {
     Murmur3,
     /// MD5 with double hashing.
     Md5,
+    /// Cache-line-blocked murmur3 delta double hashing: all `k` probes
+    /// of a key land in one 64-byte block ([`BlockedFamily`]). Not in
+    /// the paper's family sweep; requires `m >=` [`MIN_BLOCKED_BITS`].
+    DeltaBlocked,
 }
 
 impl HashKind {
-    /// All supported kinds, in the order the paper lists them.
-    pub const ALL: [HashKind; 3] = [HashKind::Simple, HashKind::Murmur3, HashKind::Md5];
+    /// All supported kinds: the paper's three families in the order the
+    /// paper lists them, then the blocked layout.
+    pub const ALL: [HashKind; 4] = [
+        HashKind::Simple,
+        HashKind::Murmur3,
+        HashKind::Md5,
+        HashKind::DeltaBlocked,
+    ];
 
     /// Human-readable name matching the paper's terminology.
     pub fn name(self) -> &'static str {
@@ -41,6 +53,7 @@ impl HashKind {
             HashKind::Simple => "Simple",
             HashKind::Murmur3 => "Murmur3",
             HashKind::Md5 => "MD5",
+            HashKind::DeltaBlocked => "DeltaBlocked",
         }
     }
 }
@@ -59,6 +72,7 @@ impl std::str::FromStr for HashKind {
             "simple" | "affine" => Ok(HashKind::Simple),
             "murmur" | "murmur3" => Ok(HashKind::Murmur3),
             "md5" => Ok(HashKind::Md5),
+            "blocked" | "delta-blocked" | "deltablocked" => Ok(HashKind::DeltaBlocked),
             other => Err(format!("unknown hash kind: {other}")),
         }
     }
@@ -77,15 +91,16 @@ impl DoubleHashFamily {
     /// Creates a `k`-function family onto `[0, m)` from `seed`.
     ///
     /// # Panics
-    /// Panics if `k` is outside `1..=32`, `m < 2`, or `kind` is
-    /// [`HashKind::Simple`] (affine families carry extra state; construct
-    /// them via [`AffineFamily`] / [`BloomHasher::new`]).
+    /// Panics if `k` is outside `1..=32`, `m < 2`, or `kind` is not a
+    /// plain double-hash family ([`HashKind::Simple`] carries affine
+    /// state, [`HashKind::DeltaBlocked`] carries block geometry;
+    /// construct both via [`BloomHasher::new`]).
     pub fn new(kind: HashKind, k: usize, m: usize, seed: u32) -> Self {
         assert!((1..=32).contains(&k), "k must be in 1..=32, got {k}");
         assert!(m >= 2, "filter size must be at least 2 bits, got {m}");
         assert!(
-            kind != HashKind::Simple,
-            "use AffineFamily for the Simple kind"
+            matches!(kind, HashKind::Murmur3 | HashKind::Md5),
+            "use AffineFamily / BlockedFamily for the {kind} kind"
         );
         DoubleHashFamily { kind, k, m, seed }
     }
@@ -95,8 +110,8 @@ impl DoubleHashFamily {
         match self.kind {
             HashKind::Murmur3 => murmur3::murmur3_u64(x, self.seed),
             HashKind::Md5 => md5::md5_u64(x, self.seed),
-            // bst-lint: allow(L001) — the constructor rejects the Simple kind
-            HashKind::Simple => unreachable!("checked at construction"),
+            // bst-lint: allow(L001) — constructor admits only the two plain kinds
+            _ => unreachable!("checked at construction"),
         }
     }
 
@@ -138,6 +153,8 @@ pub enum BloomHasher {
     Affine(AffineFamily),
     /// Murmur3 or MD5 double hashing.
     Double(DoubleHashFamily),
+    /// Cache-line-blocked delta double hashing.
+    Blocked(BlockedFamily),
 }
 
 impl BloomHasher {
@@ -146,6 +163,7 @@ impl BloomHasher {
     pub fn new(kind: HashKind, k: usize, m: usize, namespace: u64, seed: u64) -> Self {
         match kind {
             HashKind::Simple => BloomHasher::Affine(AffineFamily::new(k, m, namespace, seed)),
+            HashKind::DeltaBlocked => BloomHasher::Blocked(BlockedFamily::new(k, m, seed as u32)),
             other => BloomHasher::Double(DoubleHashFamily::new(other, k, m, seed as u32)),
         }
     }
@@ -156,6 +174,7 @@ impl BloomHasher {
         match self {
             BloomHasher::Affine(f) => f.k(),
             BloomHasher::Double(f) => f.k,
+            BloomHasher::Blocked(f) => f.k(),
         }
     }
 
@@ -165,6 +184,7 @@ impl BloomHasher {
         match self {
             BloomHasher::Affine(f) => f.m(),
             BloomHasher::Double(f) => f.m,
+            BloomHasher::Blocked(f) => f.m(),
         }
     }
 
@@ -174,6 +194,7 @@ impl BloomHasher {
         match self {
             BloomHasher::Affine(_) => HashKind::Simple,
             BloomHasher::Double(f) => f.kind,
+            BloomHasher::Blocked(_) => HashKind::DeltaBlocked,
         }
     }
 
@@ -183,6 +204,7 @@ impl BloomHasher {
         match self {
             BloomHasher::Affine(f) => f.position(x, i),
             BloomHasher::Double(f) => f.position(x, i),
+            BloomHasher::Blocked(f) => f.position(x, i),
         }
     }
 
@@ -192,6 +214,18 @@ impl BloomHasher {
         match self {
             BloomHasher::Affine(f) => f.positions(x, out),
             BloomHasher::Double(f) => f.positions(x, out),
+            BloomHasher::Blocked(f) => f.positions(x, out),
+        }
+    }
+
+    /// The word-level probe footprint of `x`, when the layout supports
+    /// it (only the blocked family does). Fast paths branch on this
+    /// once and fall back to per-bit probes for classic layouts.
+    #[inline]
+    pub fn block_probe(&self, x: u64) -> Option<BlockProbe> {
+        match self {
+            BloomHasher::Blocked(f) => Some(f.block_probe(x)),
+            _ => None,
         }
     }
 
@@ -202,6 +236,11 @@ impl BloomHasher {
     /// for that key. Allocation-free for `k ≤ 16` (the practical range;
     /// the paper uses `k = 3`).
     pub fn probes_distinct_bits(&self, x: u64) -> bool {
+        // The blocked family's odd offset stride is a permutation mod
+        // 128: its probes are distinct by construction, for every key.
+        if matches!(self, BloomHasher::Blocked(_)) {
+            return true;
+        }
         let k = self.k();
         if k <= 16 {
             let mut buf = [0usize; 16];
@@ -229,6 +268,7 @@ impl BloomHasher {
         match self {
             BloomHasher::Affine(f) => f.seed(),
             BloomHasher::Double(f) => f.seed() as u64,
+            BloomHasher::Blocked(f) => f.seed() as u64,
         }
     }
 
@@ -238,7 +278,7 @@ impl BloomHasher {
     pub fn namespace(&self) -> Option<u64> {
         match self {
             BloomHasher::Affine(f) => Some(f.namespace()),
-            BloomHasher::Double(_) => None,
+            BloomHasher::Double(_) | BloomHasher::Blocked(_) => None,
         }
     }
 
@@ -253,7 +293,7 @@ impl BloomHasher {
     pub fn invert(&self, i: usize, bit: usize) -> Option<Preimages> {
         match self {
             BloomHasher::Affine(f) => Some(f.invert(i, bit)),
-            BloomHasher::Double(_) => None,
+            BloomHasher::Double(_) | BloomHasher::Blocked(_) => None,
         }
     }
 }
@@ -288,6 +328,36 @@ mod tests {
             assert!(!h.is_invertible());
             assert!(h.invert(0, 7).is_none());
         }
+        let h = BloomHasher::new(HashKind::DeltaBlocked, 2, 128, 10_000, 5);
+        assert!(!h.is_invertible());
+        assert!(h.invert(0, 7).is_none());
+        assert!(h.namespace().is_none());
+    }
+
+    #[test]
+    fn blocked_hasher_dispatch_is_consistent() {
+        let h = BloomHasher::new(HashKind::DeltaBlocked, 5, 4096, 100_000, 21);
+        assert_eq!(h.kind(), HashKind::DeltaBlocked);
+        assert_eq!(h.seed(), 21);
+        let mut out = [0usize; 5];
+        h.positions(777, &mut out);
+        for (i, &pos) in out.iter().enumerate() {
+            assert_eq!(pos, h.position(777, i));
+        }
+        // Probes are distinct for every key, and the word footprint
+        // matches the enumerated positions.
+        let p = h.block_probe(777).expect("blocked exposes word probes");
+        assert_eq!(
+            p.mask0.count_ones() + p.mask1.count_ones(),
+            5,
+            "k distinct bits"
+        );
+        for x in 0u64..200 {
+            assert!(h.probes_distinct_bits(x));
+        }
+        // Classic layouts expose no word probe.
+        let classic = BloomHasher::new(HashKind::Murmur3, 5, 4096, 100_000, 21);
+        assert!(classic.block_probe(777).is_none());
     }
 
     #[test]
@@ -318,6 +388,14 @@ mod tests {
         assert_eq!("simple".parse::<HashKind>().unwrap(), HashKind::Simple);
         assert_eq!("Murmur3".parse::<HashKind>().unwrap(), HashKind::Murmur3);
         assert_eq!("MD5".parse::<HashKind>().unwrap(), HashKind::Md5);
+        assert_eq!(
+            "blocked".parse::<HashKind>().unwrap(),
+            HashKind::DeltaBlocked
+        );
+        assert_eq!(
+            "delta-blocked".parse::<HashKind>().unwrap(),
+            HashKind::DeltaBlocked
+        );
         assert!("sha1".parse::<HashKind>().is_err());
     }
 

@@ -42,5 +42,5 @@ pub mod params;
 pub use bitvec::BitVec;
 pub use counting::CountingBloomFilter;
 pub use filter::BloomFilter;
-pub use hash::{BloomHasher, HashKind};
+pub use hash::{BlockProbe, BlockedFamily, BloomHasher, HashKind, MIN_BLOCKED_BITS};
 pub use params::TreePlan;

@@ -191,6 +191,111 @@ proptest! {
         prop_assert!(back.compatible_with(&f));
     }
 
+    // ---------------- Blocked layout ----------------
+
+    #[test]
+    fn blocked_filter_never_false_negative(
+        keys in prop::collection::hash_set(0u64..100_000, 1..200),
+        k in 1usize..9,
+        m in 512usize..8192,
+        seed in any::<u64>(),
+    ) {
+        let mut f = BloomFilter::with_params(HashKind::DeltaBlocked, k, m, 100_000, seed);
+        for &key in &keys {
+            f.insert(key);
+        }
+        for &key in &keys {
+            prop_assert!(f.contains(key), "blocked false negative for {key} (k={k}, m={m})");
+        }
+    }
+
+    #[test]
+    fn word_kernels_match_per_bit_reference(
+        len in 1usize..500,
+        a_seed in any::<u64>(),
+        b_seed in any::<u64>(),
+    ) {
+        // Random lengths deliberately include non-word-aligned tails;
+        // the word-level kernels must agree with a bit-at-a-time walk.
+        let fill = |seed: u64| {
+            let mut bv = BitVec::new(len);
+            let mut s = seed | 1;
+            for i in 0..len {
+                s = s.wrapping_mul(0x2545F4914F6CDD1D);
+                if s & 1 == 1 {
+                    bv.set(i);
+                }
+            }
+            bv
+        };
+        let a = fill(a_seed);
+        let b = fill(b_seed);
+        let and_ref = (0..len).filter(|&i| a.get(i) && b.get(i)).count();
+        let or_ref = (0..len).filter(|&i| a.get(i) || b.get(i)).count();
+        prop_assert_eq!(a.and_count(&b), and_ref);
+        prop_assert_eq!(a.or_count(&b), or_ref);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        for i in 0..len {
+            prop_assert_eq!(inter.get(i), a.get(i) && b.get(i));
+        }
+        prop_assert_eq!(inter.count_ones(), and_ref);
+    }
+
+    #[test]
+    fn blocked_codec_roundtrip(
+        keys in prop::collection::vec(0u64..20_000, 0..100),
+        m in 512usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let mut f = BloomFilter::with_params(HashKind::DeltaBlocked, 3, m, 20_000, seed);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let bytes = bst_bloom::codec::encode(&f);
+        let back = bst_bloom::codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back.bits(), f.bits());
+        prop_assert!(back.compatible_with(&f));
+        prop_assert_eq!(back.hasher().kind(), HashKind::DeltaBlocked);
+    }
+
+    #[test]
+    fn blocked_codec_rejects_mangled_bytes(
+        keys in prop::collection::vec(0u64..20_000, 0..50),
+        cut in 0usize..4096,
+        garbage_byte in 1u64..256,
+        garbage_pos in 0usize..4096,
+    ) {
+        let mut f = BloomFilter::with_params(HashKind::DeltaBlocked, 3, 2048, 20_000, 17);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let bytes = bst_bloom::codec::encode(&f).to_vec();
+
+        // Any strict prefix must fail with a typed error, never panic.
+        let cut = cut % bytes.len();
+        prop_assert!(bst_bloom::codec::decode(&bytes[..cut]).is_err());
+
+        // An oversized word-count claim (header offset 32..40) must be
+        // BadLength — and must be rejected *before* any allocation of
+        // the claimed size (the L002 bounded-decode contract).
+        let mut oversized = bytes.clone();
+        oversized[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        prop_assert_eq!(
+            bst_bloom::codec::decode(&oversized).unwrap_err(),
+            bst_bloom::codec::CodecError::BadLength
+        );
+
+        // A flipped byte either still decodes (payload damage) or fails
+        // with a typed error; decoding must never panic or misreport m/k.
+        let pos = garbage_pos % bytes.len();
+        let mut mangled = bytes.clone();
+        mangled[pos] ^= garbage_byte as u8;
+        if let Ok(g) = bst_bloom::codec::decode(&mangled) {
+            prop_assert_eq!(g.m(), f.m());
+        }
+    }
+
     #[test]
     fn affine_inversion_sound_and_complete(
         bit in 0usize..997,

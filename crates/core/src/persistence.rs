@@ -80,6 +80,7 @@ pub(crate) fn put_plan(buf: &mut BytesMut, plan: &TreePlan) {
         HashKind::Simple => 0,
         HashKind::Murmur3 => 1,
         HashKind::Md5 => 2,
+        HashKind::DeltaBlocked => 3,
     });
     buf.put_u64_le(plan.seed);
     buf.put_u32_le(plan.depth);
@@ -98,12 +99,16 @@ pub(crate) fn get_plan(input: &mut &[u8]) -> Result<TreePlan, PersistError> {
         0 => HashKind::Simple,
         1 => HashKind::Murmur3,
         2 => HashKind::Md5,
+        3 => HashKind::DeltaBlocked,
         other => return Err(PersistError::BadKind(other)),
     };
     let seed = input.get_u64_le();
     let depth = input.get_u32_le();
     let leaf_capacity = input.get_u64_le();
     let target_accuracy = input.get_f64_le();
+    if kind == HashKind::DeltaBlocked && m < bst_bloom::MIN_BLOCKED_BITS {
+        return Err(PersistError::Corrupt("blocked plan with m below one block"));
+    }
     Ok(TreePlan {
         namespace,
         m,

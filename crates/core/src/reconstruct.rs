@@ -280,29 +280,28 @@ impl<'t, T: SampleTree> BstReconstructor<'t, T> {
                 }
                 return cached.len();
             }
+            // Bulk-membership kernel: layout dispatch hoisted out of the
+            // candidate loop (word probes for blocked layouts, a plain
+            // `contains` loop — identical order and results — otherwise).
             let mut matches = Vec::new();
-            for x in self.tree.leaf_candidates(node) {
-                stats.memberships += 1;
-                if query.contains(x) {
-                    visit(x);
-                    matches.push(x);
-                }
-            }
+            stats.memberships += query.for_each_member(self.tree.leaf_candidates(node), |x| {
+                visit(x);
+                matches.push(x);
+            });
             let found = matches.len();
             memo.leaves.insert(node, std::sync::Arc::new(matches));
             return found;
         }
         let mut found = 0usize;
-        for x in self.tree.leaf_candidates(node) {
-            if !window.contains(&x) {
-                continue;
-            }
-            stats.memberships += 1;
-            if query.contains(x) {
+        stats.memberships += query.for_each_member(
+            self.tree
+                .leaf_candidates(node)
+                .filter(|x| window.contains(x)),
+            |x| {
                 visit(x);
                 found += 1;
-            }
-        }
+            },
+        );
         found
     }
 

@@ -788,12 +788,10 @@ impl<'t, T: SampleTree> BstSampler<'t, T> {
             return Arc::clone(cached);
         }
         let mut out = Vec::new();
-        for x in self.tree.leaf_candidates(node) {
-            stats.memberships += 1;
-            if query.contains(x) {
-                out.push(x);
-            }
-        }
+        // Bulk-membership kernel (layout dispatch hoisted out of the
+        // loop); identical candidate order to a naive `contains` scan.
+        stats.memberships +=
+            query.for_each_member(self.tree.leaf_candidates(node), |x| out.push(x));
         let out = Arc::new(out);
         memo.leaves.insert(node, Arc::clone(&out));
         out

@@ -289,6 +289,11 @@ impl BstSystemBuilder {
             plan.depth = d;
             plan.leaf_capacity = params::leaf_size(self.namespace, d);
         }
+        if plan.kind == HashKind::DeltaBlocked && plan.m < bst_bloom::MIN_BLOCKED_BITS {
+            return Err(BstError::InvalidConfig(
+                "blocked layout needs m >= one 128-bit block; raise accuracy or set size",
+            ));
+        }
         let tree = match self.occupied {
             None => TreeBackend::dense(BloomSampleTree::build_with_threads(&plan, self.threads)),
             Some(mut occ) => {
@@ -738,6 +743,38 @@ mod tests {
             .hash_kind(HashKind::Simple)
             .build();
         assert!(sys.tree().hasher().is_invertible());
+    }
+
+    #[test]
+    fn blocked_layout_flows_through_and_round_trips() {
+        let sys = BstSystem::builder(10_000)
+            .hash_kind(HashKind::DeltaBlocked)
+            .pruned((0..10_000).step_by(3))
+            .build();
+        assert_eq!(sys.tree().hasher().kind(), HashKind::DeltaBlocked);
+        let f = sys.store((0..10_000).step_by(9));
+        let recon = sys.query(&f).reconstruct().unwrap();
+        assert!(recon.iter().all(|x| x % 3 == 0));
+        // Snapshots carry the layout tag: the restored system keeps the
+        // blocked hasher and reconstructs identically.
+        let bytes = sys.to_bytes();
+        let back = BstSystem::from_bytes(&bytes).unwrap();
+        assert_eq!(back.tree().hasher().kind(), HashKind::DeltaBlocked);
+        assert_eq!(back.query(&f).reconstruct().unwrap(), recon);
+    }
+
+    #[test]
+    fn blocked_layout_rejects_sub_block_filters() {
+        // Accuracy sizing for a tiny expected set yields m < 128 bits,
+        // which the blocked geometry cannot address.
+        assert!(matches!(
+            BstSystem::builder(10_000)
+                .hash_kind(HashKind::DeltaBlocked)
+                .expected_set_size(1)
+                .accuracy(0.5)
+                .try_build(),
+            Err(crate::error::BstError::InvalidConfig(_))
+        ));
     }
 
     #[test]

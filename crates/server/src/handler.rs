@@ -183,22 +183,31 @@ pub fn handle(state: &ServerState, session: &mut Session, req: Request) -> Outco
             if let Some(d) = &state.durable {
                 // Durable LOAD: an empty body recovers from disk
                 // (newest checkpoint + log-tail replay); a snapshot
-                // body is adopted as the new durable state.
-                let recovered = if bytes.is_empty() {
-                    d.recover_from_disk().map_err(wire_durable)
+                // body is adopted as the new durable state. The write
+                // lock is taken *before* the durable swap: every other
+                // handler (mutations included) runs under the read
+                // lock, so nothing can ack against the swapped-in
+                // durable engine while `state.engine` still serves the
+                // old one — that window lost acked creates.
+                let decoded = if bytes.is_empty() {
+                    None
                 } else {
                     match ShardedBstSystem::from_bytes(&bytes) {
-                        Ok(system) => d
-                            .adopt(system.clone())
-                            .map_err(wire_durable)
-                            .map(|()| system),
-                        Err(e) => Err(WireError::from(e)),
+                        Ok(system) => Some(system),
+                        Err(e) => return Outcome::reply(Err(WireError::from(e))),
                     }
+                };
+                let mut engine = state.engine.write();
+                let recovered = match decoded {
+                    None => d.recover_from_disk().map_err(wire_durable),
+                    Some(system) => d
+                        .adopt(system.clone())
+                        .map_err(wire_durable)
+                        .map(|()| system),
                 };
                 return match recovered {
                     Ok(system) => {
                         state.instrument_engine(&system);
-                        let mut engine = state.engine.write();
                         engine.system = system;
                         engine.epoch += 1;
                         Outcome::reply(Ok(Response::Ok))

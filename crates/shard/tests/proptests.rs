@@ -3,6 +3,7 @@
 //! one shard, no gaps, no overlaps — and a sharded engine reconstructs
 //! exactly what a single pruned system over the same occupancy does.
 
+use bst_bloom::hash::HashKind;
 use bst_core::system::BstSystem;
 use bst_shard::{shard_boundaries, ShardedBstSystem};
 use proptest::prelude::*;
@@ -136,13 +137,15 @@ proptest! {
     /// and repeated batches, a cache-enabled engine and a cache-bypassed
     /// twin driven identically produce bit-identical `query_batch` and
     /// `query_batch_ids` results — and every *fresh* cached cell equals
-    /// a from-scratch recomputation of that shard's live weight.
+    /// a from-scratch recomputation of that shard's live weight. Runs
+    /// under both filter layouts (classic and cache-line blocked).
     #[test]
     fn cached_batches_equal_bypassed_batches_under_churn(
         occupied in prop::collection::btree_set(0u64..2_048, 20..200),
         shards in 1usize..5,
         ops in prop::collection::vec((0u8..4, 0u64..2_048), 1..40),
         seed in any::<u64>(),
+        kind in prop_oneof![Just(HashKind::Murmur3), Just(HashKind::DeltaBlocked)],
     ) {
         let occ: Vec<u64> = occupied.iter().copied().collect();
         let build = |cache: bool| {
@@ -150,6 +153,7 @@ proptest! {
                 .shards(shards)
                 .expected_set_size(64)
                 .seed(27)
+                .hash_kind(kind)
                 .occupied(occ.iter().copied())
                 .weight_cache(cache)
                 .build()

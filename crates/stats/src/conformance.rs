@@ -88,6 +88,48 @@ pub fn chi2_homogeneity(a: &[u64], b: &[u64]) -> Chi2Result {
     }
 }
 
+/// Runs [`chi2_homogeneity`] and asserts homogeneity at `alpha`,
+/// rendering the observed 2×K contingency table into the panic message
+/// on failure — a bare p-value is undebuggable, the per-category counts
+/// name the skewed keys. `label` identifies the comparison under test.
+///
+/// # Panics
+/// Panics (with the observed table) when `H₀` is rejected at `alpha`,
+/// and on the same malformed inputs as [`chi2_homogeneity`].
+pub fn assert_homogeneous(label: &str, keys: &[u64], a: &[u64], b: &[u64], alpha: f64) {
+    let r = chi2_homogeneity(a, b);
+    assert!(
+        r.is_uniform_at(alpha),
+        "{label}: chi2 homogeneity rejected (stat {:.3}, dof {}, p {:.3e} < alpha {alpha})\n\
+         observed counts (key: a vs b):\n{}",
+        r.statistic,
+        r.dof,
+        r.p_value,
+        render_counts_table(keys, a, b),
+    );
+}
+
+/// The observed 2×K table as `key: count_a vs count_b` lines, worst
+/// relative disagreements first, capped at 32 rows.
+fn render_counts_table(keys: &[u64], a: &[u64], b: &[u64]) -> String {
+    use std::fmt::Write;
+    let mut rows: Vec<(u64, u64, u64)> = keys
+        .iter()
+        .zip(a.iter().zip(b))
+        .map(|(&key, (&oa, &ob))| (key, oa, ob))
+        .collect();
+    rows.sort_by_key(|&(_, oa, ob)| std::cmp::Reverse(oa.abs_diff(ob)));
+    let shown = rows.len().min(32);
+    let mut out = String::new();
+    for &(key, oa, ob) in &rows[..shown] {
+        let _ = writeln!(out, "  {key}: {oa} vs {ob}");
+    }
+    if rows.len() > shown {
+        let _ = writeln!(out, "  … {} more categories", rows.len() - shown);
+    }
+    out
+}
+
 /// Result of a two-sample Kolmogorov–Smirnov test.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct KsResult {
@@ -249,5 +291,46 @@ mod tests {
     #[should_panic(expected = "outside the support")]
     fn draws_outside_support_panic() {
         let _ = sample_counts(&[1u64, 2], 1, 0, |_| 99);
+    }
+
+    #[test]
+    fn assert_homogeneous_accepts_identical_counts() {
+        assert_homogeneous(
+            "identical",
+            &[1, 2, 3, 4],
+            &[50, 60, 70, 80],
+            &[50, 60, 70, 80],
+            DEFAULT_ALPHA,
+        );
+    }
+
+    #[test]
+    fn assert_homogeneous_failure_prints_observed_table() {
+        let err = std::panic::catch_unwind(|| {
+            assert_homogeneous(
+                "skewed",
+                &[7, 8, 9, 10],
+                &[500, 10, 10, 10],
+                &[10, 10, 10, 500],
+                DEFAULT_ALPHA,
+            );
+        })
+        .expect_err("skewed counts must reject");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("skewed"), "label missing: {msg}");
+        assert!(
+            msg.contains("7: 500 vs 10") && msg.contains("10: 10 vs 500"),
+            "observed table missing from failure message: {msg}"
+        );
+    }
+
+    #[test]
+    fn counts_table_caps_rows() {
+        let keys: Vec<u64> = (0..100).collect();
+        let a = vec![3u64; 100];
+        let b = vec![4u64; 100];
+        let table = render_counts_table(&keys, &a, &b);
+        assert_eq!(table.lines().count(), 33, "32 rows plus the ellipsis");
+        assert!(table.contains("68 more categories"));
     }
 }

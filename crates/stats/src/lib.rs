@@ -39,5 +39,7 @@ pub mod histogram;
 pub mod summary;
 
 pub use chi2::{chi2_test, chi2_uniform_test, Chi2Result};
-pub use conformance::{chi2_homogeneity, ks_two_sample, ks_two_sample_ids, KsResult};
+pub use conformance::{
+    assert_homogeneous, chi2_homogeneity, ks_two_sample, ks_two_sample_ids, KsResult,
+};
 pub use summary::Welford;

@@ -6,23 +6,25 @@
 //! reader saw before asking (the stamps force the repair/re-descend
 //! path; a stale cached weight slipping through would surface here as a
 //! stamp regression), and the engine cache's cells only ever move
-//! forward in stamp order. Runs in release in CI (the `test` job runs
-//! `cargo test --release`); ignored under debug builds.
+//! forward in stamp order. Every scenario runs under both filter
+//! layouts (classic `Murmur3` and cache-line `DeltaBlocked`): the
+//! repair/stamp machinery is layout-independent and must stay so. Runs
+//! in release in CI (the `test` job runs `cargo test --release`);
+//! ignored under debug builds.
 
-use bloomsampletree::{BstSystem, ShardedBstSystem};
+use bloomsampletree::{BstSystem, HashKind, ShardedBstSystem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const MUTATIONS_PER_THREAD: u64 = 400;
 const READS_PER_THREAD: u64 = 800;
 
-#[test]
-#[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
-fn concurrent_mutators_never_yield_superseded_weights_single() {
+fn concurrent_mutators_never_yield_superseded_weights_single_with(kind: HashKind) {
     let namespace = 16_384u64;
     let sys = BstSystem::builder(namespace)
         .expected_set_size(200)
         .seed(3)
+        .hash_kind(kind)
         .pruned((0..namespace).step_by(2))
         .build();
     let keys: Vec<u64> = (0..400u64).map(|i| i * 41 % namespace).collect();
@@ -78,14 +80,13 @@ fn concurrent_mutators_never_yield_superseded_weights_single() {
     assert_eq!(sys.occupied_count(), namespace / 2, "all churn was toggles");
 }
 
-#[test]
-#[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
-fn concurrent_mutators_never_yield_superseded_weights_sharded() {
+fn concurrent_mutators_never_yield_superseded_weights_sharded_with(kind: HashKind) {
     let namespace = 16_384u64;
     let engine = ShardedBstSystem::builder(namespace)
         .shards(4)
         .expected_set_size(200)
         .seed(5)
+        .hash_kind(kind)
         .occupied((0..namespace).step_by(2))
         .build();
     let keys: Vec<u64> = (0..400u64).map(|i| i * 37 % namespace).collect();
@@ -144,14 +145,13 @@ fn concurrent_mutators_never_yield_superseded_weights_sharded() {
     assert_eq!(engine.occupied_count(), namespace / 2);
 }
 
-#[test]
-#[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
-fn engine_weight_cache_never_serves_superseded_weights() {
+fn engine_weight_cache_never_serves_superseded_weights_with(kind: HashKind) {
     let namespace = 16_384u64;
     let engine = ShardedBstSystem::builder(namespace)
         .shards(4)
         .expected_set_size(200)
         .seed(7)
+        .hash_kind(kind)
         .occupied((0..namespace).step_by(2))
         .build();
     let ids: Vec<_> = (0..3u64)
@@ -258,3 +258,34 @@ fn engine_weight_cache_never_serves_superseded_weights() {
     assert_eq!(with_cache_f, bypass_f);
     assert_eq!(with_cache_i, bypass_i);
 }
+
+macro_rules! both_layouts {
+    ($classic:ident, $blocked:ident, $body:ident) => {
+        #[test]
+        #[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
+        fn $classic() {
+            $body(HashKind::Murmur3);
+        }
+        #[test]
+        #[cfg_attr(debug_assertions, ignore = "slow: run under --release (CI does)")]
+        fn $blocked() {
+            $body(HashKind::DeltaBlocked);
+        }
+    };
+}
+
+both_layouts!(
+    concurrent_mutators_never_yield_superseded_weights_single_classic,
+    concurrent_mutators_never_yield_superseded_weights_single_blocked,
+    concurrent_mutators_never_yield_superseded_weights_single_with
+);
+both_layouts!(
+    concurrent_mutators_never_yield_superseded_weights_sharded_classic,
+    concurrent_mutators_never_yield_superseded_weights_sharded_blocked,
+    concurrent_mutators_never_yield_superseded_weights_sharded_with
+);
+both_layouts!(
+    engine_weight_cache_never_serves_superseded_weights_classic,
+    engine_weight_cache_never_serves_superseded_weights_blocked,
+    engine_weight_cache_never_serves_superseded_weights_with
+);
